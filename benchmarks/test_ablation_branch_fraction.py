@@ -1,0 +1,51 @@
+"""A1 — ablation: the branch reservation fraction (Section 4 suggests
+"1/2, 2/3, or 3/4"; Section 5 uses 2/3).
+
+Sweeps the fraction on the Skeleton SR-Tree over the exponential-length
+workloads and reports VQAR/HQAR means plus spanning-record counts.
+"""
+
+import pytest
+
+from repro import IndexConfig
+from repro.bench import build_index, run_experiment, vqar_mean, hqar_mean
+from repro.workloads import dataset_I3, dataset_R2
+
+N = 8000
+FRACTIONS = [0.5, 2.0 / 3.0, 0.75]
+
+
+@pytest.fixture(scope="module", params=["I3", "R2"])
+def dataset(request):
+    gen = {"I3": dataset_I3, "R2": dataset_R2}[request.param]
+    return request.param, gen(N, seed=90)
+
+
+@pytest.mark.parametrize("fraction", FRACTIONS)
+def test_branch_fraction(benchmark, dataset, fraction):
+    name, data = dataset
+    config = IndexConfig(branch_fraction=fraction)
+
+    def build():
+        return build_index("Skeleton SR-Tree", data, config)
+
+    index = benchmark.pedantic(build, rounds=1, iterations=1)
+    result = run_experiment(
+        f"{name}-frac{fraction:.2f}",
+        data,
+        config=config,
+        index_types=("Skeleton SR-Tree",),
+        queries_per_qar=20,
+        indexes={"Skeleton SR-Tree": index},
+    )
+    spanning = index.stats.spanning_placements
+    print(
+        f"\n{name} branch_fraction={fraction:.2f}: "
+        f"VQAR={vqar_mean(result, 'Skeleton SR-Tree'):.1f} "
+        f"HQAR={hqar_mean(result, 'Skeleton SR-Tree'):.1f} "
+        f"spanning={spanning} nodes={index.node_count()}"
+    )
+    # A smaller branch fraction reserves more spanning room; at 1/2 the
+    # index must manage to store at least as many spanning records as the
+    # structure allows at 3/4.
+    assert spanning > 0

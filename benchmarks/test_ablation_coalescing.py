@@ -1,0 +1,69 @@
+"""A3 — ablation: node coalescing (Section 4 adaptation).
+
+The paper coalesces after every 1 000 insertions among the 10 least
+frequently modified nodes.  This bench uses a skeleton deliberately sized
+for a uniform distribution while the data is clustered (I4's exponential Y
+concentrates everything at the bottom), so sparse cells abound, and sweeps
+the coalescing interval.
+"""
+
+import pytest
+
+from repro import IndexConfig
+from repro.bench import run_experiment, vqar_mean
+from repro.core.skeleton import SkeletonSRTree
+from repro.workloads import DOMAIN, dataset_I4
+
+N = 8000
+INTERVALS = [0, 500, 1000, 4000]  # 0 = coalescing off
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return dataset_I4(N, seed=93)
+
+
+def _build(dataset, interval):
+    config = IndexConfig(coalesce_interval=interval)
+    # Assume-uniform skeleton: mispredicts the exponential Y on purpose.
+    index = SkeletonSRTree(config, expected_tuples=len(dataset), domain=DOMAIN)
+    for i, rect in enumerate(dataset):
+        index.insert(rect, payload=i)
+    return index
+
+
+@pytest.mark.parametrize("interval", INTERVALS)
+def test_coalesce_interval(benchmark, dataset, interval):
+    index = benchmark.pedantic(
+        lambda: _build(dataset, interval), rounds=1, iterations=1
+    )
+    result = run_experiment(
+        f"coalesce-{interval}",
+        dataset,
+        index_types=("Skeleton SR-Tree",),
+        queries_per_qar=20,
+        indexes={"Skeleton SR-Tree": index},
+    )
+    empty_leaves = sum(
+        1 for n in index.iter_nodes() if n.is_leaf and not n.data_entries
+    )
+    print(
+        f"\ninterval={interval or 'off'}: coalesces={index.stats.coalesces} "
+        f"nodes={index.node_count()} empty_leaves={empty_leaves} "
+        f"VQAR={vqar_mean(result, 'Skeleton SR-Tree'):.1f}"
+    )
+    if interval == 0:
+        assert index.stats.coalesces == 0
+    else:
+        assert index.stats.coalesces > 0
+
+
+def test_coalescing_shrinks_index(benchmark, dataset):
+    def measure():
+        off = _build(dataset, 0)
+        on = _build(dataset, 500)
+        return off.node_count(), on.node_count()
+
+    nodes_off, nodes_on = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print(f"\nnodes: coalescing off={nodes_off} on={nodes_on}")
+    assert nodes_on < nodes_off

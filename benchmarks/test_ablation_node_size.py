@@ -1,0 +1,72 @@
+"""A2 — ablation: node-size doubling (the paper's tactic 2, Section 2.1.2)
+versus fixed-size nodes.
+
+The paper argues that growing node sizes at higher levels preserves fanout
+when non-leaf nodes also hold spanning records; with fixed-size nodes the
+same reservation costs a taller, slower index.
+"""
+
+import pytest
+
+from repro import IndexConfig
+from repro.bench import build_index, run_experiment, vqar_mean
+from repro.workloads import dataset_I3
+
+N = 8000
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return dataset_I3(N, seed=91)
+
+
+@pytest.mark.parametrize("doubling", [True, False], ids=["doubling", "fixed-1KB"])
+@pytest.mark.parametrize("kind", ["SR-Tree", "Skeleton SR-Tree"])
+def test_node_sizing_policy(benchmark, dataset, kind, doubling):
+    config = IndexConfig(node_size_doubling=doubling)
+
+    def build():
+        return build_index(kind, dataset, config)
+
+    index = benchmark.pedantic(build, rounds=1, iterations=1)
+    result = run_experiment(
+        f"sizing-{doubling}",
+        dataset,
+        config=config,
+        index_types=(kind,),
+        queries_per_qar=20,
+        indexes={kind: index},
+    )
+    print(
+        f"\n{kind} doubling={doubling}: height={index.height} "
+        f"nodes={index.node_count()} "
+        f"bytes={index.total_index_bytes() // 1024}KB "
+        f"VQAR={vqar_mean(result, kind):.1f} "
+        f"spanning={index.stats.spanning_placements}"
+    )
+    assert index.height >= 2
+
+
+def test_doubling_reduces_height_or_accesses(benchmark, dataset):
+    """The design claim: with spanning records present, doubled node sizes
+    should not lose to fixed 1 KB nodes on vertical-range searches."""
+
+    def measure():
+        out = {}
+        for doubling in (True, False):
+            config = IndexConfig(node_size_doubling=doubling)
+            index = build_index("Skeleton SR-Tree", dataset, config)
+            result = run_experiment(
+                "cmp",
+                dataset,
+                config=config,
+                index_types=("Skeleton SR-Tree",),
+                queries_per_qar=20,
+                indexes={"Skeleton SR-Tree": index},
+            )
+            out[doubling] = (index.height, vqar_mean(result, "Skeleton SR-Tree"))
+        return out
+
+    out = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print(f"\n(height, VQAR) doubling={out[True]} fixed={out[False]}")
+    assert out[True][0] <= out[False][0]  # doubling never makes it taller

@@ -1,0 +1,71 @@
+"""A6 — ablation: what to do when a spanning insert overflows a node.
+
+The paper says an SR-Tree node "may overflow due to an attempt to insert
+either a new branch or a spanning index record" and splits it.  Our default
+instead lets the record descend when the spanning area is full, because
+measurements showed splitting fragments the non-leaf level for a net loss
+(EXPERIMENTS.md, deviation 3).  This bench keeps that measurement honest on
+both exponential-length workloads.
+"""
+
+import pytest
+
+from repro import IndexConfig
+from repro.bench import build_index, run_experiment, vqar_mean
+from repro.workloads import dataset_I3, dataset_R2
+
+N = 8000
+
+
+@pytest.fixture(scope="module", params=["I3", "R2"])
+def dataset(request):
+    gen = {"I3": dataset_I3, "R2": dataset_R2}[request.param]
+    return request.param, gen(N, seed=99)
+
+
+@pytest.mark.parametrize("policy", ["descend", "split"])
+def test_overflow_policy(benchmark, dataset, policy):
+    name, data = dataset
+    config = IndexConfig(spanning_overflow_policy=policy)
+
+    def build():
+        return build_index("Skeleton SR-Tree", data, config)
+
+    index = benchmark.pedantic(build, rounds=1, iterations=1)
+    result = run_experiment(
+        f"{name}-{policy}",
+        data,
+        config=config,
+        index_types=("Skeleton SR-Tree",),
+        queries_per_qar=20,
+        indexes={"Skeleton SR-Tree": index},
+    )
+    print(
+        f"\n{name} policy={policy}: "
+        f"VQAR={vqar_mean(result, 'Skeleton SR-Tree'):.1f} "
+        f"spanning={index.stats.spanning_placements} "
+        f"nodes={index.node_count()} splits={index.stats.splits}"
+    )
+    assert len(index) == N
+
+
+def test_split_policy_stores_more_spanning_records(benchmark, dataset):
+    name, data = dataset
+
+    def build_both():
+        return {
+            policy: build_index(
+                "Skeleton SR-Tree",
+                data,
+                IndexConfig(spanning_overflow_policy=policy),
+            )
+            for policy in ("descend", "split")
+        }
+
+    trees = benchmark.pedantic(build_both, rounds=1, iterations=1)
+    placements = {
+        policy: tree.stats.spanning_placements for policy, tree in trees.items()
+    }
+    print(f"\n{name} spanning placements: {placements}")
+    # Splitting makes room, so it must never store fewer spanning records.
+    assert placements["split"] >= placements["descend"]

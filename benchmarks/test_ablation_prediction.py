@@ -1,0 +1,75 @@
+"""T3 — distribution prediction ablation (Section 4 / Section 5 setup).
+
+The paper: "values of T in the range of 5% to 10% of the expected number of
+tuples to be inserted worked well"; the experiments buffered the first
+10 000 tuples of 100K/200K (5-10%).  This bench sweeps the buffered
+fraction on a skewed workload (I4: exponential Y and lengths) where the
+predicted histograms matter most, and compares against the
+assume-uniform skeleton.
+"""
+
+import pytest
+
+from repro import IndexConfig
+from repro.bench import build_index, run_experiment, vqar_mean
+from repro.core.skeleton import SkeletonSRTree
+from repro.workloads import DOMAIN, dataset_I4
+
+N = 8000
+FRACTIONS = [0.01, 0.05, 0.10, 0.20]
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return dataset_I4(N, seed=92)
+
+
+def _sweep(index, data):
+    return run_experiment(
+        "pred",
+        data,
+        index_types=("Skeleton SR-Tree",),
+        queries_per_qar=20,
+        indexes={"Skeleton SR-Tree": index},
+    )
+
+
+@pytest.mark.parametrize("fraction", FRACTIONS)
+def test_prediction_fraction(benchmark, dataset, fraction):
+    def build():
+        return build_index("Skeleton SR-Tree", dataset, prediction_fraction=fraction)
+
+    index = benchmark.pedantic(build, rounds=1, iterations=1)
+    result = _sweep(index, dataset)
+    print(
+        f"\nT={fraction:.0%}: VQAR={vqar_mean(result, 'Skeleton SR-Tree'):.1f} "
+        f"splits={index.stats.splits} coalesces={index.stats.coalesces}"
+    )
+    assert len(index) == N
+
+
+def test_prediction_beats_uniform_assumption(benchmark, dataset):
+    """On skewed data, the predicted skeleton should need fewer structural
+    corrections (splits + coalesces) than the assume-uniform skeleton."""
+
+    def measure():
+        predicted = build_index("Skeleton SR-Tree", dataset, prediction_fraction=0.05)
+        uniform = SkeletonSRTree(
+            IndexConfig(), expected_tuples=len(dataset), domain=DOMAIN
+        )
+        for i, rect in enumerate(dataset):
+            uniform.insert(rect, payload=i)
+        return predicted, uniform
+
+    predicted, uniform = benchmark.pedantic(measure, rounds=1, iterations=1)
+    adaptions_predicted = predicted.stats.splits + predicted.stats.coalesces
+    adaptions_uniform = uniform.stats.splits + uniform.stats.coalesces
+    r_pred = _sweep(predicted, dataset)
+    r_unif = _sweep(uniform, dataset)
+    v_pred = vqar_mean(r_pred, "Skeleton SR-Tree")
+    v_unif = vqar_mean(r_unif, "Skeleton SR-Tree")
+    print(
+        f"\npredicted: adaptions={adaptions_predicted} VQAR={v_pred:.1f} | "
+        f"uniform: adaptions={adaptions_uniform} VQAR={v_unif:.1f}"
+    )
+    assert v_pred <= v_unif * 1.1  # prediction must not hurt search

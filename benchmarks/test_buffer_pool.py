@@ -1,0 +1,69 @@
+"""P1 — paged-storage study (substituted substrate, see DESIGN.md).
+
+The paper's premise is a disk-resident index of which "only a small portion
+... may reside in main memory at a given time"; its reported metric (node
+accesses) is machine-independent.  This bench adds the physical half on the
+simulated storage layer: page I/O as a function of buffer-pool size, for
+the R-Tree vs the Skeleton SR-Tree.
+"""
+
+import pytest
+
+from repro.bench import build_index
+from repro.storage import StorageManager
+from repro.workloads import dataset_I3, qar_sweep
+
+N = 8000
+POOL_SIZES = [8 * 1024, 32 * 1024, 128 * 1024, 1024 * 1024]
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return dataset_I3(N, seed=80)
+
+
+@pytest.fixture(scope="module")
+def query_mix():
+    sweep = qar_sweep(qars=(0.01, 1.0, 100.0), count=25, seed=81)
+    return [q for qs in sweep.values() for q in qs]
+
+
+@pytest.mark.parametrize("kind", ["R-Tree", "Skeleton SR-Tree"])
+@pytest.mark.parametrize("pool_bytes", POOL_SIZES)
+def test_page_io_vs_pool_size(benchmark, dataset, query_mix, kind, pool_bytes):
+    index = build_index(kind, dataset)
+    manager = StorageManager(index, buffer_bytes=pool_bytes)
+
+    def run():
+        for q in query_mix:
+            index.search(q)
+        return manager.pool.stats.misses
+
+    misses = benchmark.pedantic(run, rounds=1, iterations=1)
+    summary = manager.io_summary()
+    print(
+        f"\n{kind} pool={pool_bytes // 1024}KB: misses={misses} "
+        f"hit_ratio={summary['hit_ratio']:.3f} "
+        f"evictions={summary['evictions']} "
+        f"index={summary['allocated_bytes'] // 1024}KB"
+    )
+    assert summary["buffer_misses"] > 0
+
+
+def test_locality_improves_with_pool_size(benchmark, dataset, query_mix):
+    """Hit ratio must rise monotonically (weakly) with pool size."""
+
+    def measure():
+        ratios = []
+        for pool_bytes in POOL_SIZES:
+            index = build_index("SR-Tree", dataset)
+            manager = StorageManager(index, buffer_bytes=pool_bytes)
+            for q in query_mix:
+                index.search(q)
+            ratios.append(manager.pool.stats.hit_ratio)
+        return ratios
+
+    ratios = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print(f"\nhit ratios by pool size: {[round(r, 3) for r in ratios]}")
+    assert all(b >= a - 0.02 for a, b in zip(ratios, ratios[1:]))
+    assert ratios[-1] > ratios[0]

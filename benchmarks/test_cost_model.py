@@ -1,0 +1,70 @@
+"""A7 — analytical cost model validation.
+
+The model of ``repro.bench.cost_model`` predicts each index's Graph-style
+curve from its structure alone (expected Minkowski-expanded region mass).
+This bench predicts the full Graph 1 sweep for every index type and checks
+the prediction against the measured series — the reproduction explaining
+its own graphs.
+"""
+
+import pytest
+
+from repro.bench import predict_qar_series
+
+from .conftest import get_experiment, requires_default_scale, search_batch
+
+
+@pytest.fixture(scope="module")
+def experiment():
+    return get_experiment("graph1")
+
+
+@requires_default_scale
+def test_model_tracks_all_four_indexes(benchmark, experiment):
+    result, indexes = experiment
+
+    def predict_all():
+        return {
+            kind: predict_qar_series(tree, result.qars)
+            for kind, tree in indexes.items()
+        }
+
+    predictions = benchmark.pedantic(predict_all, rounds=1, iterations=1)
+    print()
+    for kind, predicted in predictions.items():
+        measured = result.series[kind]
+        worst = max(
+            abs(p - m) / max(m, 1.0) for p, m in zip(predicted, measured)
+        )
+        print(
+            f"{kind}: worst relative error {worst:.2f} "
+            f"(e.g. QAR=1: predicted {predicted[result.qars.index(1.0)]:.1f}, "
+            f"measured {measured[result.qars.index(1.0)]:.1f})"
+        )
+        # Uniform data + uniform centroids = the model's assumptions; it
+        # should track every point within 40 %.
+        for qar, p, m in zip(result.qars, predicted, measured):
+            assert p == pytest.approx(m, rel=0.4), (kind, qar)
+
+
+@requires_default_scale
+def test_model_predicts_the_winner_per_qar(benchmark, experiment):
+    result, indexes = experiment
+    predictions = {
+        kind: predict_qar_series(tree, result.qars)
+        for kind, tree in indexes.items()
+    }
+    benchmark(search_batch(indexes["R-Tree"], qar=1.0))
+    agreements = 0
+    for i, qar in enumerate(result.qars):
+        predicted_winner = min(predictions, key=lambda k: predictions[k][i])
+        measured_winner = min(result.series, key=lambda k: result.series[k][i])
+        # Ties within noise: accept when the predicted winner measures
+        # within 10% of the best.
+        if (
+            result.series[predicted_winner][i]
+            <= result.series[measured_winner][i] * 1.10
+        ):
+            agreements += 1
+    print(f"\nmodel picked a near-optimal index at {agreements}/{len(result.qars)} QAR points")
+    assert agreements >= len(result.qars) - 1

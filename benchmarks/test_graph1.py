@@ -1,0 +1,63 @@
+"""G1 — Graph 1: line segment data, uniform length & uniform Y (I1).
+
+Paper claims reproduced here (Section 5.1):
+* both non-skeleton indexes perform identically, and both skeleton indexes
+  perform (nearly) identically — uniform [0,100] lengths leave almost no
+  spanning segments;
+* skeleton indexes beat non-skeleton indexes strongly in the VQAR range;
+* skeleton indexes stay ahead in the HQAR range (no cross-over for
+  uniformly distributed Y values).
+
+Shape assertions are calibrated for the default 20K bench scale and above.
+"""
+
+import pytest
+
+from repro.bench import FIGURES, INDEX_TYPES, hqar_mean, vqar_mean
+
+from .conftest import get_experiment, requires_default_scale, search_batch
+
+
+@pytest.fixture(scope="module")
+def experiment():
+    return get_experiment("graph1")
+
+
+@pytest.mark.parametrize("kind", INDEX_TYPES)
+def test_search_timing(benchmark, experiment, kind):
+    _, indexes = experiment
+    found = benchmark(search_batch(indexes[kind], qar=0.01))
+    assert found >= 0
+
+
+@requires_default_scale
+def test_sr_equals_r_without_long_intervals(benchmark, experiment):
+    result, indexes = experiment
+    benchmark(search_batch(indexes["SR-Tree"], qar=1.0))
+    # Almost no spanning records on short uniform intervals.
+    assert indexes["SR-Tree"].stats.spanning_placements < 0.001 * len(
+        indexes["SR-Tree"]
+    )
+    for lo, hi in ((vqar_mean(result, "SR-Tree"), vqar_mean(result, "R-Tree")),
+                   (hqar_mean(result, "SR-Tree"), hqar_mean(result, "R-Tree"))):
+        assert lo == pytest.approx(hi, rel=0.05)
+    assert vqar_mean(result, "Skeleton SR-Tree") == pytest.approx(
+        vqar_mean(result, "Skeleton R-Tree"), rel=0.05
+    )
+
+
+@requires_default_scale
+def test_skeletons_win_vqar_strongly(benchmark, experiment):
+    result, indexes = experiment
+    benchmark(search_batch(indexes["Skeleton R-Tree"], qar=0.0001))
+    assert vqar_mean(result, "Skeleton R-Tree") < 0.8 * vqar_mean(result, "R-Tree")
+    assert vqar_mean(result, "Skeleton SR-Tree") < 0.8 * vqar_mean(result, "SR-Tree")
+
+
+@requires_default_scale
+def test_no_crossover_in_hqar(benchmark, experiment):
+    result, indexes = experiment
+    benchmark(search_batch(indexes["Skeleton R-Tree"], qar=10_000.0))
+    # Uniform Y: skeletons stay ahead even at the most horizontal queries.
+    assert hqar_mean(result, "Skeleton R-Tree") < hqar_mean(result, "R-Tree")
+    assert result.at("Skeleton R-Tree", 10_000.0) < result.at("R-Tree", 10_000.0)

@@ -1,0 +1,70 @@
+"""G3 — Graph 3: line segment data, exponential length & uniform Y (I3).
+
+Paper claims reproduced here (Section 5.1):
+* the Skeleton SR-Tree substantially outperforms the Skeleton R-Tree in
+  the VQAR range — the exponential lengths produce many spanning segments;
+* the difference between SR-Tree and R-Tree is very slight in the
+  non-skeleton case (their mostly-horizontal non-leaf regions admit few
+  spanning segments);
+* skeleton indexes far ahead of non-skeleton indexes in the VQAR range.
+
+Known deviation (recorded in EXPERIMENTS.md): in the far HQAR tail
+(QAR >= 100) our non-skeleton R-Tree outperforms the skeletons, where the
+paper reports the skeletons marginally ahead; our Guttman implementation
+builds cleaner horizontal slabs than the 1991 original.
+"""
+
+import pytest
+
+from repro.bench import FIGURES, INDEX_TYPES, vqar_mean
+
+from .conftest import get_experiment, requires_default_scale, search_batch
+
+
+@pytest.fixture(scope="module")
+def experiment():
+    return get_experiment("graph3")
+
+
+@pytest.mark.parametrize("kind", INDEX_TYPES)
+def test_search_timing(benchmark, experiment, kind):
+    _, indexes = experiment
+    found = benchmark(search_batch(indexes[kind], qar=0.01))
+    assert found >= 0
+
+
+@requires_default_scale
+def test_many_spanning_segments_in_skeleton_sr(benchmark, experiment):
+    result, indexes = experiment
+    benchmark(search_batch(indexes["Skeleton SR-Tree"], qar=0.0001))
+    n = len(indexes["Skeleton SR-Tree"])
+    # Exponential lengths put a meaningful share of segments above leaves.
+    assert indexes["Skeleton SR-Tree"].stats.spanning_placements > 0.01 * n
+    # The non-skeleton SR-Tree finds almost no spanning opportunities.
+    assert indexes["SR-Tree"].stats.spanning_placements < 0.01 * n
+
+
+@requires_default_scale
+def test_skeleton_sr_beats_skeleton_r_in_vqar(benchmark, experiment):
+    result, indexes = experiment
+    benchmark(search_batch(indexes["Skeleton R-Tree"], qar=0.0001))
+    assert vqar_mean(result, "Skeleton SR-Tree") < vqar_mean(result, "Skeleton R-Tree")
+    # Strongest at the most vertical point.
+    assert result.at("Skeleton SR-Tree", 0.0001) < result.at("Skeleton R-Tree", 0.0001)
+
+
+@requires_default_scale
+def test_skeletons_dominate_vqar(benchmark, experiment):
+    result, indexes = experiment
+    benchmark(search_batch(indexes["R-Tree"], qar=0.0001))
+    assert vqar_mean(result, "Skeleton SR-Tree") < 0.6 * vqar_mean(result, "SR-Tree")
+    assert vqar_mean(result, "Skeleton R-Tree") < 0.6 * vqar_mean(result, "R-Tree")
+
+
+@requires_default_scale
+def test_sr_vs_r_difference_is_slight(benchmark, experiment):
+    result, indexes = experiment
+    benchmark(search_batch(indexes["SR-Tree"], qar=1.0))
+    assert vqar_mean(result, "SR-Tree") == pytest.approx(
+        vqar_mean(result, "R-Tree"), rel=0.05
+    )

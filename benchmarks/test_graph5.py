@@ -1,0 +1,68 @@
+"""G5 — Graph 5: rectangle data, uniform edge lengths & centroids (R1).
+
+Paper claims reproduced here (Section 5.1):
+* SR variants identical to R variants — the small uniform rectangles
+  produce no spanning rectangles at all;
+* skeleton indexes outperform non-skeleton indexes;
+* performance is nearly symmetric over the QAR range (rectangle data has
+  no preferred axis).
+"""
+
+import pytest
+
+from repro.bench import FIGURES, INDEX_TYPES, hqar_mean, vqar_mean
+
+from .conftest import get_experiment, requires_default_scale, search_batch
+
+
+@pytest.fixture(scope="module")
+def experiment():
+    return get_experiment("graph5")
+
+
+@pytest.mark.parametrize("kind", INDEX_TYPES)
+def test_search_timing(benchmark, experiment, kind):
+    _, indexes = experiment
+    found = benchmark(search_batch(indexes[kind], qar=1.0))
+    assert found >= 0
+
+
+@requires_default_scale
+def test_no_spanning_rectangles(benchmark, experiment):
+    result, indexes = experiment
+    benchmark(search_batch(indexes["SR-Tree"], qar=1.0))
+    n = len(indexes["SR-Tree"])
+    assert indexes["SR-Tree"].stats.spanning_placements < 0.001 * n
+    assert indexes["Skeleton SR-Tree"].stats.spanning_placements < 0.001 * n
+    assert vqar_mean(result, "SR-Tree") == pytest.approx(
+        vqar_mean(result, "R-Tree"), rel=0.05
+    )
+    assert vqar_mean(result, "Skeleton SR-Tree") == pytest.approx(
+        vqar_mean(result, "Skeleton R-Tree"), rel=0.05
+    )
+
+
+@requires_default_scale
+def test_skeletons_outperform(benchmark, experiment):
+    result, indexes = experiment
+    benchmark(search_batch(indexes["Skeleton R-Tree"], qar=100.0))
+    overall = lambda kind: (vqar_mean(result, kind) + hqar_mean(result, kind)) / 2
+    assert overall("Skeleton R-Tree") < overall("R-Tree")
+    # Strongest where the non-skeleton structure is weakest.
+    assert hqar_mean(result, "Skeleton R-Tree") < 0.8 * hqar_mean(result, "R-Tree")
+
+
+@requires_default_scale
+def test_nearly_symmetric_over_qar(benchmark, experiment):
+    result, indexes = experiment
+    benchmark(search_batch(indexes["Skeleton R-Tree"], qar=0.0001))
+    # Rectangle data: mirrored QAR points should cost about the same.  The
+    # pre-partitioned skeleton is tightly symmetric; the organic R-Tree
+    # accumulates a mild directional bias from its split history, so it
+    # only gets a coarse bound.
+    lo = result.at("Skeleton R-Tree", 0.0001)
+    hi = result.at("Skeleton R-Tree", 10_000.0)
+    assert lo == pytest.approx(hi, rel=0.35)
+    lo_r = result.at("R-Tree", 0.0001)
+    hi_r = result.at("R-Tree", 10_000.0)
+    assert max(lo_r, hi_r) < 2.5 * min(lo_r, hi_r)

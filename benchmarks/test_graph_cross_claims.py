@@ -1,0 +1,37 @@
+"""Cross-graph claims from Section 5.1 that compare *pairs* of graphs:
+
+"As one would expect, the experiments involving exponentially distributed
+data always had lower average node accesses per search than the ones
+involving uniformly distributed data, since the search rectangles were
+uniformly distributed over the data domain."
+
+Compares Graph 1 vs Graph 2 (uniform vs exponential Y, uniform lengths)
+and Graph 3 vs Graph 4 (same, exponential lengths) on the session-cached
+experiments.
+"""
+
+import pytest
+
+from repro.bench import INDEX_TYPES
+
+from .conftest import get_experiment, requires_default_scale, search_batch
+
+
+def _mean_over_sweep(result, kind):
+    return sum(result.series[kind]) / len(result.series[kind])
+
+
+@pytest.mark.parametrize(
+    ("uniform_graph", "exponential_graph"),
+    [("graph1", "graph2"), ("graph3", "graph4")],
+)
+@requires_default_scale
+def test_exponential_y_lowers_node_accesses(benchmark, uniform_graph, exponential_graph):
+    uniform_result, uniform_indexes = get_experiment(uniform_graph)
+    exp_result, _ = get_experiment(exponential_graph)
+    benchmark(search_batch(uniform_indexes["Skeleton SR-Tree"], qar=0.1))
+    for kind in INDEX_TYPES:
+        uniform_mean = _mean_over_sweep(uniform_result, kind)
+        exp_mean = _mean_over_sweep(exp_result, kind)
+        print(f"\n{kind}: uniform-Y mean={uniform_mean:.1f}, exp-Y mean={exp_mean:.1f}")
+        assert exp_mean < uniform_mean, (kind, uniform_graph, exponential_graph)

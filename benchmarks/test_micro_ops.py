@@ -1,0 +1,57 @@
+"""M1 — micro-benchmarks: insert and search throughput of the four index
+types (pytest-benchmark timings, not a paper figure)."""
+
+import pytest
+
+from repro.bench import INDEX_TYPES, build_index
+from repro.workloads import dataset_I1, dataset_I3, query_rectangles
+
+N = 5000
+
+
+@pytest.fixture(scope="module", params=["I1", "I3"])
+def workload(request):
+    gen = {"I1": dataset_I1, "I3": dataset_I3}[request.param]
+    return request.param, gen(N, seed=70)
+
+
+@pytest.mark.parametrize("kind", INDEX_TYPES)
+def test_insert_throughput(benchmark, workload, kind):
+    name, data = workload
+
+    def build():
+        return build_index(kind, data)
+
+    index = benchmark.pedantic(build, rounds=1, iterations=1)
+    assert len(index) == N
+
+
+@pytest.mark.parametrize("kind", INDEX_TYPES)
+def test_search_throughput(benchmark, workload, kind):
+    name, data = workload
+    index = build_index(kind, data)
+    queries = query_rectangles(1.0, 50, seed=71)
+
+    def run():
+        found = 0
+        for q in queries:
+            found += len(index.search(q))
+        return found
+
+    found = benchmark(run)
+    assert found >= 0
+
+
+@pytest.mark.parametrize("kind", ["R-Tree", "SR-Tree"])
+def test_delete_throughput(benchmark, kind):
+    data = dataset_I3(1000, seed=72)
+
+    def build_and_delete():
+        index = build_index(kind, data)
+        removed = 0
+        for rid, rect in zip(range(1, 501), data):
+            removed += 1 if index.delete(rid, hint=rect) else 0
+        return removed
+
+    removed = benchmark.pedantic(build_and_delete, rounds=1, iterations=1)
+    assert removed == 500

@@ -1,0 +1,46 @@
+"""T2 — in-text claim, Section 5.1:
+
+"experiments involving rectangle data with exponential centroid
+distributions and both uniform and exponential interval length
+distributions were performed, and the results were qualitatively similar to
+those shown in Graphs 5 and 6, respectively."
+
+Runs the two exponential-centroid rectangle variants and checks the
+qualitative Graph 5 property that survives at bench scale: skeleton indexes
+beat the non-skeleton R-Tree in the VQAR range.
+"""
+
+import pytest
+
+from repro.bench import format_table, run_experiment, vqar_mean
+from repro.workloads import rectangle_dataset
+
+N = 8000
+KINDS = ("R-Tree", "Skeleton R-Tree", "Skeleton SR-Tree")
+
+
+@pytest.fixture(scope="module", params=["uniform", "exponential"])
+def variant_result(request):
+    data = rectangle_dataset(N, length_dist=request.param, centroid="exponential", seed=95)
+    result = run_experiment(
+        f"rect-expcentroid-{request.param}",
+        data,
+        index_types=KINDS,
+        queries_per_qar=25,
+    )
+    print()
+    print(format_table(result))
+    return request.param, result
+
+
+def test_exponential_centroid_rectangles(benchmark, variant_result):
+    length_dist, result = variant_result
+
+    def summarize():
+        return {k: vqar_mean(result, k) for k in KINDS}
+
+    means = benchmark.pedantic(summarize, rounds=1, iterations=1)
+    print(f"\n{length_dist} edges, exponential centroids: {means}")
+    # Qualitatively like Graphs 5/6: pre-partitioned indexes handle the
+    # clustered data at least as well as the organic R-Tree in VQAR.
+    assert means["Skeleton SR-Tree"] <= means["R-Tree"] * 1.05

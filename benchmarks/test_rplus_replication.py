@@ -1,0 +1,93 @@
+"""A5 — the R+-Tree replication claim (paper Section 2.1.1):
+
+"In the case of R+-Trees which partition data in order to avoid node
+overlap, by storing 'long' intervals in higher-level nodes the lower-level
+nodes would have fewer replicated index records (fewer partitioned
+intervals).  Storing a 'long' interval in a higher level node as a single
+index record is more space efficient."
+
+Measures the replication factor (stored fragments per logical record) and
+the leaf-fragment count of long records, R+-Tree vs Segment R+-Tree, on
+exponential-length segments with leaf cells fine relative to the interval
+lengths.
+"""
+
+import pytest
+
+from repro import IndexConfig, RPlusTree, SRPlusTree, check_rplus
+from repro.workloads import DOMAIN, dataset_I3, query_rectangles
+
+N = 6000
+#: Fine-grained leaves: the replication saving needs cells narrower than
+#: the long intervals (see EXPERIMENTS.md on scale dependence).
+CONFIG = IndexConfig(leaf_node_bytes=404)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return dataset_I3(N, seed=97)
+
+
+@pytest.fixture(scope="module")
+def trees(dataset):
+    out = {}
+    for cls in (RPlusTree, SRPlusTree):
+        tree = cls(CONFIG, domain=DOMAIN)
+        for i, rect in enumerate(dataset):
+            tree.insert(rect, payload=i)
+        check_rplus(tree)
+        out[cls.__name__] = tree
+    return out
+
+
+def _long_leaf_fragments(tree, dataset, threshold=5_000.0):
+    long_ids = {i + 1 for i, r in enumerate(dataset) if r.extent(0) > threshold}
+    return sum(
+        sum(1 for e in node.data_entries if e.record_id in long_ids)
+        for node in tree.iter_nodes()
+    )
+
+
+def test_replication_factor(benchmark, trees, dataset):
+    def measure():
+        return {name: tree.replication_factor() for name, tree in trees.items()}
+
+    factors = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print(f"\nreplication factors: {factors}")
+    assert factors["SRPlusTree"] < factors["RPlusTree"]
+
+
+def test_long_records_leave_the_leaves(benchmark, trees, dataset):
+    def measure():
+        return {
+            name: _long_leaf_fragments(tree, dataset) for name, tree in trees.items()
+        }
+
+    fragments = benchmark.pedantic(measure, rounds=1, iterations=1)
+    spanning = trees["SRPlusTree"].stats.spanning_placements
+    print(f"\nleaf fragments of long records: {fragments}; spanning={spanning}")
+    assert fragments["SRPlusTree"] < fragments["RPlusTree"]
+    assert spanning > 0
+
+
+def test_search_node_accesses(benchmark, trees):
+    queries = [
+        q
+        for qar in (0.001, 1.0, 1000.0)
+        for q in query_rectangles(qar, 20, seed=98)
+    ]
+
+    def run():
+        out = {}
+        for name, tree in trees.items():
+            tree.stats.reset_search_counters()
+            for q in queries:
+                tree.search(q)
+            out[name] = tree.stats.avg_nodes_per_search
+        return out
+
+    averages = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\navg nodes/search: {averages}")
+    # Both partitioned indexes answer the same queries; results must agree.
+    q = queries[0]
+    assert trees["RPlusTree"].search_ids(q) == trees["SRPlusTree"].search_ids(q)

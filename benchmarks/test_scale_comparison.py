@@ -1,0 +1,51 @@
+"""T1 — in-text claim, Section 5.1:
+
+"The results of the experiments involving data sets of size 100K for each
+of the six distributions were qualitatively similar to those in Graphs 1-6,
+and differed only in that the magnitudes of the results were smaller."
+
+Runs I3 at two scales (half and full bench scale, mirroring the paper's
+100K vs 200K) and checks both parts: same ordering, smaller magnitudes.
+"""
+
+import pytest
+
+from repro.bench import default_scale, format_table, run_experiment, vqar_mean
+from repro.workloads import dataset_I3
+
+KINDS = ("R-Tree", "Skeleton SR-Tree")
+
+
+@pytest.fixture(scope="module")
+def two_scale_results():
+    full = default_scale() // 2  # keep this module affordable
+    half = full // 2
+    results = {}
+    for n in (half, full):
+        results[n] = run_experiment(
+            f"I3@{n}",
+            dataset_I3(n, seed=94),
+            index_types=KINDS,
+            queries_per_qar=25,
+        )
+    return half, full, results
+
+
+def test_smaller_scale_is_qualitatively_similar(benchmark, two_scale_results):
+    half, full, results = two_scale_results
+
+    def replay():
+        return {
+            n: {k: vqar_mean(results[n], k) for k in KINDS} for n in (half, full)
+        }
+
+    means = benchmark.pedantic(replay, rounds=1, iterations=1)
+    for n in (half, full):
+        print()
+        print(format_table(results[n]))
+    # Same ordering at both scales: the skeleton index wins the VQAR range.
+    for n in (half, full):
+        assert means[n]["Skeleton SR-Tree"] < means[n]["R-Tree"]
+    # Smaller magnitudes at the smaller scale, for every index type.
+    for kind in KINDS:
+        assert means[half][kind] < means[full][kind]

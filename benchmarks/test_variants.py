@@ -1,0 +1,98 @@
+"""A4 — variant study: the Segment Index tactics on other members of the
+"class of database indexing structures" (paper Sections 1-2).
+
+Compares, on the exponential-length segment workload (I3):
+
+* R*-Tree vs Segment R*-Tree — the tactics transplanted onto BECK90;
+* packed (bulk-loaded) R-Tree [ROUS85] vs the Skeleton SR-Tree — the
+  static packing alternative Section 4 contrasts with skeletons;
+* the paper's own four index types as reference points.
+"""
+
+import pytest
+
+from repro import IndexConfig, RStarTree, SRStarTree, measure_index, pack_tree
+from repro.bench import build_index, run_experiment, vqar_mean
+from repro.workloads import dataset_I3
+
+N = 8000
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return dataset_I3(N, seed=96)
+
+
+def _sweep(index, data, label):
+    result = run_experiment(
+        label,
+        data,
+        index_types=(label,),
+        queries_per_qar=20,
+        indexes={label: index},
+    )
+    return vqar_mean(result, label)
+
+
+@pytest.mark.parametrize("cls", [RStarTree, SRStarTree])
+def test_rstar_variants(benchmark, dataset, cls):
+    def build():
+        tree = cls(IndexConfig())
+        for i, rect in enumerate(dataset):
+            tree.insert(rect, payload=i)
+        return tree
+
+    tree = benchmark.pedantic(build, rounds=1, iterations=1)
+    vqar = _sweep(tree, dataset, cls.__name__)
+    metrics = measure_index(tree)
+    print(
+        f"\n{cls.__name__}: VQAR={vqar:.1f} nodes={tree.node_count()} "
+        f"spanning={tree.stats.spanning_placements} "
+        f"leaf_overlap={metrics.level(0).overlap_fraction:.3f}"
+    )
+    assert len(tree) == N
+
+
+def test_segment_tactics_help_rstar_too(benchmark, dataset):
+    """The spanning tactic must not be R-Tree specific: SR* stores a
+    meaningful number of records above the leaves and does not lose to
+    the plain R* in the VQAR range."""
+
+    def build_both():
+        rstar = RStarTree(IndexConfig())
+        srstar = SRStarTree(IndexConfig())
+        for i, rect in enumerate(dataset):
+            rstar.insert(rect, payload=i)
+            srstar.insert(rect, payload=i)
+        return rstar, srstar
+
+    rstar, srstar = benchmark.pedantic(build_both, rounds=1, iterations=1)
+    assert srstar.stats.spanning_placements > 0
+    v_rstar = _sweep(rstar, dataset, "R*-Tree")
+    v_srstar = _sweep(srstar, dataset, "SR*-Tree")
+    print(f"\nR*: VQAR={v_rstar:.1f}  SR*: VQAR={v_srstar:.1f}")
+    assert v_srstar <= v_rstar * 1.10
+
+
+def test_packed_vs_skeleton(benchmark, dataset):
+    """Section 4's trade-off: packing needs all data up front and wins on
+    fill; the skeleton stays dynamic and must stay competitive on search."""
+
+    def build_both():
+        packed = pack_tree([(r, i) for i, r in enumerate(dataset)])
+        skeleton = build_index("Skeleton SR-Tree", dataset)
+        return packed, skeleton
+
+    packed, skeleton = benchmark.pedantic(build_both, rounds=1, iterations=1)
+    v_packed = _sweep(packed, dataset, "Packed R-Tree")
+    v_skeleton = _sweep(skeleton, dataset, "Skeleton SR-Tree")
+    fill_packed = measure_index(packed).level(0).mean_fill
+    fill_skeleton = measure_index(skeleton).level(0).mean_fill
+    print(
+        f"\npacked: VQAR={v_packed:.1f} fill={fill_packed:.2f} | "
+        f"skeleton: VQAR={v_skeleton:.1f} fill={fill_skeleton:.2f}"
+    )
+    assert fill_packed > fill_skeleton  # packing's inherent advantage
+    # The dynamic skeleton must stay within a reasonable factor of the
+    # fully-informed static structure.
+    assert v_skeleton <= v_packed * 2.0

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""The paper's Section 1 contrast, measured: memory-resident Computational
+Geometry structures vs the disk-oriented Segment Index on 1-D intervals.
+
+Builds the Segment Tree, Interval Tree, Priority Search Tree, and a 1-D
+SR-Tree over the same skewed interval set, verifies they agree on stabbing
+queries, and reports build time, query time, and the SR-Tree's node
+accesses (the thing the CG structures cannot bound when data pages live on
+disk — the gap the paper fills).
+"""
+
+import random
+import time
+
+from repro import IndexConfig, SRTree, interval
+from repro.cg import IntervalTree, PrioritySearchTree, SegmentTree
+
+N = 20_000
+QUERIES = 2_000
+
+
+def make_intervals(n: int, seed: int = 0):
+    rng = random.Random(seed)
+    items = []
+    for i in range(n):
+        lo = rng.uniform(0, 1_000_000)
+        # Skewed lengths: mostly short, a heavy exponential tail.
+        length = rng.uniform(0, 50) if rng.random() > 0.1 else rng.expovariate(1 / 50_000)
+        items.append((lo, lo + length, i))
+    return items
+
+
+def main() -> None:
+    items = make_intervals(N)
+    rng = random.Random(1)
+    stabs = [rng.uniform(0, 1_050_000) for _ in range(QUERIES)]
+
+    structures = {}
+
+    started = time.perf_counter()
+    structures["Segment Tree (Bentley)"] = SegmentTree(items)
+    seg_build = time.perf_counter() - started
+
+    started = time.perf_counter()
+    structures["Interval Tree"] = IntervalTree(items)
+    int_build = time.perf_counter() - started
+
+    started = time.perf_counter()
+    structures["Priority Search Tree"] = PrioritySearchTree(items)
+    pst_build = time.perf_counter() - started
+
+    started = time.perf_counter()
+    sr = SRTree(IndexConfig(dims=1))
+    for lo, hi, payload in items:
+        sr.insert(interval(lo, hi), payload=payload)
+    sr_build = time.perf_counter() - started
+    builds = {
+        "Segment Tree (Bentley)": seg_build,
+        "Interval Tree": int_build,
+        "Priority Search Tree": pst_build,
+        "SR-Tree (1-D, paged)": sr_build,
+    }
+
+    # Cross-validate on a sample before timing.
+    for x in stabs[:200]:
+        want = {p for _, _, p in structures["Interval Tree"].stab(x)}
+        for name, s in structures.items():
+            got = {p for _, _, p in s.stab(x)}
+            assert got == want, name
+        assert {p for _, p in sr.stab(x)} == want
+
+    print(f"{N} intervals (skewed lengths), {QUERIES} stabbing queries\n")
+    print(f"{'structure':<26}{'build (s)':>10}{'query (ms total)':>18}{'hits':>10}")
+    for name, s in structures.items():
+        started = time.perf_counter()
+        hits = sum(len(s.stab(x)) for x in stabs)
+        elapsed = (time.perf_counter() - started) * 1000
+        print(f"{name:<26}{builds[name]:>10.2f}{elapsed:>18.1f}{hits:>10}")
+    sr.stats.reset_search_counters()
+    started = time.perf_counter()
+    hits = sum(len(sr.stab(x)) for x in stabs)
+    elapsed = (time.perf_counter() - started) * 1000
+    print(f"{'SR-Tree (1-D, paged)':<26}{builds['SR-Tree (1-D, paged)']:>10.2f}{elapsed:>18.1f}{hits:>10}")
+    print(
+        f"\nSR-Tree avg node (page) accesses per stab: "
+        f"{sr.stats.avg_nodes_per_search:.1f} of {sr.node_count()} pages "
+        f"({sr.stats.spanning_placements} long intervals held as spanning records)"
+    )
+    print(
+        "\nThe CG structures are pointer-chasing binary trees: fine in RAM,\n"
+        "but every hop is a potential disk read at database scale.  The\n"
+        "SR-Tree's multi-way pages keep that bounded - the paper's point."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's Graphs 1-6 end to end.
+
+Builds the four index types (R-Tree, SR-Tree, Skeleton R-Tree, Skeleton
+SR-Tree) on each of the six input distributions (I1-I4, R1-R2) and runs the
+QAR sweep, printing the series each graph plots: average index nodes
+accessed per search against log10 of the query aspect ratio.
+
+Scale control (the paper uses 200 000 tuples; pure Python is slower than
+1991 C, so the default here is 20 000):
+
+    python examples/reproduce_graphs.py              # 20K tuples, fast
+    REPRO_SCALE=50000 python examples/reproduce_graphs.py
+    REPRO_FULL=1 python examples/reproduce_graphs.py # the paper's 200K
+
+Pass graph ids to run a subset:
+
+    python examples/reproduce_graphs.py graph3 graph6
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.bench import (
+    FIGURES,
+    ascii_plot,
+    default_scale,
+    format_table,
+    run_experiment,
+    to_csv,
+)
+
+
+def main(argv: list[str]) -> int:
+    wanted = argv or list(FIGURES)
+    unknown = [g for g in wanted if g not in FIGURES]
+    if unknown:
+        print(f"unknown graphs: {unknown}; available: {list(FIGURES)}")
+        return 1
+
+    n = default_scale()
+    queries = 100 if n >= 100_000 else 50
+    print(f"# Segment Indexes (SIGMOD 1991) - Graphs {wanted} at n={n}")
+    for graph_id in wanted:
+        spec = FIGURES[graph_id]
+        print(f"\n## {graph_id}: {spec.title}")
+        started = time.perf_counter()
+        dataset = spec.dataset(n, 42)
+        result = run_experiment(graph_id, dataset, queries_per_qar=queries)
+        elapsed = time.perf_counter() - started
+        print(format_table(result))
+        print()
+        print(ascii_plot(result))
+        print(f"(total {elapsed:.1f}s; builds "
+              + ", ".join(f"{k}={v:.1f}s" for k, v in result.build_seconds.items())
+              + ")")
+        for claim in spec.claims:
+            print(f"  paper: {claim}")
+        csv_path = f"/tmp/repro_{graph_id}_{n}.csv"
+        with open(csv_path, "w") as fh:
+            fh.write(to_csv(result) + "\n")
+        print(f"  series written to {csv_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,85 @@
+"""repro — Segment Indexes for multi-dimensional interval data.
+
+A full reproduction of Kolovson & Stonebraker, *Segment Indexes: Dynamic
+Indexing Techniques for Multi-Dimensional Interval Data* (SIGMOD 1991):
+the R-Tree baseline, the SR-Tree (spanning records, cutting, demotion,
+promotion, per-level node sizes), Skeleton pre-construction with
+distribution prediction and coalescing, plus the workload generators,
+experiment harness, and motivating applications (historical store, rule
+locks) from the paper.
+
+Quickstart::
+
+    from repro import SRTree, Rect, segment
+
+    tree = SRTree()
+    tree.insert(segment(1985.0, 1991.0, 30_000.0), payload="alice")
+    tree.search(Rect((1990.0, 0.0), (1990.5, 50_000.0)))
+"""
+
+from .core import (
+    AccessStats,
+    IndexConfig,
+    IndexMetrics,
+    Rect,
+    RPlusTree,
+    RStarTree,
+    RTree,
+    SearchStats,
+    SkeletonRTree,
+    SkeletonSRTree,
+    SRPlusTree,
+    SRStarTree,
+    SRTree,
+    check_index,
+    check_rplus,
+    interval,
+    measure_index,
+    pack_tree,
+    point,
+    segment,
+    union_all,
+)
+from .exceptions import (
+    CapacityError,
+    IndexStructureError,
+    ReproError,
+    StorageError,
+    WorkloadError,
+)
+from .histogram import DistributionPredictor, EquiDepthHistogram, uniform_histogram
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccessStats",
+    "IndexConfig",
+    "IndexMetrics",
+    "Rect",
+    "RPlusTree",
+    "RStarTree",
+    "RTree",
+    "SearchStats",
+    "SkeletonRTree",
+    "SkeletonSRTree",
+    "SRPlusTree",
+    "SRStarTree",
+    "SRTree",
+    "check_index",
+    "check_rplus",
+    "interval",
+    "measure_index",
+    "pack_tree",
+    "point",
+    "segment",
+    "union_all",
+    "CapacityError",
+    "IndexStructureError",
+    "ReproError",
+    "StorageError",
+    "WorkloadError",
+    "DistributionPredictor",
+    "EquiDepthHistogram",
+    "uniform_histogram",
+    "__version__",
+]

@@ -1,0 +1,33 @@
+"""Experiment harness: Section 5's protocol, figures, and reports."""
+
+from .experiment import (
+    INDEX_TYPES,
+    PREDICTION_FRACTION,
+    ExperimentResult,
+    build_index,
+    default_scale,
+    run_experiment,
+)
+from .cost_model import expected_node_accesses, predict_qar_series
+from .figures import FIGURES, FigureSpec, hqar_mean, vqar_mean
+from .plot import ascii_plot
+from .report import format_table, print_result, to_csv
+
+__all__ = [
+    "INDEX_TYPES",
+    "PREDICTION_FRACTION",
+    "ExperimentResult",
+    "build_index",
+    "default_scale",
+    "run_experiment",
+    "FIGURES",
+    "FigureSpec",
+    "ascii_plot",
+    "expected_node_accesses",
+    "predict_qar_series",
+    "hqar_mean",
+    "vqar_mean",
+    "format_table",
+    "print_result",
+    "to_csv",
+]

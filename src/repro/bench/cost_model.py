@@ -1,0 +1,77 @@
+"""Analytical cost model: expected node accesses per search.
+
+For a search rectangle of width w and height h whose centroid is uniform
+over the domain (the paper's query model), a node with region R is visited
+exactly when the centroid falls inside R expanded by (w/2, h/2) — the
+Minkowski sum — clipped to the domain.  Summing that probability over all
+non-root nodes (the root is always read) gives the *expected* number of
+node accesses per search:
+
+    E[accesses] = 1 + sum_nodes  area(expand(R, w/2, h/2) ∩ domain) / area(domain)
+
+This is exact for the R-Tree family (a query intersecting a node's region
+always reaches it, because ancestors' regions contain it), and it lets the
+benchmarks *explain* the measured graphs from structure alone: feed an
+index and a QAR sweep in, get the predicted curve out.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from ..core.geometry import Rect
+from ..core.rtree import RTree
+from ..exceptions import WorkloadError
+from ..workloads.distributions import DOMAIN_HIGH
+from ..workloads.queries import PAPER_QARS, QUERY_AREA
+
+__all__ = ["expected_node_accesses", "predict_qar_series"]
+
+
+def expected_node_accesses(
+    tree: RTree,
+    query_width: float,
+    query_height: float,
+    domain: Rect | None = None,
+) -> float:
+    """Expected nodes accessed by one random query of the given shape."""
+    if query_width < 0 or query_height < 0:
+        raise WorkloadError("query extents must be non-negative")
+    if domain is None:
+        domain = Rect((0.0, 0.0), (DOMAIN_HIGH, DOMAIN_HIGH))
+    domain_area = domain.area
+    if domain_area <= 0:
+        raise WorkloadError("domain must have positive area")
+    half_w = query_width / 2.0
+    half_h = query_height / 2.0
+    expected = 1.0  # the root is always read
+    for node in tree.iter_nodes():
+        if node.parent is None:
+            continue
+        region = node.parent.branch_for_child(node).rect
+        expanded = Rect(
+            (region.lows[0] - half_w, region.lows[1] - half_h),
+            (region.highs[0] + half_w, region.highs[1] + half_h),
+        )
+        clipped = expanded.intersection(domain)
+        if clipped is not None:
+            expected += clipped.area / domain_area
+    return expected
+
+
+def predict_qar_series(
+    tree: RTree,
+    qars: Sequence[float] = PAPER_QARS,
+    area: float = QUERY_AREA,
+    domain: Rect | None = None,
+) -> list[float]:
+    """The model's prediction of one index's curve in the paper's graphs."""
+    series = []
+    for qar in qars:
+        if qar <= 0:
+            raise WorkloadError("QAR must be positive")
+        width = math.sqrt(area * qar)
+        height = math.sqrt(area / qar)
+        series.append(expected_node_accesses(tree, width, height, domain))
+    return series

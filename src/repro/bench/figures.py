@@ -1,0 +1,110 @@
+"""Definitions of the paper's evaluation figures (Graphs 1-6).
+
+Each figure is a dataset distribution run through the standard protocol.
+``EXPECTED_SHAPES`` encodes the qualitative claims of Section 5.1 that a
+reproduction should preserve (who wins, where), which the benchmark suite
+asserts; exact magnitudes depend on the substrate and are recorded in
+EXPERIMENTS.md instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..core.geometry import Rect
+from ..workloads.generators import (
+    dataset_I1,
+    dataset_I2,
+    dataset_I3,
+    dataset_I4,
+    dataset_R1,
+    dataset_R2,
+)
+from .experiment import ExperimentResult
+
+__all__ = ["FigureSpec", "FIGURES", "vqar_mean", "hqar_mean"]
+
+
+@dataclass(frozen=True)
+class FigureSpec:
+    """One of the paper's graphs: workload + descriptive text."""
+
+    figure_id: str
+    title: str
+    dataset: Callable[[int, int], Sequence[Rect]]
+    claims: tuple[str, ...]
+
+
+FIGURES: dict[str, FigureSpec] = {
+    "graph1": FigureSpec(
+        "graph1",
+        "Line segment data, uniform length & uniform Y (I1)",
+        dataset_I1,
+        (
+            "SR-Tree ~= R-Tree and Skeleton SR-Tree ~= Skeleton R-Tree "
+            "(short intervals -> few spanning records)",
+            "Skeleton indexes beat non-skeleton indexes strongly in the "
+            "VQAR range",
+            "Skeleton indexes also ahead in the HQAR range (no cross-over)",
+        ),
+    ),
+    "graph2": FigureSpec(
+        "graph2",
+        "Line segment data, uniform length & exponential Y (I2)",
+        dataset_I2,
+        (
+            "Skeleton indexes beat non-skeleton indexes in the VQAR range",
+            "Cross-over: non-skeleton indexes slightly ahead at QAR > 1000",
+        ),
+    ),
+    "graph3": FigureSpec(
+        "graph3",
+        "Line segment data, exponential length & uniform Y (I3)",
+        dataset_I3,
+        (
+            "Skeleton SR-Tree substantially beats Skeleton R-Tree in the "
+            "VQAR range (many spanning segments)",
+            "Skeleton indexes only marginally ahead in the HQAR range",
+        ),
+    ),
+    "graph4": FigureSpec(
+        "graph4",
+        "Line segment data, exponential length & exponential Y (I4)",
+        dataset_I4,
+        (
+            "Skeleton SR-Tree substantially beats Skeleton R-Tree in the "
+            "VQAR range",
+            "Same cross-over as Graph 2 in the very high HQAR range",
+        ),
+    ),
+    "graph5": FigureSpec(
+        "graph5",
+        "Rectangle data, uniform edge lengths (R1)",
+        dataset_R1,
+        (
+            "Skeleton indexes greatly outperform non-skeleton indexes",
+            "Nearly symmetric performance over the QAR range",
+            "SR variants ~= R variants (no spanning rectangles)",
+        ),
+    ),
+    "graph6": FigureSpec(
+        "graph6",
+        "Rectangle data, exponential edge lengths (R2)",
+        dataset_R2,
+        (
+            "Skeleton SR-Tree superior to all other three indexes",
+            "Skeleton R-Tree improves on both non-skeleton indexes",
+        ),
+    ),
+}
+
+
+def vqar_mean(result: ExperimentResult, index_type: str) -> float:
+    """Mean accesses over the VQAR range (log QAR < 0, Section 5.1)."""
+    return result.mean_over(index_type, lambda q: q < 1.0)
+
+
+def hqar_mean(result: ExperimentResult, index_type: str) -> float:
+    """Mean accesses over the HQAR range (log QAR > 0)."""
+    return result.mean_over(index_type, lambda q: q > 1.0)

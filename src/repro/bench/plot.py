@@ -1,0 +1,83 @@
+"""ASCII rendering of experiment results — the paper's graphs in a terminal.
+
+Renders an :class:`~repro.bench.experiment.ExperimentResult` the way the
+paper plots it: Y = average index nodes accessed per search (optionally on
+a log scale, since the series span two orders of magnitude), X = log10 of
+the query aspect ratio, one glyph per index type.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .experiment import ExperimentResult
+
+__all__ = ["ascii_plot"]
+
+_GLYPHS = "ox+*#@"
+
+
+def ascii_plot(
+    result: ExperimentResult,
+    width: int = 72,
+    height: int = 20,
+    log_y: bool = True,
+) -> str:
+    """Render the per-QAR series as an ASCII chart.
+
+    >>> from repro.bench.experiment import ExperimentResult
+    >>> r = ExperimentResult("demo", 10, (0.1, 1.0, 10.0),
+    ...                      {"A": [10, 5, 10], "B": [4, 2, 4]})
+    >>> print(ascii_plot(r, width=30, height=6))  # doctest: +ELLIPSIS
+    demo...
+    """
+    kinds = list(result.series)
+    xs = [math.log10(q) for q in result.qars]
+    all_values = [v for series in result.series.values() for v in series]
+    y_lo, y_hi = min(all_values), max(all_values)
+    if log_y:
+        y_lo = math.log10(max(y_lo, 0.1))
+        y_hi = math.log10(max(y_hi, 0.1))
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    x_lo, x_hi = min(xs), max(xs)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def place(x: float, y: float, glyph: str) -> None:
+        col = round((x - x_lo) / (x_hi - x_lo) * (width - 1))
+        row = round((y - y_lo) / (y_hi - y_lo) * (height - 1))
+        row = height - 1 - row
+        current = grid[row][col]
+        grid[row][col] = "&" if current not in (" ", glyph) else glyph
+
+    for k, kind in enumerate(kinds):
+        glyph = _GLYPHS[k % len(_GLYPHS)]
+        for x, v in zip(xs, result.series[kind]):
+            y = math.log10(max(v, 0.1)) if log_y else v
+            place(x, y, glyph)
+
+    scale = "log10(nodes/search)" if log_y else "nodes/search"
+    top_label = 10 ** y_hi if log_y else y_hi
+    bottom_label = 10 ** y_lo if log_y else y_lo
+    lines = [f"{result.name}  (n={result.dataset_size}; Y = {scale}; & = overlap)"]
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = f"{top_label:8.1f} |"
+        elif i == height - 1:
+            label = f"{bottom_label:8.1f} |"
+        else:
+            label = "         |"
+        lines.append(label + "".join(row))
+    lines.append("         +" + "-" * width)
+    lines.append(
+        "          "
+        + f"log10(QAR): {x_lo:+.1f} ... {x_hi:+.1f}".center(width)
+    )
+    legend = "  ".join(
+        f"{_GLYPHS[k % len(_GLYPHS)]} {kind}" for k, kind in enumerate(kinds)
+    )
+    lines.append("          " + legend)
+    return "\n".join(lines)

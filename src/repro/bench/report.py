@@ -1,0 +1,46 @@
+"""Human-readable and CSV rendering of experiment results.
+
+The tables print the same series the paper plots: average index nodes
+accessed per search (Y) against log10 of the query aspect ratio (X), one
+column per index type.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TextIO
+
+from .experiment import ExperimentResult
+
+__all__ = ["format_table", "to_csv", "print_result"]
+
+
+def format_table(result: ExperimentResult) -> str:
+    """Fixed-width table matching the paper's graph series."""
+    kinds = list(result.series)
+    header = ["log10(QAR)"] + kinds
+    widths = [max(10, len(h)) + 2 for h in header]
+    lines = [
+        f"{result.name}  (n={result.dataset_size}, "
+        f"{len(result.qars)} QAR points)",
+        "".join(h.rjust(w) for h, w in zip(header, widths)),
+    ]
+    for i, qar in enumerate(result.qars):
+        row = [f"{math.log10(qar):.1f}"]
+        row.extend(f"{result.series[k][i]:.1f}" for k in kinds)
+        lines.append("".join(v.rjust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def to_csv(result: ExperimentResult) -> str:
+    """CSV with one row per QAR point."""
+    kinds = list(result.series)
+    lines = ["qar,log10_qar," + ",".join(kinds)]
+    for i, qar in enumerate(result.qars):
+        values = ",".join(f"{result.series[k][i]:.4f}" for k in kinds)
+        lines.append(f"{qar},{math.log10(qar):.4f},{values}")
+    return "\n".join(lines)
+
+
+def print_result(result: ExperimentResult, stream: TextIO | None = None) -> None:
+    print(format_table(result), file=stream)

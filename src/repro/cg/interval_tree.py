@@ -1,0 +1,142 @@
+"""Centered interval tree (Edelsbrunner) — 1-D stabbing/intersection queries.
+
+One of the main-memory Computational Geometry structures the paper's
+introduction contrasts with disk-oriented indexes.  Built statically over a
+set of closed intervals; answers
+
+* ``stab(x)`` — intervals containing ``x`` — in O(log n + k), and
+* ``query(lo, hi)`` — intervals intersecting ``[lo, hi]`` — in
+  O(log n + k) amortised.
+
+The test suite uses it as an oracle for the 1-D SR-Tree.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from ..exceptions import WorkloadError
+
+__all__ = ["IntervalTree"]
+
+
+class _IntervalNode:
+    __slots__ = ("center", "by_low", "by_high", "left", "right")
+
+    def __init__(self, center: float):
+        self.center = center
+        #: Intervals containing ``center``, sorted ascending by low bound.
+        self.by_low: list[tuple[float, float, Any]] = []
+        #: The same intervals, sorted descending by high bound.
+        self.by_high: list[tuple[float, float, Any]] = []
+        self.left: "_IntervalNode | None" = None
+        self.right: "_IntervalNode | None" = None
+
+
+class IntervalTree:
+    """Static centered interval tree over closed 1-D intervals.
+
+    >>> tree = IntervalTree([(1, 5, "a"), (3, 9, "b"), (7, 8, "c")])
+    >>> sorted(p for _, _, p in tree.stab(4))
+    ['a', 'b']
+    >>> sorted(p for _, _, p in tree.query(6, 7))
+    ['b', 'c']
+    """
+
+    def __init__(self, intervals: Iterable[tuple[float, float, Any]]):
+        items = [(float(lo), float(hi), payload) for lo, hi, payload in intervals]
+        for lo, hi, _ in items:
+            if lo > hi:
+                raise WorkloadError(f"inverted interval [{lo}, {hi}]")
+        if not items:
+            raise WorkloadError("interval tree needs at least one interval")
+        self._size = len(items)
+        self._root = self._build(items)
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    def _build(self, items: list[tuple[float, float, Any]]) -> "_IntervalNode | None":
+        if not items:
+            return None
+        endpoints = sorted(v for lo, hi, _ in items for v in (lo, hi))
+        center = endpoints[len(endpoints) // 2]
+        node = _IntervalNode(center)
+        left_items: list[tuple[float, float, Any]] = []
+        right_items: list[tuple[float, float, Any]] = []
+        here: list[tuple[float, float, Any]] = []
+        for item in items:
+            lo, hi, _ = item
+            if hi < center:
+                left_items.append(item)
+            elif lo > center:
+                right_items.append(item)
+            else:
+                here.append(item)
+        node.by_low = sorted(here, key=lambda it: it[0])
+        node.by_high = sorted(here, key=lambda it: -it[1])
+        node.left = self._build(left_items)
+        node.right = self._build(right_items)
+        return node
+
+    def stab(self, x: float) -> list[tuple[float, float, Any]]:
+        """All intervals containing point ``x``."""
+        x = float(x)
+        results: list[tuple[float, float, Any]] = []
+        node = self._root
+        while node is not None:
+            if x < node.center:
+                for item in node.by_low:  # ascending low bound
+                    if item[0] > x:
+                        break
+                    results.append(item)
+                node = node.left
+            elif x > node.center:
+                for item in node.by_high:  # descending high bound
+                    if item[1] < x:
+                        break
+                    results.append(item)
+                node = node.right
+            else:
+                results.extend(node.by_low)
+                break
+        return results
+
+    def query(self, low: float, high: float) -> list[tuple[float, float, Any]]:
+        """All intervals intersecting the closed interval [low, high]."""
+        low, high = float(low), float(high)
+        if low > high:
+            raise WorkloadError(f"inverted query [{low}, {high}]")
+        results: list[tuple[float, float, Any]] = []
+        self._query(self._root, low, high, results)
+        return results
+
+    def _query(
+        self,
+        node: "_IntervalNode | None",
+        low: float,
+        high: float,
+        results: list[tuple[float, float, Any]],
+    ) -> None:
+        if node is None:
+            return
+        if high < node.center:
+            # Query entirely left of center: of the intervals stored here
+            # only those whose low bound reaches back into the query match.
+            for item in node.by_low:
+                if item[0] > high:
+                    break
+                results.append(item)
+            self._query(node.left, low, high, results)
+        elif low > node.center:
+            for item in node.by_high:
+                if item[1] < low:
+                    break
+                results.append(item)
+            self._query(node.right, low, high, results)
+        else:
+            # Query straddles the center: everything stored here matches.
+            results.extend(node.by_low)
+            self._query(node.left, low, high, results)
+            self._query(node.right, low, high, results)

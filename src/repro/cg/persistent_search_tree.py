@@ -1,0 +1,240 @@
+"""Partially persistent search tree (Sarnak & Tarjan 1986).
+
+The last of the main-memory structures the paper's introduction lists
+([SARN86]): a balanced search tree whose every update produces a new
+*version* while all old versions stay queryable — the classic structure
+behind planar point location and, in the paper's context, the natural
+main-memory answer to "as of time t" historical queries, which is exactly
+what the disk-based Segment Index targets at scale.
+
+Implemented as a path-copying persistent treap: updates are O(log n)
+expected time and copy O(log n) nodes; priorities are a deterministic hash
+of the key so identical logical trees are identical structures.
+
+>>> pst = PersistentSearchTree()
+>>> v1 = pst.insert(10, "ten")
+>>> v2 = pst.insert(20, "twenty")
+>>> v3 = pst.delete(10)
+>>> pst.get(10, version=v2)
+'ten'
+>>> pst.get(10, version=v3) is None
+True
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Iterator
+
+from ..exceptions import WorkloadError
+
+__all__ = ["PersistentSearchTree"]
+
+
+class _TreapNode:
+    __slots__ = ("key", "value", "priority", "left", "right", "size")
+
+    def __init__(self, key, value, priority, left=None, right=None):
+        self.key = key
+        self.value = value
+        self.priority = priority
+        self.left = left
+        self.right = right
+        self.size = 1 + _size(left) + _size(right)
+
+
+def _size(node: "_TreapNode | None") -> int:
+    return node.size if node is not None else 0
+
+
+def _priority(key: Any) -> float:
+    digest = hashlib.blake2b(repr(key).encode(), digest_size=8).digest()
+    return int.from_bytes(digest, "big") / 2.0 ** 64
+
+
+class PersistentSearchTree:
+    """A partially persistent ordered map.
+
+    Every mutating call returns a new version number; queries accept any
+    past version (default: the latest).  Versions share structure, so n
+    updates cost O(n log n) space in total.
+    """
+
+    def __init__(self) -> None:
+        self._roots: list["_TreapNode | None"] = [None]
+
+    # ------------------------------------------------------------------
+    # Versioning
+    # ------------------------------------------------------------------
+    @property
+    def latest_version(self) -> int:
+        return len(self._roots) - 1
+
+    def _root_at(self, version: int | None) -> "_TreapNode | None":
+        if version is None:
+            version = self.latest_version
+        if not 0 <= version < len(self._roots):
+            raise WorkloadError(
+                f"version {version} does not exist (have 0..{self.latest_version})"
+            )
+        return self._roots[version]
+
+    # ------------------------------------------------------------------
+    # Updates (each returns the new version id)
+    # ------------------------------------------------------------------
+    def insert(self, key, value: Any = None) -> int:
+        """Insert or overwrite ``key``; returns the new version."""
+        root = self._insert(self._roots[-1], key, value)
+        self._roots.append(root)
+        return self.latest_version
+
+    def delete(self, key) -> int:
+        """Remove ``key`` (a no-op version is still created if absent)."""
+        root = self._delete(self._roots[-1], key)
+        self._roots.append(root)
+        return self.latest_version
+
+    def _insert(self, node, key, value):
+        if node is None:
+            return _TreapNode(key, value, _priority(key))
+        if key == node.key:
+            return _TreapNode(key, value, node.priority, node.left, node.right)
+        if key < node.key:
+            left = self._insert(node.left, key, value)
+            new = _TreapNode(node.key, node.value, node.priority, left, node.right)
+            if left.priority > new.priority:
+                return self._rotate_right(new)
+            return new
+        right = self._insert(node.right, key, value)
+        new = _TreapNode(node.key, node.value, node.priority, node.left, right)
+        if right.priority > new.priority:
+            return self._rotate_left(new)
+        return new
+
+    def _delete(self, node, key):
+        if node is None:
+            return None
+        if key < node.key:
+            left = self._delete(node.left, key)
+            if left is node.left:
+                return node
+            return _TreapNode(node.key, node.value, node.priority, left, node.right)
+        if key > node.key:
+            right = self._delete(node.right, key)
+            if right is node.right:
+                return node
+            return _TreapNode(node.key, node.value, node.priority, node.left, right)
+        return self._merge(node.left, node.right)
+
+    def _merge(self, left, right):
+        if left is None:
+            return right
+        if right is None:
+            return left
+        if left.priority > right.priority:
+            return _TreapNode(
+                left.key,
+                left.value,
+                left.priority,
+                left.left,
+                self._merge(left.right, right),
+            )
+        return _TreapNode(
+            right.key,
+            right.value,
+            right.priority,
+            self._merge(left, right.left),
+            right.right,
+        )
+
+    @staticmethod
+    def _rotate_right(node):
+        left = node.left
+        new_right = _TreapNode(
+            node.key, node.value, node.priority, left.right, node.right
+        )
+        return _TreapNode(left.key, left.value, left.priority, left.left, new_right)
+
+    @staticmethod
+    def _rotate_left(node):
+        right = node.right
+        new_left = _TreapNode(
+            node.key, node.value, node.priority, node.left, right.left
+        )
+        return _TreapNode(right.key, right.value, right.priority, new_left, right.right)
+
+    # ------------------------------------------------------------------
+    # Queries (any version)
+    # ------------------------------------------------------------------
+    def get(self, key, version: int | None = None) -> Any:
+        node = self._root_at(version)
+        while node is not None:
+            if key == node.key:
+                return node.value
+            node = node.left if key < node.key else node.right
+        return None
+
+    def contains(self, key, version: int | None = None) -> bool:
+        node = self._root_at(version)
+        while node is not None:
+            if key == node.key:
+                return True
+            node = node.left if key < node.key else node.right
+        return False
+
+    def size(self, version: int | None = None) -> int:
+        return _size(self._root_at(version))
+
+    def items(self, version: int | None = None) -> Iterator[tuple[Any, Any]]:
+        """All (key, value) pairs in key order at the given version."""
+        stack = []
+        node = self._root_at(version)
+        while stack or node is not None:
+            while node is not None:
+                stack.append(node)
+                node = node.left
+            node = stack.pop()
+            yield node.key, node.value
+            node = node.right
+
+    def range(self, low, high, version: int | None = None) -> list[tuple[Any, Any]]:
+        """All pairs with ``low <= key <= high`` at the given version."""
+        if low > high:
+            raise WorkloadError(f"inverted range [{low}, {high}]")
+        results: list[tuple[Any, Any]] = []
+        self._range(self._root_at(version), low, high, results)
+        return results
+
+    def _range(self, node, low, high, results) -> None:
+        if node is None:
+            return
+        if node.key > low:
+            self._range(node.left, low, high, results)
+        if low <= node.key <= high:
+            results.append((node.key, node.value))
+        if node.key < high:
+            self._range(node.right, low, high, results)
+
+    def predecessor(self, key, version: int | None = None):
+        """The largest key strictly below ``key``, or None."""
+        node = self._root_at(version)
+        best = None
+        while node is not None:
+            if node.key < key:
+                best = node.key
+                node = node.right
+            else:
+                node = node.left
+        return best
+
+    def successor(self, key, version: int | None = None):
+        """The smallest key strictly above ``key``, or None."""
+        node = self._root_at(version)
+        best = None
+        while node is not None:
+            if node.key > key:
+                best = node.key
+                node = node.left
+            else:
+                node = node.right
+        return best

@@ -1,0 +1,128 @@
+"""McCreight's Priority Search Tree — 1-D interval stabbing via 3-sided
+range queries.
+
+One of the main-memory structures the paper's introduction lists
+([MCCR85]).  An interval ``[lo, hi]`` maps to the point ``(lo, hi)``;
+"stab x" becomes the 3-sided query ``lo <= x  and  hi >= x``, which the
+PST answers in O(log n + k): a binary search tree on ``lo`` that is
+simultaneously a max-heap on ``hi``.
+
+Static construction (the classic formulation); used in the test suite as
+yet another oracle for the 1-D SR-Tree.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from ..exceptions import WorkloadError
+
+__all__ = ["PrioritySearchTree"]
+
+
+class _PSTNode:
+    __slots__ = ("item", "split_key", "left", "right")
+
+    def __init__(self, item: tuple[float, float, Any], split_key: float):
+        self.item = item  # the subtree's max-hi interval, stored here
+        self.split_key = split_key  # BST key: median of remaining lo values
+        self.left: "_PSTNode | None" = None
+        self.right: "_PSTNode | None" = None
+
+
+class PrioritySearchTree:
+    """Static priority search tree over closed 1-D intervals.
+
+    >>> pst = PrioritySearchTree([(1, 5, "a"), (3, 9, "b"), (7, 8, "c")])
+    >>> sorted(p for _, _, p in pst.stab(4))
+    ['a', 'b']
+    >>> pst.count_stab(7.5)
+    2
+    """
+
+    def __init__(self, intervals: Iterable[tuple[float, float, Any]]):
+        items = [(float(lo), float(hi), payload) for lo, hi, payload in intervals]
+        for lo, hi, _ in items:
+            if lo > hi:
+                raise WorkloadError(f"inverted interval [{lo}, {hi}]")
+        if not items:
+            raise WorkloadError("priority search tree needs at least one interval")
+        self._size = len(items)
+        items.sort(key=lambda it: it[0])
+        self._root = self._build(items)
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    def _build(self, items: list[tuple[float, float, Any]]) -> "_PSTNode | None":
+        if not items:
+            return None
+        # Heap step: pull out the interval with the largest high bound.
+        top_pos = max(range(len(items)), key=lambda i: items[i][1])
+        top = items[top_pos]
+        rest = items[:top_pos] + items[top_pos + 1 :]
+        # BST step: split the remainder around the median low bound.
+        mid = len(rest) // 2
+        split_key = rest[mid][0] if rest else top[0]
+        node = _PSTNode(top, split_key)
+        node.left = self._build(rest[:mid])
+        node.right = self._build(rest[mid:])
+        return node
+
+    def stab(self, x: float) -> list[tuple[float, float, Any]]:
+        """All intervals containing ``x``: the 3-sided query
+        ``lo <= x <= hi`` driven by the heap-on-hi pruning."""
+        x = float(x)
+        results: list[tuple[float, float, Any]] = []
+        self._query(self._root, x, results)
+        return results
+
+    def _query(
+        self, node: "_PSTNode | None", x: float, results: list[tuple[float, float, Any]]
+    ) -> None:
+        if node is None:
+            return
+        lo, hi, _ = node.item
+        if hi < x:
+            return  # heap property: nothing below reaches x either
+        if lo <= x:
+            results.append(node.item)
+        # BST property on lo: the left subtree's lows never exceed the
+        # split key, so it is always a candidate; the right subtree only
+        # matters when the query point reaches past the split key.
+        self._query(node.left, x, results)
+        if x >= node.split_key:
+            self._query(node.right, x, results)
+
+    def count_stab(self, x: float) -> int:
+        return len(self.stab(x))
+
+    def three_sided(
+        self, lo_max: float, hi_min: float
+    ) -> list[tuple[float, float, Any]]:
+        """The raw PST query: all intervals with ``lo <= lo_max`` and
+        ``hi >= hi_min`` (stabbing is the diagonal case lo_max = hi_min)."""
+        results: list[tuple[float, float, Any]] = []
+        self._three_sided(self._root, float(lo_max), float(hi_min), results)
+        return results
+
+    def _three_sided(self, node, lo_max: float, hi_min: float, results) -> None:
+        if node is None:
+            return
+        lo, hi, _ = node.item
+        if hi < hi_min:
+            return
+        if lo <= lo_max:
+            results.append(node.item)
+        self._three_sided(node.left, lo_max, hi_min, results)
+        if lo_max >= node.split_key:
+            self._three_sided(node.right, lo_max, hi_min, results)
+
+    def depth(self) -> int:
+        def walk(node) -> int:
+            if node is None:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        return walk(self._root)

@@ -1,0 +1,149 @@
+"""Bentley's Segment Tree — the memory-resident ancestor of Segment Indexes.
+
+Section 2 of the paper derives the spanning-record idea from this
+structure: "The Segment Tree data structure stores line segments in a
+binary tree by storing the segment endpoints in the leaf nodes, and then
+associates each interval with the highest level node N that spans the
+values corresponding to the left and right children of N."
+
+This is the classic static variant: the elementary intervals come from the
+endpoint set supplied at construction; each stored interval is broken into
+O(log n) canonical nodes.  It answers stabbing queries in O(log n + k) and
+doubles as a correctness oracle for the 1-D SR-Tree in the test suite.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Iterable
+
+from ..exceptions import WorkloadError
+
+__all__ = ["SegmentTree"]
+
+
+class _SegNode:
+    __slots__ = ("low", "high", "left", "right", "items")
+
+    def __init__(self, low: float, high: float):
+        self.low = low
+        self.high = high
+        self.left: "_SegNode | None" = None
+        self.right: "_SegNode | None" = None
+        self.items: list[tuple[float, float, Any]] = []
+
+
+class SegmentTree:
+    """Static segment tree over closed 1-D intervals.
+
+    >>> tree = SegmentTree([(1, 5, "a"), (3, 9, "b"), (7, 8, "c")])
+    >>> sorted(p for _, _, p in tree.stab(4))
+    ['a', 'b']
+    >>> tree.count_stab(7.5)
+    2
+    """
+
+    def __init__(self, intervals: Iterable[tuple[float, float, Any]]):
+        items = [(float(lo), float(hi), payload) for lo, hi, payload in intervals]
+        for lo, hi, _ in items:
+            if lo > hi:
+                raise WorkloadError(f"inverted interval [{lo}, {hi}]")
+        if not items:
+            raise WorkloadError("segment tree needs at least one interval")
+        endpoints = sorted({v for lo, hi, _ in items for v in (lo, hi)})
+        self._endpoints = endpoints
+        self._root = self._build(0, len(endpoints) - 1)
+        self._size = 0
+        for lo, hi, payload in items:
+            self.insert(lo, hi, payload)
+
+    @property
+    def size(self) -> int:
+        """Number of stored intervals."""
+        return self._size
+
+    def _build(self, lo_idx: int, hi_idx: int) -> _SegNode:
+        endpoints = self._endpoints
+        node = _SegNode(endpoints[lo_idx], endpoints[hi_idx])
+        if hi_idx - lo_idx > 1:  # an elementary slab [e_i, e_{i+1}] is a leaf
+            mid = (lo_idx + hi_idx) // 2
+            node.left = self._build(lo_idx, mid)
+            node.right = self._build(mid, hi_idx)
+        return node
+
+    def insert(self, low: float, high: float, payload: Any = None) -> None:
+        """Insert an interval whose endpoints belong to the endpoint set.
+
+        The classic segment tree is semi-dynamic: the slab structure is
+        fixed at construction, so inserted endpoints must already exist.
+        """
+        low, high = float(low), float(high)
+        if low > high:
+            raise WorkloadError(f"inverted interval [{low}, {high}]")
+        for v in (low, high):
+            idx = bisect.bisect_left(self._endpoints, v)
+            if idx == len(self._endpoints) or self._endpoints[idx] != v:
+                raise WorkloadError(
+                    f"endpoint {v} not in the tree's endpoint set; the "
+                    "static segment tree cannot add new slab boundaries"
+                )
+        item = (low, high, payload)
+        if low == high:
+            # A degenerate point interval covers no elementary slab; store
+            # it in a leaf slab containing it (the stab filter is exact).
+            node = self._root
+            while node.left is not None:
+                node = node.left if low <= node.left.high else node.right
+            node.items.append(item)
+        else:
+            self._insert(self._root, low, high, item)
+        self._size += 1
+
+    def _insert(
+        self, node: _SegNode, low: float, high: float, item: tuple[float, float, Any]
+    ) -> None:
+        if low <= node.low and node.high <= high:
+            node.items.append(item)  # canonical node: the interval spans it
+            return
+        if node.left is not None and low < node.left.high:
+            self._insert(node.left, low, high, item)
+        if node.right is not None and high > node.right.low:
+            self._insert(node.right, low, high, item)
+
+    def stab(self, x: float) -> list[tuple[float, float, Any]]:
+        """All intervals containing point ``x`` (closed endpoints)."""
+        x = float(x)
+        results: list[tuple[float, float, Any]] = []
+        root = self._root
+        if x < root.low or x > root.high:
+            return results
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            results.extend(node.items)
+            # When x falls on a shared slab boundary both children cover
+            # it, so both must be visited (closed intervals).
+            if node.left is not None and x <= node.left.high:
+                stack.append(node.left)
+            if node.right is not None and x >= node.right.low:
+                stack.append(node.right)
+        # An interval stored in several canonical nodes can be collected
+        # twice on a boundary stab; de-duplicate by object identity.
+        seen: set[int] = set()
+        exact = []
+        for item in results:
+            if item[0] <= x <= item[1] and id(item) not in seen:
+                seen.add(id(item))
+                exact.append(item)
+        return exact
+
+    def count_stab(self, x: float) -> int:
+        return len(self.stab(x))
+
+    def depth(self) -> int:
+        def walk(node: _SegNode | None) -> int:
+            if node is None:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        return walk(self._root)

@@ -1,0 +1,168 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``generate``  — write one of the paper's datasets (I1-I4, R1-R2) to CSV;
+* ``experiment`` — run the Section 5 protocol on a distribution (or a CSV
+  produced by ``generate``) and print the table / ASCII graph;
+* ``inspect``   — build one index type and print its structural metrics;
+* ``graphs``    — reproduce one or more of the paper's Graphs 1-6.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .bench import (
+    FIGURES,
+    INDEX_TYPES,
+    ascii_plot,
+    build_index,
+    format_table,
+    run_experiment,
+    to_csv,
+)
+from .core import Rect, measure_index
+from .workloads import DATASETS
+
+__all__ = ["main"]
+
+
+def _load_csv(path: Path) -> list[Rect]:
+    rects = []
+    with path.open() as fh:
+        for line_no, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line or line.startswith("#") or line.startswith("x_low"):
+                continue
+            parts = line.split(",")
+            if len(parts) != 4:
+                raise SystemExit(f"{path}:{line_no}: expected 4 columns")
+            x_lo, y_lo, x_hi, y_hi = map(float, parts)
+            rects.append(Rect((x_lo, y_lo), (x_hi, y_hi)))
+    if not rects:
+        raise SystemExit(f"{path}: no rectangles found")
+    return rects
+
+
+def _dataset(args) -> list[Rect]:
+    if args.input:
+        return _load_csv(Path(args.input))
+    return DATASETS[args.dist](args.n, args.seed)
+
+
+def _cmd_generate(args) -> int:
+    rects = DATASETS[args.dist](args.n, args.seed)
+    out = Path(args.output)
+    with out.open("w") as fh:
+        fh.write("x_low,y_low,x_high,y_high\n")
+        for r in rects:
+            fh.write(f"{r.lows[0]},{r.lows[1]},{r.highs[0]},{r.highs[1]}\n")
+    print(f"wrote {len(rects)} rectangles ({args.dist}, seed {args.seed}) to {out}")
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    rects = _dataset(args)
+    kinds = INDEX_TYPES if args.index == "all" else (args.index,)
+    result = run_experiment(
+        args.dist or "custom",
+        rects,
+        index_types=kinds,
+        queries_per_qar=args.queries,
+    )
+    print(format_table(result))
+    if args.plot:
+        print()
+        print(ascii_plot(result))
+    if args.csv:
+        Path(args.csv).write_text(to_csv(result) + "\n")
+        print(f"series written to {args.csv}")
+    return 0
+
+
+def _cmd_inspect(args) -> int:
+    rects = _dataset(args)
+    index = build_index(args.index, rects)
+    metrics = measure_index(index)
+    print(f"{args.index} over {len(rects)} records:")
+    print(metrics.summary())
+    stats = index.stats.snapshot()
+    interesting = (
+        "inserts", "splits", "spanning_placements", "cuts",
+        "demotions", "promotions", "coalesces",
+    )
+    print("  " + "  ".join(f"{k}={stats[k]}" for k in interesting))
+    return 0
+
+
+def _cmd_graphs(args) -> int:
+    for graph_id in args.graph:
+        spec = FIGURES[graph_id]
+        print(f"\n## {graph_id}: {spec.title}")
+        rects = spec.dataset(args.n, args.seed)
+        result = run_experiment(graph_id, rects, queries_per_qar=args.queries)
+        print(format_table(result))
+        if args.plot:
+            print()
+            print(ascii_plot(result))
+    return 0
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Segment Indexes (SIGMOD 1991) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="write a paper dataset to CSV")
+    gen.add_argument("--dist", choices=sorted(DATASETS), required=True)
+    gen.add_argument("-n", type=int, default=20_000)
+    gen.add_argument("--seed", type=int, default=42)
+    gen.add_argument("-o", "--output", required=True)
+    gen.set_defaults(func=_cmd_generate)
+
+    exp = sub.add_parser("experiment", help="run the Section 5 protocol")
+    exp.add_argument("--dist", choices=sorted(DATASETS))
+    exp.add_argument("--input", help="CSV from `repro generate` instead of --dist")
+    exp.add_argument("-n", type=int, default=20_000)
+    exp.add_argument("--seed", type=int, default=42)
+    exp.add_argument("--queries", type=int, default=50)
+    exp.add_argument(
+        "--index", default="all", choices=("all",) + INDEX_TYPES
+    )
+    exp.add_argument("--plot", action="store_true", help="ASCII graph")
+    exp.add_argument("--csv", help="write the series to this file")
+    exp.set_defaults(func=_cmd_experiment)
+
+    ins = sub.add_parser("inspect", help="structural metrics of one index")
+    ins.add_argument("--dist", choices=sorted(DATASETS))
+    ins.add_argument("--input")
+    ins.add_argument("-n", type=int, default=10_000)
+    ins.add_argument("--seed", type=int, default=42)
+    ins.add_argument("--index", default="Skeleton SR-Tree", choices=INDEX_TYPES)
+    ins.set_defaults(func=_cmd_inspect)
+
+    gra = sub.add_parser("graphs", help="reproduce the paper's graphs")
+    gra.add_argument("graph", nargs="+", choices=sorted(FIGURES))
+    gra.add_argument("-n", type=int, default=20_000)
+    gra.add_argument("--seed", type=int, default=42)
+    gra.add_argument("--queries", type=int, default=50)
+    gra.add_argument("--plot", action="store_true")
+    gra.set_defaults(func=_cmd_graphs)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _parser().parse_args(argv)
+    if args.command in ("experiment", "inspect") and not (args.dist or args.input):
+        raise SystemExit("either --dist or --input is required")
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,133 @@
+"""Tree nodes for the R-Tree / SR-Tree family.
+
+A node models one disk page.  Its byte size depends on its level when the
+node-size-doubling tactic (Section 2.1.2) is enabled, which translates into
+a per-level entry capacity via :meth:`repro.core.config.IndexConfig.capacity`.
+
+Leaf nodes (level 0) hold :class:`~repro.core.entry.DataEntry` records.
+Non-leaf nodes hold :class:`~repro.core.entry.BranchEntry` branches; in an
+SR-Tree the branches additionally carry spanning index records, which share
+the node's entry slots with the branches.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, Optional
+
+from .entry import BranchEntry, DataEntry
+from .geometry import Rect, union_all
+
+__all__ = ["Node"]
+
+_node_ids = itertools.count(1)
+
+
+class Node:
+    """One index node / disk page.
+
+    Attributes:
+        node_id: Unique id, stable for the life of the index; doubles as the
+            simulated page number for the storage layer.
+        level: 0 for leaves, increasing towards the root.
+        data_entries: Data records (leaf nodes only).
+        branches: Child branches (non-leaf nodes only).
+        parent: The parent node, or None for the root.
+        assigned_region: The pre-partitioned region handed to this node by a
+            skeleton builder (Section 4), or None for organically grown
+            nodes.  A skeleton node's covering rectangle never shrinks below
+            its assigned region, which is what makes the pre-partitioning
+            effective before the node fills up.
+        modifications: Number of times this node's contents changed; the
+            coalescing policy uses it to find the least frequently modified
+            nodes.
+    """
+
+    __slots__ = (
+        "node_id",
+        "level",
+        "data_entries",
+        "branches",
+        "parent",
+        "assigned_region",
+        "modifications",
+    )
+
+    def __init__(
+        self,
+        level: int,
+        parent: Optional["Node"] = None,
+        assigned_region: Optional[Rect] = None,
+    ):
+        self.node_id: int = next(_node_ids)
+        self.level = level
+        self.data_entries: list[DataEntry] = []
+        self.branches: list[BranchEntry] = []
+        self.parent = parent
+        self.assigned_region = assigned_region
+        self.modifications = 0
+
+    # ------------------------------------------------------------------
+    # Structure helpers
+    # ------------------------------------------------------------------
+    @property
+    def is_leaf(self) -> bool:
+        return self.level == 0
+
+    @property
+    def slots_used(self) -> int:
+        """Entry slots in use: data records, or branches + spanning records."""
+        if self.level == 0:
+            return len(self.data_entries)
+        return len(self.branches) + self.spanning_count
+
+    @property
+    def spanning_count(self) -> int:
+        return sum(len(b.spanning) for b in self.branches)
+
+    def iter_spanning(self) -> Iterator[tuple[BranchEntry, DataEntry]]:
+        """Yield ``(branch, spanning_record)`` pairs on this node."""
+        for branch in self.branches:
+            for record in branch.spanning:
+                yield branch, record
+
+    def branch_for_child(self, child: "Node") -> BranchEntry:
+        for branch in self.branches:
+            if branch.child is child:
+                return branch
+        raise KeyError(f"node {child.node_id} is not a child of node {self.node_id}")
+
+    # ------------------------------------------------------------------
+    # Geometry helpers
+    # ------------------------------------------------------------------
+    def content_rects(self) -> list[Rect]:
+        """Rectangles of everything stored on this node."""
+        if self.level == 0:
+            return [e.rect for e in self.data_entries]
+        rects = [b.rect for b in self.branches]
+        rects.extend(r.rect for _, r in self.iter_spanning())
+        return rects
+
+    def mbr(self) -> Optional[Rect]:
+        """Covering rectangle: MBR of contents, grown to the assigned region.
+
+        Empty organic nodes have no rectangle (None); empty skeleton nodes
+        cover exactly their assigned region.
+        """
+        rects = self.content_rects()
+        if self.assigned_region is not None:
+            rects.append(self.assigned_region)
+        if not rects:
+            return None
+        return union_all(rects)
+
+    def touch(self) -> None:
+        """Record a content modification (coalescing statistics)."""
+        self.modifications += 1
+
+    def __repr__(self) -> str:
+        kind = "leaf" if self.is_leaf else f"level-{self.level}"
+        return (
+            f"<Node {self.node_id} {kind}: {len(self.data_entries)} data, "
+            f"{len(self.branches)} branches, {self.spanning_count} spanning>"
+        )

@@ -1,0 +1,152 @@
+"""Packed (bulk-loaded) R-Trees — the static alternative to skeletons.
+
+Section 4 of the paper: the R-Tree's aspect-ratio and overlap problems
+"may be partially alleviated by applying a packing algorithm, such as that
+suggested by [ROUS85].  However, such an approach is a static method which
+requires that all of the data be available before the index is
+constructed.  Since the SR-Tree is designed to be a dynamic index, an
+alternative solution ... is ... the Skeleton SR-Tree."
+
+This module implements Sort-Tile-Recursive packing so the benchmark suite
+can put numbers on that trade-off: a packed index has near-perfect fill
+and very low overlap, but needs all data up front; the skeleton gets close
+while staying dynamic.  The packed tree is an ordinary :class:`RTree` (or
+:class:`SRTree`) afterwards and accepts further inserts and deletes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterable, Sequence, Type
+
+from ..exceptions import WorkloadError
+from .config import IndexConfig
+from .entry import BranchEntry, DataEntry
+from .geometry import Rect, union_all
+from .node import Node
+from .rtree import RTree
+
+__all__ = ["pack_tree", "str_partition"]
+
+
+def pack_tree(
+    items: Sequence[tuple[Rect, Any]],
+    config: IndexConfig | None = None,
+    index_cls: Type[RTree] = RTree,
+    fill: float = 0.85,
+) -> RTree:
+    """Bulk-load ``items`` into a packed index with Sort-Tile-Recursive.
+
+    Args:
+        items: (rect, payload) pairs; record ids are assigned in order.
+        config: Index configuration (paper defaults when omitted).
+        index_cls: RTree or SRTree (packing itself stores everything in
+            leaves; an SR-Tree applies its spanning tactics to *subsequent*
+            inserts).
+        fill: Target node fill factor; 1.0 packs nodes completely full,
+            which makes every later insert split immediately.
+
+    >>> from repro.core.geometry import segment
+    >>> tree = pack_tree([(segment(i, i + 1, i), i) for i in range(1000)])
+    >>> len(tree), tree.height >= 2
+    (1000, True)
+    """
+    if not items:
+        raise WorkloadError("cannot pack an empty dataset")
+    if not 0.1 <= fill <= 1.0:
+        raise WorkloadError("fill factor must be in [0.1, 1.0]")
+    config = config or IndexConfig()
+    tree = index_cls(config)
+    for rect, _ in items:
+        if rect.dims != config.dims:
+            raise WorkloadError(
+                f"rect has {rect.dims} dimensions, config expects {config.dims}"
+            )
+
+    entries = [
+        DataEntry(rect, record_id, payload)
+        for record_id, (rect, payload) in enumerate(items, start=1)
+    ]
+
+    # Leaf level.
+    per_leaf = max(2, int(config.capacity(0) * fill))
+    groups = str_partition([e.rect for e in entries], per_leaf, config.dims)
+    nodes: list[Node] = []
+    for group in groups:
+        leaf = Node(level=0)
+        leaf.data_entries = [entries[i] for i in group]
+        nodes.append(leaf)
+
+    # Upper levels.
+    level = 0
+    while len(nodes) > 1:
+        level += 1
+        per_node = max(
+            2, int(config.branch_capacity(level, tree.segment_index) * fill)
+        )
+        rects = [_node_rect(n) for n in nodes]
+        groups = str_partition(rects, per_node, config.dims)
+        parents: list[Node] = []
+        for group in groups:
+            parent = Node(level=level)
+            for i in group:
+                child = nodes[i]
+                child.parent = parent
+                parent.branches.append(BranchEntry(rects[i], child))
+            parents.append(parent)
+        nodes = parents
+
+    (root,) = nodes
+    tree.root = root
+    tree._height = root.level + 1
+    tree._size = len(entries)
+    tree._next_record_id = len(entries) + 1
+    tree._fragment_counts = {e.record_id: 1 for e in entries}
+    tree.stats.inserts += len(entries)
+    return tree
+
+
+def str_partition(rects: Sequence[Rect], group_size: int, dims: int) -> list[list[int]]:
+    """Sort-Tile-Recursive grouping: returns index groups of ``group_size``.
+
+    Sorts by the first dimension's center, cuts into vertical slabs, then
+    recursively tiles each slab on the remaining dimensions.
+    """
+    if group_size < 1:
+        raise WorkloadError("group size must be positive")
+    indices = list(range(len(rects)))
+    return _str_recurse(rects, indices, group_size, dim=0, dims=dims)
+
+
+def _str_recurse(
+    rects: Sequence[Rect],
+    indices: list[int],
+    group_size: int,
+    dim: int,
+    dims: int,
+) -> list[list[int]]:
+    if len(indices) <= group_size:
+        return [indices]
+    indices = sorted(
+        indices, key=lambda i: rects[i].lows[dim] + rects[i].highs[dim]
+    )
+    if dim == dims - 1:
+        return [
+            indices[i : i + group_size] for i in range(0, len(indices), group_size)
+        ]
+    # Number of slabs: S = ceil((n / group_size) ** ((dims-dim-1)/(dims-dim)))
+    # reduces to the classic sqrt rule for 2-D.
+    leaves_needed = math.ceil(len(indices) / group_size)
+    remaining = dims - dim
+    slabs = max(1, math.ceil(leaves_needed ** ((remaining - 1) / remaining)))
+    slab_size = math.ceil(len(indices) / slabs)
+    groups: list[list[int]] = []
+    for start in range(0, len(indices), slab_size):
+        slab = indices[start : start + slab_size]
+        groups.extend(_str_recurse(rects, slab, group_size, dim + 1, dims))
+    return groups
+
+
+def _node_rect(node: Node) -> Rect:
+    rects = node.content_rects()
+    return union_all(rects)

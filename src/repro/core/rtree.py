@@ -1,0 +1,549 @@
+"""Dynamic R-Tree (Guttman 1984) — the substrate the Segment Index extends.
+
+This module implements the classic paged R-Tree: ChooseLeaf descent by least
+area enlargement, quadratic/linear node splitting, depth-first intersection
+search, and deletion with tree condensation.  Node capacities are byte-based
+and grow with the level when the paper's node-size-doubling tactic is on
+(Section 2.1.2), so the same class reproduces both the paper's baseline
+"R-Tree" and serves as the base class of :class:`repro.core.srtree.SRTree`.
+
+The implementation keeps parent pointers, which lets splits, demotions and
+promotions be applied at any point during an operation instead of only on
+recursion unwind; the resulting trees are structurally identical to
+Guttman's.
+
+Every node visit is funnelled through :meth:`RTree._access`, which feeds
+both the paper's node-access metric and (when attached) the simulated
+storage layer's buffer pool.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, Optional
+
+from ..exceptions import IndexStructureError
+from .config import IndexConfig
+from .entry import BranchEntry, DataEntry
+from .geometry import Rect, pieces_cover, union_all
+from .node import Node
+from .split import split_rects
+from .stats import AccessStats, SearchStats
+
+__all__ = ["RTree"]
+
+
+class RTree:
+    """A dynamic R-Tree over K-dimensional rectangle/interval data.
+
+    >>> from repro.core.geometry import Rect
+    >>> tree = RTree()
+    >>> rid = tree.insert(Rect((0, 0), (10, 10)), payload="a")
+    >>> [p for _, p in tree.search(Rect((5, 5), (6, 6)))]
+    ['a']
+    """
+
+    #: Class-level flag: SR-Trees flip this to reserve spanning slots.
+    segment_index: bool = False
+
+    def __init__(self, config: IndexConfig | None = None):
+        self.config = config or IndexConfig()
+        self.root: Node = Node(level=0)
+        self.stats = AccessStats()
+        self._size = 0
+        self._next_record_id = 1
+        self._height = 1
+        #: Per-operation demotion counts (record_id -> times demoted); used
+        #: to stop demotion/reinsertion cycles: after two demotions in one
+        #: operation a record is forced down to a leaf.
+        self._demote_counts: dict[int, int] = {}
+        #: Fragments currently stored per record id (cutting raises it);
+        #: containment queries need it to know when they have seen a whole
+        #: record.
+        self._fragment_counts: dict[int, int] = {}
+        #: Optional storage hook: called with each accessed node.
+        self._storage_hook: Optional[Callable[[Node], None]] = None
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    @property
+    def dims(self) -> int:
+        return self.config.dims
+
+    @property
+    def height(self) -> int:
+        """Number of levels, leaves included."""
+        return self._height
+
+    def __len__(self) -> int:
+        """Number of logical records (cut fragments count once)."""
+        return self._size
+
+    def insert(self, rect: Rect, payload: Any = None) -> int:
+        """Insert a record; returns its record id.
+
+        The rectangle may be degenerate in any subset of dimensions, so
+        points, line segments and boxes all insert through this method.
+        """
+        self._check_rect(rect)
+        record_id = self._next_record_id
+        self._next_record_id += 1
+        entry = DataEntry(rect, record_id, payload)
+        self.stats.inserts += 1
+        self._size += 1
+        self._fragment_counts[record_id] = 1
+        self._run_insertion([entry])
+        self._after_insert()
+        return record_id
+
+    def search(self, rect: Rect) -> list[tuple[int, Any]]:
+        """All (record_id, payload) whose rectangle intersects ``rect``.
+
+        Records cut into several fragments are reported once.
+        """
+        self._check_rect(rect)
+        results: list[tuple[int, Any]] = []
+        seen: set[int] = set()
+        accessed = self._search_into(rect, results, seen)
+        self.stats.searches += 1
+        self.stats.search_node_accesses += accessed
+        return results
+
+    def search_with_stats(self, rect: Rect) -> tuple[list[tuple[int, Any]], SearchStats]:
+        """Like :meth:`search` but also reports per-query node accesses."""
+        before = self.stats.search_node_accesses
+        results = self.search(rect)
+        accessed = self.stats.search_node_accesses - before
+        return results, SearchStats(nodes_accessed=accessed, records_found=len(results))
+
+    def search_ids(self, rect: Rect) -> set[int]:
+        return {rid for rid, _ in self.search(rect)}
+
+    def stab(self, *coords: float) -> list[tuple[int, Any]]:
+        """All records whose rectangle contains the given point."""
+        return self.search(Rect(coords, coords))
+
+    def count(self, rect: Rect) -> int:
+        return len(self.search(rect))
+
+    def search_within(self, rect: Rect) -> list[tuple[int, Any]]:
+        """All records lying *entirely inside* ``rect``.
+
+        A record qualifies when every one of its fragments is inside the
+        query; the per-record fragment counts make one intersection pass
+        sufficient (a fragment outside the query never intersects it, so a
+        shortfall in the seen-count disqualifies the record).
+        """
+        self._check_rect(rect)
+        fragments = self._collect_fragments(rect)
+        results = []
+        for record_id, (payload, rects) in fragments.items():
+            if len(rects) != self._fragment_counts.get(record_id):
+                continue
+            if all(rect.contains(r) for r in rects):
+                results.append((record_id, payload))
+        return results
+
+    def search_containing(self, rect: Rect) -> list[tuple[int, Any]]:
+        """All records that *fully contain* ``rect``.
+
+        A record's fragments tile its original rectangle, so the fragments
+        intersecting the query cover it exactly when the original did.
+        """
+        self._check_rect(rect)
+        fragments = self._collect_fragments(rect)
+        return [
+            (record_id, payload)
+            for record_id, (payload, rects) in fragments.items()
+            if pieces_cover(rect, rects)
+        ]
+
+    def fragment_count(self, record_id: int) -> int:
+        """Number of fragments record ``record_id`` is stored as (>= 1)."""
+        try:
+            return self._fragment_counts[record_id]
+        except KeyError:
+            raise KeyError(f"unknown record id {record_id}") from None
+
+    def _collect_fragments(self, rect: Rect) -> dict[int, tuple[Any, list[Rect]]]:
+        """Fragments intersecting ``rect``, grouped by record (counted as
+        one search in the statistics)."""
+        found: dict[int, tuple[Any, list[Rect]]] = {}
+        accessed = 0
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            self._access(node)
+            accessed += 1
+            if node.is_leaf:
+                candidates = node.data_entries
+            else:
+                candidates = [r for _, r in node.iter_spanning()]
+                stack.extend(
+                    b.child for b in node.branches if b.rect.intersects(rect)
+                )
+            for e in candidates:
+                if e.rect.intersects(rect):
+                    entry = found.get(e.record_id)
+                    if entry is None:
+                        found[e.record_id] = (e.payload, [e.rect])
+                    else:
+                        entry[1].append(e.rect)
+        self.stats.searches += 1
+        self.stats.search_node_accesses += accessed
+        return found
+
+    def delete(self, record_id: int, hint: Rect | None = None) -> int:
+        """Remove every fragment of ``record_id``; returns fragments removed.
+
+        ``hint`` (the record's original rectangle) bounds the traversal; the
+        paper notes that without it the *entire* index must be searched for
+        related spanning/remnant fragments (Section 3.1.1), which is what we
+        do when no hint is given.
+        """
+        removed = self._remove_fragments(self.root, record_id, hint)
+        if removed:
+            self._size -= 1
+            self.stats.deletes += 1
+            self._fragment_counts.pop(record_id, None)
+            self._condense()
+        return removed
+
+    def items(self) -> Iterator[tuple[int, Rect, Any]]:
+        """Yield (record_id, fragment_rect, payload) for every fragment."""
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                for e in node.data_entries:
+                    yield e.record_id, e.rect, e.payload
+            else:
+                for b in node.branches:
+                    for r in b.spanning:
+                        yield r.record_id, r.rect, r.payload
+                    stack.append(b.child)
+
+    def bounding_rect(self) -> Rect | None:
+        """MBR of the whole index (None when empty)."""
+        return self.root.mbr()
+
+    def node_count(self) -> int:
+        count = 0
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            count += 1
+            stack.extend(b.child for b in node.branches)
+        return count
+
+    def iter_nodes(self) -> Iterator[Node]:
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(b.child for b in node.branches)
+
+    def total_index_bytes(self) -> int:
+        """Simulated on-disk footprint of the index."""
+        return sum(self.config.node_bytes(n.level) for n in self.iter_nodes())
+
+    # ------------------------------------------------------------------
+    # Search internals
+    # ------------------------------------------------------------------
+    def _access(self, node: Node) -> None:
+        self.stats.record_access(node.level)
+        hook = self._storage_hook
+        if hook is not None:
+            hook(node)
+
+    def _search_into(
+        self, rect: Rect, results: list[tuple[int, Any]], seen: set[int]
+    ) -> int:
+        accessed = 0
+        stack = [self.root]
+        rlo, rhi = rect.lows, rect.highs
+        dims = range(len(rlo))
+        while stack:
+            node = stack.pop()
+            self._access(node)
+            accessed += 1
+            if node.is_leaf:
+                for e in node.data_entries:
+                    elo, ehi = e.rect.lows, e.rect.highs
+                    for d in dims:
+                        if elo[d] > rhi[d] or ehi[d] < rlo[d]:
+                            break
+                    else:
+                        if e.record_id not in seen:
+                            seen.add(e.record_id)
+                            results.append((e.record_id, e.payload))
+                continue
+            for b in node.branches:
+                for r in b.spanning:
+                    slo, shi = r.rect.lows, r.rect.highs
+                    for d in dims:
+                        if slo[d] > rhi[d] or shi[d] < rlo[d]:
+                            break
+                    else:
+                        if r.record_id not in seen:
+                            seen.add(r.record_id)
+                            results.append((r.record_id, r.payload))
+                blo, bhi = b.rect.lows, b.rect.highs
+                for d in dims:
+                    if blo[d] > rhi[d] or bhi[d] < rlo[d]:
+                        break
+                else:
+                    stack.append(b.child)
+        return accessed
+
+    # ------------------------------------------------------------------
+    # Insertion internals
+    # ------------------------------------------------------------------
+    def _run_insertion(self, pending: list[DataEntry]) -> None:
+        """Drain the insertion work queue.
+
+        The queue starts with the user's record and grows with remnant
+        fragments produced by cutting and with records demoted after node
+        expansions (both SR-Tree behaviours; the plain R-Tree never enqueues
+        extra work).
+        """
+        self._demote_counts = {}
+        guard = 0
+        while pending:
+            guard += 1
+            if guard > 100000:
+                raise IndexStructureError("insertion work queue failed to drain")
+            entry = pending.pop()
+            allow_spanning = self._demote_counts.get(entry.record_id, 0) < 2
+            self._insert_one(entry, pending, allow_spanning)
+
+    def _insert_one(
+        self,
+        entry: DataEntry,
+        pending: list[DataEntry],
+        allow_spanning: bool = True,
+    ) -> None:
+        node = self.root
+        path: list[tuple[Node, BranchEntry]] = []
+        while not node.is_leaf:
+            if allow_spanning and self._try_place_spanning(node, entry, pending):
+                return
+            branch = self._choose_branch(node, entry.rect)
+            path.append((node, branch))
+            node = branch.child
+
+        node.data_entries.append(entry)
+        node.touch()
+
+        # Adjust covering rectangles bottom-up; remember nodes whose branch
+        # rectangles grew so the SR-Tree can re-check spanning relationships.
+        expanded_parents: list[Node] = []
+        for parent, branch in reversed(path):
+            if branch.rect.contains(entry.rect):
+                break
+            branch.rect = branch.rect.union(entry.rect)
+            expanded_parents.append(parent)
+
+        if node.slots_used > self.config.capacity(node.level):
+            self._split_node(node, pending)
+
+        for parent in expanded_parents:
+            self._check_spanning_node(parent, pending)
+
+    def _choose_branch(self, node: Node, rect: Rect) -> BranchEntry:
+        """Guttman's ChooseLeaf step: least enlargement, ties by area."""
+        rlo, rhi = rect.lows, rect.highs
+        dims = range(len(rlo))
+        best: BranchEntry | None = None
+        best_enl = float("inf")
+        best_area = float("inf")
+        for b in node.branches:
+            blo, bhi = b.rect.lows, b.rect.highs
+            area = 1.0
+            grown = 1.0
+            for d in dims:
+                lo, hi = blo[d], bhi[d]
+                area *= hi - lo
+                l, h = rlo[d], rhi[d]
+                grown *= (hi if hi >= h else h) - (lo if lo <= l else l)
+            enl = grown - area
+            if enl < best_enl or (enl == best_enl and area < best_area):
+                best = b
+                best_enl = enl
+                best_area = area
+        if best is None:
+            raise IndexStructureError("non-leaf node with no branches")
+        return best
+
+    # --- SR-Tree hooks (no-ops in the plain R-Tree) -------------------
+    def _try_place_spanning(
+        self, node: Node, entry: DataEntry, pending: list[DataEntry]
+    ) -> bool:
+        """Attempt to store ``entry`` as a spanning record on ``node``.
+
+        The plain R-Tree stores data only in leaves, so this always fails.
+        """
+        return False
+
+    def _check_spanning_node(self, node: Node, pending: list[DataEntry]) -> None:
+        """Re-validate spanning records after branch rectangles change (SR-Tree)."""
+
+    def _promote_after_split(
+        self, node: Node, sibling: Node, parent: Node, pending: list[DataEntry]
+    ) -> None:
+        """Move spanning records that span a whole split half upward (SR-Tree)."""
+
+    # ------------------------------------------------------------------
+    # Node splitting
+    # ------------------------------------------------------------------
+    def _node_rect(self, node: Node) -> Rect:
+        rects = node.content_rects()
+        if not rects:
+            if node.assigned_region is not None:
+                return node.assigned_region
+            raise IndexStructureError(f"cannot compute rect of empty node {node.node_id}")
+        return union_all(rects)
+
+    def _split_node(self, node: Node, pending: list[DataEntry]) -> None:
+        self.stats.splits += 1
+        min_entries = self.config.min_entries(node.level)
+
+        sibling = Node(level=node.level, parent=node.parent)
+        if node.is_leaf:
+            entries = node.data_entries
+            rects = [e.rect for e in entries]
+            group_a, group_b = split_rects(rects, min_entries, self.config.split_algorithm)
+            node.data_entries = [entries[i] for i in group_a]
+            sibling.data_entries = [entries[i] for i in group_b]
+        else:
+            branches = node.branches
+            rects = [b.rect for b in branches]
+            group_a, group_b = split_rects(rects, min_entries, self.config.split_algorithm)
+            node.branches = [branches[i] for i in group_a]
+            sibling.branches = [branches[i] for i in group_b]
+            for b in sibling.branches:
+                b.child.parent = sibling
+        node.touch()
+        sibling.touch()
+
+        # A split node stops being a skeleton cell: its coverage now follows
+        # its actual contents (the skeleton "adapts", Section 4).
+        node.assigned_region = None
+
+        node_rect = self._node_rect(node)
+        sibling_rect = self._node_rect(sibling)
+
+        if node.parent is None:
+            new_root = Node(level=node.level + 1)
+            new_root.branches.append(BranchEntry(node_rect, node))
+            new_root.branches.append(BranchEntry(sibling_rect, sibling))
+            node.parent = new_root
+            sibling.parent = new_root
+            self.root = new_root
+            self._height += 1
+            parent = new_root
+        else:
+            parent = node.parent
+            branch = parent.branch_for_child(node)
+            branch.rect = node_rect
+            parent.branches.append(BranchEntry(sibling_rect, sibling))
+            parent.touch()
+
+        self._promote_after_split(node, sibling, parent, pending)
+        # The split node's covering rectangle may have shrunk, which can
+        # invalidate spanning links on the parent; re-check them.
+        self._check_spanning_node(parent, pending)
+
+        # Spanning records follow their branches, so one half can still be
+        # over its spanning quota; keep splitting until every node fits.
+        for half in (node, sibling):
+            if self._node_overflowing(half):
+                self._split_node(half, pending)
+
+        if self._node_overflowing(parent):
+            self._split_node(parent, pending)
+
+    def _node_overflowing(self, node: Node) -> bool:
+        """Branches and spanning records share the node's entry slots; a
+        node overflows when they exceed the slot count (Section 3.1.2)."""
+        return node.slots_used > self.config.capacity(node.level)
+
+    # ------------------------------------------------------------------
+    # Deletion internals
+    # ------------------------------------------------------------------
+    def _remove_fragments(self, node: Node, record_id: int, hint: Rect | None) -> int:
+        removed = 0
+        self._access(node)
+        if node.is_leaf:
+            before = len(node.data_entries)
+            node.data_entries = [e for e in node.data_entries if e.record_id != record_id]
+            removed = before - len(node.data_entries)
+            if removed:
+                node.touch()
+            return removed
+        for b in node.branches:
+            before = len(b.spanning)
+            b.spanning = [r for r in b.spanning if r.record_id != record_id]
+            removed += before - len(b.spanning)
+            if hint is None or b.rect.intersects(hint):
+                removed += self._remove_fragments(b.child, record_id, hint)
+        if removed:
+            node.touch()
+        return removed
+
+    def _condense(self) -> None:
+        """Remove empty subtrees and shrink a trivial root.
+
+        This is a pragmatic variant of Guttman's CondenseTree: empty nodes
+        are unlinked; underfull-but-nonempty nodes are left in place (legal
+        for R-Trees, which never require rebalancing for correctness).
+        """
+        changed = True
+        while changed:
+            changed = False
+            for node in list(self.iter_nodes()):
+                if node.is_leaf:
+                    continue
+                keep = []
+                for b in node.branches:
+                    child_empty = (
+                        b.child.is_leaf
+                        and not b.child.data_entries
+                        and b.child.assigned_region is None
+                    ) or (not b.child.is_leaf and not b.child.branches)
+                    if child_empty and not b.spanning:
+                        changed = True
+                    else:
+                        keep.append(b)
+                node.branches = keep
+        while (
+            not self.root.is_leaf
+            and len(self.root.branches) == 1
+            and not self.root.branches[0].spanning
+        ):
+            self.root = self.root.branches[0].child
+            self.root.parent = None
+            self._height -= 1
+
+    # ------------------------------------------------------------------
+    # Hooks and helpers
+    # ------------------------------------------------------------------
+    def _after_insert(self) -> None:
+        """Post-insert hook (skeleton indexes run coalescing here)."""
+
+    def _reinsert_entries(self, entries: list[DataEntry]) -> None:
+        """Reinsert fragments that lost their home (demotion, coalescing)."""
+        if entries:
+            self._run_insertion(list(entries))
+
+    def _check_rect(self, rect: Rect) -> None:
+        if rect.dims != self.config.dims:
+            raise ValueError(
+                f"rect has {rect.dims} dimensions, index expects {self.config.dims}"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"<{type(self).__name__} size={self._size} height={self._height} "
+            f"nodes={self.node_count()}>"
+        )

@@ -1,0 +1,209 @@
+"""Guttman node-splitting algorithms (quadratic and linear).
+
+Both algorithms partition a list of rectangles into two groups subject to a
+minimum fill ``m``.  They are written against bare rectangles so that leaf
+splits (data entries) and non-leaf splits (branches) share one
+implementation; the SR-Tree then carries spanning records over with their
+branches (Section 3.1.2, Figure 4).
+"""
+
+from __future__ import annotations
+
+from .geometry import Rect
+
+__all__ = ["split_rects", "quadratic_split", "linear_split", "rstar_split"]
+
+
+def split_rects(rects: list[Rect], min_entries: int, algorithm: str) -> tuple[list[int], list[int]]:
+    """Partition ``rects`` (by index) into two groups using ``algorithm``.
+
+    Args:
+        rects: The rectangles of the overflowing node's entries.
+        min_entries: Guttman's m - each group receives at least this many.
+        algorithm: "quadratic", "linear", or "rstar".
+
+    Returns:
+        Two disjoint index lists covering ``range(len(rects))``.
+    """
+    if len(rects) < 2:
+        raise ValueError("cannot split fewer than two entries")
+    min_entries = min(min_entries, len(rects) // 2)
+    if algorithm == "linear":
+        return linear_split(rects, min_entries)
+    if algorithm == "rstar":
+        return rstar_split(rects, min_entries)
+    return quadratic_split(rects, min_entries)
+
+
+def _pick_seeds_quadratic(rects: list[Rect]) -> tuple[int, int]:
+    """PickSeeds: the pair wasting the most area when grouped together."""
+    worst_pair = (0, 1)
+    worst_waste = float("-inf")
+    for i in range(len(rects)):
+        area_i = rects[i].area
+        for j in range(i + 1, len(rects)):
+            waste = rects[i].union(rects[j]).area - area_i - rects[j].area
+            if waste > worst_waste:
+                worst_waste = waste
+                worst_pair = (i, j)
+    return worst_pair
+
+
+def quadratic_split(rects: list[Rect], min_entries: int) -> tuple[list[int], list[int]]:
+    """Guttman's quadratic-cost split."""
+    seed_a, seed_b = _pick_seeds_quadratic(rects)
+    group_a, group_b = [seed_a], [seed_b]
+    cover_a, cover_b = rects[seed_a], rects[seed_b]
+    remaining = [i for i in range(len(rects)) if i not in (seed_a, seed_b)]
+
+    while remaining:
+        # If one group needs every remaining entry to reach min fill,
+        # assign them all to it.
+        if len(group_a) + len(remaining) == min_entries:
+            group_a.extend(remaining)
+            break
+        if len(group_b) + len(remaining) == min_entries:
+            group_b.extend(remaining)
+            break
+
+        # PickNext: entry with the greatest preference for one group.
+        best_idx = -1
+        best_diff = -1.0
+        best_enl: tuple[float, float] = (0.0, 0.0)
+        for pos, i in enumerate(remaining):
+            enl_a = cover_a.enlargement(rects[i])
+            enl_b = cover_b.enlargement(rects[i])
+            diff = abs(enl_a - enl_b)
+            if diff > best_diff:
+                best_diff = diff
+                best_idx = pos
+                best_enl = (enl_a, enl_b)
+        i = remaining.pop(best_idx)
+        enl_a, enl_b = best_enl
+
+        if enl_a < enl_b:
+            choose_a = True
+        elif enl_b < enl_a:
+            choose_a = False
+        elif cover_a.area != cover_b.area:
+            choose_a = cover_a.area < cover_b.area
+        else:
+            choose_a = len(group_a) <= len(group_b)
+
+        if choose_a:
+            group_a.append(i)
+            cover_a = cover_a.union(rects[i])
+        else:
+            group_b.append(i)
+            cover_b = cover_b.union(rects[i])
+
+    return group_a, group_b
+
+
+def rstar_split(rects: list[Rect], min_entries: int) -> tuple[list[int], list[int]]:
+    """The R*-Tree split (Beckmann et al. 1990).
+
+    ChooseSplitAxis: for every axis, sort by low then by high bound and sum
+    the margins of all legal two-group distributions; pick the axis with
+    the smallest sum.  ChooseSplitIndex: on that axis, pick the
+    distribution with the least overlap between the two covering
+    rectangles, ties broken by least combined area.
+    """
+    min_entries = max(1, min_entries)
+    n = len(rects)
+    dims = rects[0].dims
+    best_axis = 0
+    best_axis_margin = float("inf")
+    best_axis_orders: list[list[int]] = []
+
+    for axis in range(dims):
+        orders = [
+            sorted(range(n), key=lambda i: (rects[i].lows[axis], rects[i].highs[axis])),
+            sorted(range(n), key=lambda i: (rects[i].highs[axis], rects[i].lows[axis])),
+        ]
+        margin_sum = 0.0
+        for order in orders:
+            prefix, suffix = _running_covers(rects, order)
+            for k in range(min_entries, n - min_entries + 1):
+                margin_sum += prefix[k - 1].margin + suffix[k].margin
+        if margin_sum < best_axis_margin:
+            best_axis_margin = margin_sum
+            best_axis = axis
+            best_axis_orders = orders
+
+    best_groups: tuple[list[int], list[int]] | None = None
+    best_overlap = float("inf")
+    best_area = float("inf")
+    for order in best_axis_orders:
+        prefix, suffix = _running_covers(rects, order)
+        for k in range(min_entries, n - min_entries + 1):
+            left = prefix[k - 1]
+            right = suffix[k]
+            inter = left.intersection(right)
+            overlap = inter.area if inter is not None else 0.0
+            area = left.area + right.area
+            if overlap < best_overlap or (overlap == best_overlap and area < best_area):
+                best_overlap = overlap
+                best_area = area
+                best_groups = (list(order[:k]), list(order[k:]))
+    assert best_groups is not None
+    return best_groups
+
+
+def _running_covers(rects: list[Rect], order: list[int]) -> tuple[list[Rect], list[Rect]]:
+    """prefix[i] = cover of order[:i+1]; suffix[i] = cover of order[i:]."""
+    n = len(order)
+    prefix = [rects[order[0]]] * n
+    for i in range(1, n):
+        prefix[i] = prefix[i - 1].union(rects[order[i]])
+    suffix = [rects[order[-1]]] * n
+    for i in range(n - 2, -1, -1):
+        suffix[i] = suffix[i + 1].union(rects[order[i]])
+    return prefix, suffix
+
+
+def _pick_seeds_linear(rects: list[Rect]) -> tuple[int, int]:
+    """Linear PickSeeds: the pair with the greatest normalised separation."""
+    dims = rects[0].dims
+    best_pair = (0, 1)
+    best_separation = float("-inf")
+    for d in range(dims):
+        # Highest low side and lowest high side.
+        high_low = max(range(len(rects)), key=lambda i: rects[i].lows[d])
+        low_high = min(range(len(rects)), key=lambda i: rects[i].highs[d])
+        if high_low == low_high:
+            continue
+        width = max(r.highs[d] for r in rects) - min(r.lows[d] for r in rects)
+        if width <= 0.0:
+            continue
+        separation = (rects[high_low].lows[d] - rects[low_high].highs[d]) / width
+        if separation > best_separation:
+            best_separation = separation
+            best_pair = (low_high, high_low)
+    return best_pair
+
+
+def linear_split(rects: list[Rect], min_entries: int) -> tuple[list[int], list[int]]:
+    """Guttman's linear-cost split."""
+    seed_a, seed_b = _pick_seeds_linear(rects)
+    group_a, group_b = [seed_a], [seed_b]
+    cover_a, cover_b = rects[seed_a], rects[seed_b]
+    remaining = [i for i in range(len(rects)) if i not in (seed_a, seed_b)]
+
+    for pos, i in enumerate(remaining):
+        rest = len(remaining) - pos
+        if len(group_a) + rest == min_entries:
+            group_a.extend(remaining[pos:])
+            return group_a, group_b
+        if len(group_b) + rest == min_entries:
+            group_b.extend(remaining[pos:])
+            return group_a, group_b
+        enl_a = cover_a.enlargement(rects[i])
+        enl_b = cover_b.enlargement(rects[i])
+        if enl_a < enl_b or (enl_a == enl_b and len(group_a) <= len(group_b)):
+            group_a.append(i)
+            cover_a = cover_a.union(rects[i])
+        else:
+            group_b.append(i)
+            cover_b = cover_b.union(rects[i])
+    return group_a, group_b

@@ -1,0 +1,29 @@
+"""Exception hierarchy for the repro package."""
+
+__all__ = [
+    "ReproError",
+    "IndexStructureError",
+    "CapacityError",
+    "StorageError",
+    "WorkloadError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all repro-specific errors."""
+
+
+class IndexStructureError(ReproError):
+    """An index structural invariant was violated (see core.validation)."""
+
+
+class CapacityError(ReproError):
+    """A node or page was asked to hold more than it can."""
+
+
+class StorageError(ReproError):
+    """A simulated-storage operation failed (bad page id, size mismatch...)."""
+
+
+class WorkloadError(ReproError):
+    """A workload generator received inconsistent parameters."""

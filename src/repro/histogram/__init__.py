@@ -1,0 +1,6 @@
+"""Equi-depth histograms and distribution prediction (Section 4)."""
+
+from .equidepth import EquiDepthHistogram, uniform_histogram
+from .predictor import DistributionPredictor
+
+__all__ = ["EquiDepthHistogram", "uniform_histogram", "DistributionPredictor"]

@@ -1,0 +1,79 @@
+"""Distribution prediction for Skeleton Indexes (Section 4).
+
+"The idea of distribution prediction is to buffer the first T tuples in
+main memory, and compute a histogram of the initial input data in each
+dimension, and then construct a Skeleton Index based on those histograms.
+In our experiments, values of T in the range of 5% to 10% of the expected
+number of tuples to be inserted worked well."
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..exceptions import WorkloadError
+from ..core.geometry import Rect
+from .equidepth import EquiDepthHistogram
+
+__all__ = ["DistributionPredictor"]
+
+
+class DistributionPredictor:
+    """Buffers the first T inserted rectangles, then yields per-dimension
+    equi-depth histograms of their midpoints.
+
+    Args:
+        dims: Number of dimensions.
+        expected_tuples: Estimate of the total insert volume; also used by
+            the skeleton builder for sizing.
+        fraction: Fraction of ``expected_tuples`` to buffer before the
+            prediction is ready (paper: 0.05-0.10).
+        domain: Per-dimension (low, high) bounds of the indexed space.
+    """
+
+    def __init__(
+        self,
+        dims: int,
+        expected_tuples: int,
+        fraction: float,
+        domain: list[tuple[float, float]],
+    ):
+        if expected_tuples < 1:
+            raise WorkloadError("expected_tuples must be positive")
+        if not 0.0 < fraction <= 1.0:
+            raise WorkloadError("prediction fraction must be in (0, 1]")
+        if len(domain) != dims:
+            raise WorkloadError(f"domain must give bounds for all {dims} dimensions")
+        self.dims = dims
+        self.expected_tuples = expected_tuples
+        self.domain = [(float(lo), float(hi)) for lo, hi in domain]
+        self.buffer_target = max(1, int(round(expected_tuples * fraction)))
+        self.buffered: list[tuple[Rect, int, Any]] = []
+
+    @property
+    def ready(self) -> bool:
+        return len(self.buffered) >= self.buffer_target
+
+    def add(self, rect: Rect, record_id: int, payload: Any) -> bool:
+        """Buffer one tuple; returns True when the buffer just filled up."""
+        if self.ready:
+            raise WorkloadError("predictor buffer already full")
+        self.buffered.append((rect, record_id, payload))
+        return self.ready
+
+    def histograms(self) -> list[EquiDepthHistogram]:
+        """Per-dimension equi-depth histograms of the buffered midpoints."""
+        if not self.buffered:
+            raise WorkloadError("no tuples buffered")
+        result = []
+        for d in range(self.dims):
+            centers = [
+                (rect.lows[d] + rect.highs[d]) / 2.0 for rect, _, _ in self.buffered
+            ]
+            result.append(EquiDepthHistogram(centers, self.domain[d]))
+        return result
+
+    def drain(self) -> list[tuple[Rect, int, Any]]:
+        """Hand back (and forget) the buffered tuples for insertion."""
+        buffered, self.buffered = self.buffered, []
+        return buffered

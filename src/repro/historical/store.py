@@ -1,0 +1,234 @@
+"""Historical (temporal) data store — the paper's Figure 1 scenario.
+
+Historical relations store one row per *version*: a key, a numeric value,
+and the time interval over which the value held.  Salary histories are the
+paper's running example: mostly short intervals (frequent raises) plus a
+few very long ones, i.e. exactly the skewed interval-length distribution
+Segment Indexes target.
+
+:class:`HistoricalStore` is an append-only version store with a 2-D
+SR-Tree index over (time interval, value): closed versions are indexed as
+horizontal segments; the currently-open version of each key lives in a
+small in-memory table until it is closed (historical indexes only need
+insertion and search — Section 3.1.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from ..core.config import IndexConfig
+from ..core.geometry import Rect, segment
+from ..core.rtree import RTree
+from ..core.srtree import SRTree
+from ..exceptions import WorkloadError
+
+__all__ = ["Version", "HistoricalStore"]
+
+
+@dataclass(frozen=True)
+class Version:
+    """One closed or open version of a key's value."""
+
+    key: Any
+    value: float
+    start: float
+    end: float | None  # None while the version is current
+
+    @property
+    def is_open(self) -> bool:
+        return self.end is None
+
+    def valid_at(self, t: float) -> bool:
+        return self.start <= t and (self.end is None or t <= self.end)
+
+
+class HistoricalStore:
+    """Append-only store of (key, numeric value, valid-time) versions.
+
+    >>> store = HistoricalStore()
+    >>> store.record("alice", 30_000, start=1985.0)
+    >>> store.record("alice", 45_000, start=1988.5)   # closes the 30K version
+    >>> [v.value for v in store.snapshot(1986.0)]
+    [30000.0]
+    >>> len(store.history("alice"))
+    2
+    """
+
+    def __init__(self, config: IndexConfig | None = None, index_cls: type[RTree] = SRTree):
+        self.config = config or IndexConfig(dims=2)
+        if self.config.dims != 2:
+            raise WorkloadError("the historical store indexes (time, value): dims=2")
+        self._index = index_cls(self.config)
+        self._open: dict[Any, Version] = {}
+        self._history: dict[Any, list[Version]] = {}
+        self._closed_count = 0
+
+    def __len__(self) -> int:
+        """Total number of versions (open + closed)."""
+        return self._closed_count + len(self._open)
+
+    @property
+    def index(self) -> RTree:
+        """The underlying interval index (for stats and validation)."""
+        return self._index
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def record(self, key: Any, value: float, start: float) -> None:
+        """Start a new version of ``key``; closes any current version at
+        ``start`` (a history is a contiguous sequence of versions)."""
+        value = float(value)
+        start = float(start)
+        current = self._open.get(key)
+        if current is not None:
+            if start < current.start:
+                raise WorkloadError(
+                    f"version for {key!r} starting {start} predates the "
+                    f"current version ({current.start})"
+                )
+            self._close_version(key, current, start)
+        version = Version(key, value, start, None)
+        self._open[key] = version
+        self._history.setdefault(key, []).append(version)
+
+    def close(self, key: Any, end: float) -> None:
+        """Terminate the current version of ``key`` at time ``end``."""
+        current = self._open.get(key)
+        if current is None:
+            raise WorkloadError(f"no open version for key {key!r}")
+        if end < current.start:
+            raise WorkloadError(
+                f"end {end} predates the version start {current.start}"
+            )
+        self._close_version(key, current, float(end))
+        del self._open[key]
+
+    def _close_version(self, key: Any, version: Version, end: float) -> None:
+        """Replace an open version with its closed form and index it."""
+        closed = Version(key, version.value, version.start, end)
+        history = self._history[key]
+        history[history.index(version)] = closed
+        self._index.insert(
+            segment(closed.start, end, closed.value), payload=closed
+        )
+        self._closed_count += 1
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def snapshot(self, t: float) -> list[Version]:
+        """All versions valid at time ``t`` (one per key at most)."""
+        t = float(t)
+        hits = self._index.search(self._time_stab_rect(t))
+        results = [v for _, v in hits if v.valid_at(t)]
+        results.extend(v for v in self._open.values() if v.start <= t)
+        return results
+
+    def _time_stab_rect(self, t: float) -> Rect:
+        """A zero-width time slice covering the full indexed value range."""
+        bounds = self._index.bounding_rect()
+        if bounds is None:
+            return Rect((t, 0.0), (t, 0.0))
+        return Rect((t, bounds.lows[1]), (t, bounds.highs[1]))
+
+    def history(self, key: Any) -> list[Version]:
+        """All versions of ``key`` in chronological order."""
+        return list(self._history.get(key, []))
+
+    def query(
+        self,
+        time_low: float,
+        time_high: float,
+        value_low: float | None = None,
+        value_high: float | None = None,
+    ) -> list[Version]:
+        """Versions whose valid time intersects [time_low, time_high] and
+        (optionally) whose value lies in [value_low, value_high] — the
+        Figure 1 rectangle query."""
+        if time_low > time_high:
+            raise WorkloadError("inverted time range")
+        # The index needs finite search bounds; the logical filter uses
+        # +/-inf when a bound was not given (open versions included).
+        filter_lo = value_low if value_low is not None else float("-inf")
+        filter_hi = value_high if value_high is not None else float("inf")
+        if filter_lo > filter_hi:
+            raise WorkloadError("inverted value range")
+        bounds = self._index.bounding_rect()
+        vlo = value_low if value_low is not None else (
+            bounds.lows[1] if bounds else 0.0
+        )
+        vhi = value_high if value_high is not None else (
+            bounds.highs[1] if bounds else 0.0
+        )
+        results: list[Version] = []
+        if bounds is not None and vlo <= vhi:
+            hits = self._index.search(Rect((time_low, vlo), (time_high, vhi)))
+            results.extend(v for _, v in hits)
+        for v in self._open.values():
+            if v.start <= time_high and filter_lo <= v.value <= filter_hi:
+                results.append(v)
+        return results
+
+    def keys(self) -> Iterator[Any]:
+        return iter(self._history)
+
+    def current(self, key: Any) -> Version | None:
+        """The open version of ``key``, if any."""
+        return self._open.get(key)
+
+    # ------------------------------------------------------------------
+    # Temporal analytics
+    # ------------------------------------------------------------------
+    def as_of_map(self, t: float) -> dict[Any, float]:
+        """key -> value at time ``t`` (latest version when several touch t)."""
+        result: dict[Any, float] = {}
+        best_start: dict[Any, float] = {}
+        for v in self.snapshot(t):
+            if v.key not in result or v.start >= best_start[v.key]:
+                result[v.key] = v.value
+                best_start[v.key] = v.start
+        return result
+
+    def changes(
+        self,
+        time_low: float,
+        time_high: float,
+        value_low: float | None = None,
+        value_high: float | None = None,
+    ) -> list[Version]:
+        """Versions that *start* inside [time_low, time_high] — the "event"
+        view of the history (e.g. every raise granted in the 1980s)."""
+        hits = self.query(time_low, time_high, value_low, value_high)
+        return sorted(
+            (v for v in hits if time_low <= v.start <= time_high),
+            key=lambda v: (v.start, str(v.key)),
+        )
+
+    def time_weighted_average(
+        self, time_low: float, time_high: float, key: Any = None
+    ) -> float:
+        """Average value over [time_low, time_high], weighted by validity
+        duration (the standard temporal-aggregation semantics).  Restricted
+        to one key when ``key`` is given; 0.0 when nothing is valid."""
+        if time_low >= time_high:
+            raise WorkloadError("time window must have positive length")
+        versions = self.query(time_low, time_high)
+        weighted = 0.0
+        duration = 0.0
+        for v in versions:
+            if key is not None and v.key != key:
+                continue
+            start = max(v.start, time_low)
+            end = min(v.end if v.end is not None else time_high, time_high)
+            if end <= start:
+                continue
+            weighted += v.value * (end - start)
+            duration += end - start
+        return weighted / duration if duration else 0.0
+
+    def count_valid_at(self, t: float) -> int:
+        """Number of versions valid at ``t`` (head count in Figure 1)."""
+        return len(self.snapshot(t))

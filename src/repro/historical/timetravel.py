@@ -1,0 +1,108 @@
+"""Time-travel dictionary: the Sarnak-Tarjan answer to "as of time t".
+
+A main-memory companion to :class:`~repro.historical.store.HistoricalStore`
+built on the partially persistent search tree of
+:mod:`repro.cg.persistent_search_tree`: every update is stamped with a
+monotone timestamp, and any past state can be read back in O(log n).
+
+This is the structure the paper's introduction cites ([SARN86]) for
+in-memory historical queries; the disk-oriented Segment Index exists
+because this approach assumes everything fits in RAM.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Iterator
+
+from ..cg.persistent_search_tree import PersistentSearchTree
+from ..exceptions import WorkloadError
+
+__all__ = ["TimeTravelDict"]
+
+
+class TimeTravelDict:
+    """An ordered map whose entire history stays queryable.
+
+    >>> ttd = TimeTravelDict()
+    >>> ttd.put("alice", 30_000, at=1985.0)
+    >>> ttd.put("alice", 45_000, at=1988.5)
+    >>> ttd.remove("alice", at=1990.0)
+    >>> ttd.as_of("alice", 1986.0)
+    30000
+    >>> ttd.as_of("alice", 1989.0)
+    45000
+    >>> ttd.as_of("alice", 1991.0) is None
+    True
+    """
+
+    def __init__(self) -> None:
+        self._tree = PersistentSearchTree()
+        self._timestamps: list[float] = []  # parallel to versions 1..n
+
+    # ------------------------------------------------------------------
+    # Updates (timestamps must be non-decreasing)
+    # ------------------------------------------------------------------
+    def put(self, key: Any, value: Any, at: float) -> None:
+        self._stamp(at)
+        self._tree.insert(key, value)
+
+    def remove(self, key: Any, at: float) -> None:
+        self._stamp(at)
+        self._tree.delete(key)
+
+    def _stamp(self, at: float) -> None:
+        at = float(at)
+        if self._timestamps and at < self._timestamps[-1]:
+            raise WorkloadError(
+                f"timestamps must be non-decreasing: {at} after "
+                f"{self._timestamps[-1]}"
+            )
+        self._timestamps.append(at)
+
+    # ------------------------------------------------------------------
+    # Point-in-time reads
+    # ------------------------------------------------------------------
+    def _version_at(self, t: float) -> int:
+        """The last version whose timestamp is <= t (0 = before history)."""
+        return bisect.bisect_right(self._timestamps, float(t))
+
+    def as_of(self, key: Any, t: float) -> Any:
+        """The value of ``key`` as of time ``t`` (None when absent)."""
+        return self._tree.get(key, version=self._version_at(t))
+
+    def contains_as_of(self, key: Any, t: float) -> bool:
+        return self._tree.contains(key, version=self._version_at(t))
+
+    def snapshot(self, t: float) -> dict[Any, Any]:
+        """The whole map as of time ``t``."""
+        return dict(self._tree.items(version=self._version_at(t)))
+
+    def range_as_of(self, low: Any, high: Any, t: float) -> list[tuple[Any, Any]]:
+        """Key-range scan against the state at time ``t``."""
+        return self._tree.range(low, high, version=self._version_at(t))
+
+    def size_as_of(self, t: float) -> int:
+        return self._tree.size(version=self._version_at(t))
+
+    # ------------------------------------------------------------------
+    # History introspection
+    # ------------------------------------------------------------------
+    @property
+    def updates(self) -> int:
+        return len(self._timestamps)
+
+    def key_history(self, key: Any) -> Iterator[tuple[float, Any]]:
+        """(timestamp, value-after-update) for every update touching key.
+
+        Linear in the number of updates; the per-version structure sharing
+        makes each probe O(log n).
+        """
+        previous_present = False
+        previous_value: Any = None
+        for version, t in enumerate(self._timestamps, start=1):
+            present = self._tree.contains(key, version=version)
+            value = self._tree.get(key, version=version) if present else None
+            if present != previous_present or (present and value != previous_value):
+                yield t, value
+            previous_present, previous_value = present, value

@@ -1,0 +1,152 @@
+"""Transaction-level predicate locking on a Segment Index.
+
+Section 2.2's rule locks generalise to classic *predicate locks*: a
+transaction reading ``salary BETWEEN a AND b`` locks the interval [a, b]
+in shared mode; a writer of ``salary = v`` needs an exclusive lock on the
+point v.  Storing the predicates in a 1-D Segment Index makes conflict
+checks a stabbing/intersection query, and broad predicates are
+automatically escalated up the index by the spanning-record machinery —
+the same effect as the paper's "promoted" rule locks.
+
+:class:`PredicateLockManager` implements the classic two-mode protocol:
+shared locks conflict with exclusive ones, exclusive locks conflict with
+everything, a transaction never conflicts with itself, and locks are held
+until ``release_all`` (strict two-phase locking).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from ..core.config import IndexConfig
+from ..exceptions import ReproError, WorkloadError
+from .locks import RuleLock, RuleLockIndex
+
+__all__ = ["LockConflict", "PredicateLockManager", "HeldLock"]
+
+
+class LockConflict(ReproError):
+    """Raised when a requested predicate lock conflicts with a holder."""
+
+    def __init__(self, requester: Any, holders: list["HeldLock"]):
+        self.requester = requester
+        self.holders = holders
+        owners = sorted({str(h.txn) for h in holders})
+        super().__init__(
+            f"transaction {requester!r} blocked by lock holder(s) {owners}"
+        )
+
+
+@dataclass(frozen=True)
+class HeldLock:
+    """A granted predicate lock."""
+
+    txn: Any
+    low: float
+    high: float
+    mode: str
+    handle: int
+
+
+class PredicateLockManager:
+    """Strict 2PL predicate locks over one numeric attribute.
+
+    >>> mgr = PredicateLockManager()
+    >>> _ = mgr.acquire("T1", 10_000, 20_000, mode="shared")
+    >>> _ = mgr.acquire("T2", 15_000, 15_000, mode="shared")  # S+S: fine
+    >>> mgr.acquire("T3", 12_000, 13_000, mode="exclusive")
+    Traceback (most recent call last):
+        ...
+    repro.rules.predicate_locks.LockConflict: transaction 'T3' blocked by lock holder(s) ['T1']
+    """
+
+    def __init__(self, config: IndexConfig | None = None):
+        self._index = RuleLockIndex(config or IndexConfig(dims=1))
+        self._held: dict[int, HeldLock] = {}
+        self._by_txn: dict[Any, list[int]] = {}
+
+    def __len__(self) -> int:
+        return len(self._held)
+
+    # ------------------------------------------------------------------
+    # Locking protocol
+    # ------------------------------------------------------------------
+    def acquire(self, txn: Any, low: float, high: float, mode: str = "shared") -> HeldLock:
+        """Grant a predicate lock or raise :class:`LockConflict`."""
+        if mode not in ("shared", "exclusive"):
+            raise WorkloadError(f"unknown lock mode {mode!r}")
+        conflicts = self.conflicts_with(txn, low, high, mode)
+        if conflicts:
+            raise LockConflict(txn, conflicts)
+        handle = self._index.lock_range((txn, mode), low, high, mode)
+        held = HeldLock(txn, float(low), float(high), mode, handle)
+        self._held[handle] = held
+        self._by_txn.setdefault(txn, []).append(handle)
+        return held
+
+    def acquire_point(self, txn: Any, value: float, mode: str = "exclusive") -> HeldLock:
+        """Point predicate (e.g. an update of one key)."""
+        return self.acquire(txn, value, value, mode)
+
+    def conflicts_with(
+        self, txn: Any, low: float, high: float, mode: str
+    ) -> list[HeldLock]:
+        """Holders that block ``txn`` from locking [low, high] in ``mode``."""
+        if low > high:
+            raise WorkloadError(f"inverted predicate [{low}, {high}]")
+        blockers: list[HeldLock] = []
+        for lock in self._index.locks_for_range(low, high):
+            other_txn, other_mode = lock.rule_id
+            if other_txn == txn:
+                continue  # a transaction never conflicts with itself
+            if mode == "exclusive" or other_mode == "exclusive":
+                held = self._find_held(lock)
+                if held is not None:
+                    blockers.append(held)
+        return blockers
+
+    def would_block(self, txn: Any, low: float, high: float, mode: str = "shared") -> bool:
+        return bool(self.conflicts_with(txn, low, high, mode))
+
+    def release_all(self, txn: Any) -> int:
+        """Release every lock of ``txn`` (commit/abort); returns the count."""
+        handles = self._by_txn.pop(txn, [])
+        for handle in handles:
+            self._held.pop(handle, None)
+            self._index.unlock(handle)
+        return len(handles)
+
+    def locks_of(self, txn: Any) -> list[HeldLock]:
+        return [self._held[h] for h in self._by_txn.get(txn, [])]
+
+    def holders_at(self, value: float) -> list[HeldLock]:
+        """Every lock whose predicate covers ``value``."""
+        result = []
+        for lock in self._index.locks_for_value(value):
+            held = self._find_held(lock)
+            if held is not None:
+                result.append(held)
+        return result
+
+    def _find_held(self, lock: RuleLock) -> HeldLock | None:
+        for handle in self._by_txn.get(lock.rule_id[0], []):
+            held = self._held[handle]
+            if (
+                held.low == lock.low
+                and held.high == lock.high
+                and held.mode == lock.mode
+            ):
+                return held
+        return None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def index(self) -> RuleLockIndex:
+        """The underlying 1-D segment index (escalation statistics etc.)."""
+        return self._index
+
+    def active_transactions(self) -> Iterable[Any]:
+        return self._by_txn.keys()

@@ -1,0 +1,32 @@
+"""Simulated paged storage: pages, disk, LRU buffer pool, serialization."""
+
+from .buffer import BufferPool, BufferStats
+from .disk import DiskStats, SimulatedDisk
+from .filedisk import FileDisk
+from .page import Page, PageId
+from .pager import StorageManager
+from .serializer import (
+    BranchImage,
+    NodeImage,
+    RecordImage,
+    deserialize_node,
+    entry_physical_bytes,
+    serialize_node,
+)
+
+__all__ = [
+    "BufferPool",
+    "BufferStats",
+    "DiskStats",
+    "FileDisk",
+    "SimulatedDisk",
+    "Page",
+    "PageId",
+    "StorageManager",
+    "BranchImage",
+    "NodeImage",
+    "RecordImage",
+    "deserialize_node",
+    "entry_physical_bytes",
+    "serialize_node",
+]

@@ -1,0 +1,131 @@
+"""LRU buffer pool over the simulated disk.
+
+Models the "only a small portion of the index may reside in main memory at
+a given time" premise of the paper's introduction.  The pool is sized in
+bytes (pages have level-dependent sizes, so a page count would be
+misleading) and evicts least-recently-used unpinned pages, writing dirty
+pages back to the simulated disk.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from ..exceptions import StorageError
+from .disk import SimulatedDisk
+from .page import Page, PageId
+
+__all__ = ["BufferStats", "BufferPool"]
+
+
+@dataclass
+class BufferStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    dirty_writebacks: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.accesses
+        return self.hits / total if total else 0.0
+
+
+class BufferPool:
+    """Byte-budgeted LRU cache of pages.
+
+    >>> disk = SimulatedDisk()
+    >>> disk.allocate(1, 1024)
+    >>> pool = BufferPool(disk, capacity_bytes=4096)
+    >>> page = pool.fetch(1)
+    >>> pool.release(1)
+    """
+
+    def __init__(self, disk: SimulatedDisk, capacity_bytes: int):
+        if capacity_bytes <= 0:
+            raise StorageError("buffer pool capacity must be positive")
+        self.disk = disk
+        self.capacity_bytes = capacity_bytes
+        self.stats = BufferStats()
+        self._frames: "OrderedDict[PageId, Page]" = OrderedDict()
+        self._resident_bytes = 0
+
+    @property
+    def resident_bytes(self) -> int:
+        return self._resident_bytes
+
+    @property
+    def resident_pages(self) -> int:
+        return len(self._frames)
+
+    def fetch(self, page_id: PageId) -> Page:
+        """Pin the page in memory, reading from disk on a miss."""
+        frame = self._frames.get(page_id)
+        if frame is not None:
+            self.stats.hits += 1
+            self._frames.move_to_end(page_id)
+            frame.pin()
+            return frame
+        self.stats.misses += 1
+        data = self.disk.read_page(page_id)
+        frame = Page(page_id, len(data), bytearray(data))
+        self._make_room(frame.size)
+        self._frames[page_id] = frame
+        self._resident_bytes += frame.size
+        frame.pin()
+        return frame
+
+    def release(self, page_id: PageId, dirty: bool = False) -> None:
+        """Unpin a fetched page, optionally marking it dirty."""
+        frame = self._frames.get(page_id)
+        if frame is None:
+            raise StorageError(f"page {page_id} is not resident")
+        if dirty:
+            frame.dirty = True
+        frame.unpin()
+
+    def touch(self, page_id: PageId, dirty: bool = False) -> None:
+        """Convenience: fetch + immediate release (one logical access)."""
+        self.fetch(page_id)
+        self.release(page_id, dirty)
+
+    def flush(self) -> None:
+        """Write back every dirty resident page."""
+        for frame in self._frames.values():
+            if frame.dirty:
+                self.disk.write_page(frame.page_id, bytes(frame.data))
+                frame.dirty = False
+                self.stats.dirty_writebacks += 1
+
+    def drop(self, page_id: PageId) -> None:
+        """Remove a page from the pool without writing it back (the caller
+        deallocated it)."""
+        frame = self._frames.pop(page_id, None)
+        if frame is not None:
+            self._resident_bytes -= frame.size
+
+    def _make_room(self, needed: int) -> None:
+        if needed > self.capacity_bytes:
+            raise StorageError(
+                f"page of {needed} bytes exceeds pool capacity "
+                f"{self.capacity_bytes}"
+            )
+        while self._resident_bytes + needed > self.capacity_bytes:
+            victim_id = self._pick_victim()
+            victim = self._frames.pop(victim_id)
+            if victim.dirty:
+                self.disk.write_page(victim.page_id, bytes(victim.data))
+                self.stats.dirty_writebacks += 1
+            self._resident_bytes -= victim.size
+            self.stats.evictions += 1
+
+    def _pick_victim(self) -> PageId:
+        for page_id, frame in self._frames.items():  # LRU order
+            if frame.pin_count == 0:
+                return page_id
+        raise StorageError("buffer pool exhausted: every resident page is pinned")

@@ -1,0 +1,84 @@
+"""Simulated disk: a page-addressed file with I/O accounting.
+
+The paper reports machine-independent node accesses; the physical-I/O side
+of a paged index (reads, writes, transfer volume) is reproduced here as a
+deterministic simulation so the buffer-pool benchmarks (experiment P1 in
+DESIGN.md) can study locality without real hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..exceptions import StorageError
+from .page import PageId
+
+__all__ = ["DiskStats", "SimulatedDisk"]
+
+
+@dataclass
+class DiskStats:
+    reads: int = 0
+    writes: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+
+
+class SimulatedDisk:
+    """A byte store addressed by page id, with per-page sizes.
+
+    Pages are allocated explicitly (the pager decides sizes by node level);
+    reading an unallocated page is an error, mirroring a real storage
+    manager's behaviour.
+    """
+
+    def __init__(self) -> None:
+        self._pages: dict[PageId, bytes] = {}
+        self._sizes: dict[PageId, int] = {}
+        self.stats = DiskStats()
+
+    def allocate(self, page_id: PageId, size: int) -> None:
+        if page_id in self._sizes:
+            raise StorageError(f"page {page_id} already allocated")
+        if size <= 0:
+            raise StorageError(f"invalid page size {size}")
+        self._sizes[page_id] = size
+        self._pages[page_id] = bytes(size)
+
+    def deallocate(self, page_id: PageId) -> None:
+        if page_id not in self._sizes:
+            raise StorageError(f"page {page_id} not allocated")
+        del self._sizes[page_id]
+        del self._pages[page_id]
+
+    def page_size(self, page_id: PageId) -> int:
+        try:
+            return self._sizes[page_id]
+        except KeyError:
+            raise StorageError(f"page {page_id} not allocated") from None
+
+    def read_page(self, page_id: PageId) -> bytes:
+        data = self._pages.get(page_id)
+        if data is None:
+            raise StorageError(f"page {page_id} not allocated")
+        self.stats.reads += 1
+        self.stats.bytes_read += len(data)
+        return data
+
+    def write_page(self, page_id: PageId, data: bytes) -> None:
+        size = self.page_size(page_id)
+        if len(data) != size:
+            raise StorageError(
+                f"page {page_id}: write of {len(data)} bytes != page size {size}"
+            )
+        self._pages[page_id] = bytes(data)
+        self.stats.writes += 1
+        self.stats.bytes_written += size
+
+    @property
+    def allocated_pages(self) -> int:
+        return len(self._sizes)
+
+    @property
+    def allocated_bytes(self) -> int:
+        return sum(self._sizes.values())

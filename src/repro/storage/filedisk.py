@@ -1,0 +1,151 @@
+"""File-backed page store: real persistence for the paged index.
+
+Drop-in replacement for :class:`~repro.storage.disk.SimulatedDisk` that
+keeps page contents in an ordinary file, so a checkpointed index survives
+the process.  Pages are allocated sequentially; the page table
+(page id -> offset, size) is stored in a JSON sidecar next to the data
+file and refreshed on :meth:`sync`/:meth:`close`.
+
+>>> import tempfile, os
+>>> from repro import SRTree, segment
+>>> from repro.storage import FileDisk, StorageManager
+>>> path = tempfile.mktemp()
+>>> tree = SRTree()
+>>> _ = [tree.insert(segment(i, i + 1, i), payload=i) for i in range(200)]
+>>> manager = StorageManager(tree, disk=FileDisk(path))
+>>> root_page = manager.checkpoint()
+>>> manager.disk.close()
+>>> reopened = FileDisk(path)                       # new process, same file
+>>> reopened.page_size(root_page) >= 1024
+True
+>>> reopened.close()
+>>> os.unlink(path); os.unlink(path + ".meta")
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from ..exceptions import StorageError
+from .disk import DiskStats
+from .page import PageId
+
+__all__ = ["FileDisk"]
+
+
+class FileDisk:
+    """A page-addressed store persisted in a regular file."""
+
+    def __init__(self, path: str | os.PathLike):
+        self.path = Path(path)
+        self.meta_path = Path(str(path) + ".meta")
+        self.stats = DiskStats()
+        self._offsets: dict[PageId, int] = {}
+        self._sizes: dict[PageId, int] = {}
+        self._end = 0
+        self._closed = False
+        if self.path.exists() and self.meta_path.exists():
+            meta = json.loads(self.meta_path.read_text())
+            self._offsets = {int(k): v for k, v in meta["offsets"].items()}
+            self._sizes = {int(k): v for k, v in meta["sizes"].items()}
+            self._end = meta["end"]
+            self._file = open(self.path, "r+b")
+        else:
+            self._file = open(self.path, "w+b")
+
+    # ------------------------------------------------------------------
+    # Disk interface (mirrors SimulatedDisk)
+    # ------------------------------------------------------------------
+    def allocate(self, page_id: PageId, size: int) -> None:
+        self._check_open()
+        if page_id in self._sizes:
+            raise StorageError(f"page {page_id} already allocated")
+        if size <= 0:
+            raise StorageError(f"invalid page size {size}")
+        self._offsets[page_id] = self._end
+        self._sizes[page_id] = size
+        self._file.seek(self._end)
+        self._file.write(bytes(size))
+        self._end += size
+
+    def deallocate(self, page_id: PageId) -> None:
+        """Drop the page from the table (space is not reclaimed — a real
+        system would track a free list; compaction is out of scope)."""
+        self._check_open()
+        if page_id not in self._sizes:
+            raise StorageError(f"page {page_id} not allocated")
+        del self._sizes[page_id]
+        del self._offsets[page_id]
+
+    def page_size(self, page_id: PageId) -> int:
+        try:
+            return self._sizes[page_id]
+        except KeyError:
+            raise StorageError(f"page {page_id} not allocated") from None
+
+    def read_page(self, page_id: PageId) -> bytes:
+        self._check_open()
+        size = self.page_size(page_id)
+        self._file.seek(self._offsets[page_id])
+        data = self._file.read(size)
+        if len(data) != size:
+            raise StorageError(f"short read on page {page_id}")
+        self.stats.reads += 1
+        self.stats.bytes_read += size
+        return data
+
+    def write_page(self, page_id: PageId, data: bytes) -> None:
+        self._check_open()
+        size = self.page_size(page_id)
+        if len(data) != size:
+            raise StorageError(
+                f"page {page_id}: write of {len(data)} bytes != page size {size}"
+            )
+        self._file.seek(self._offsets[page_id])
+        self._file.write(data)
+        self.stats.writes += 1
+        self.stats.bytes_written += size
+
+    @property
+    def allocated_pages(self) -> int:
+        return len(self._sizes)
+
+    @property
+    def allocated_bytes(self) -> int:
+        return sum(self._sizes.values())
+
+    # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+    def sync(self) -> None:
+        """Flush data and persist the page table."""
+        self._check_open()
+        self._file.flush()
+        os.fsync(self._file.fileno())
+        self.meta_path.write_text(
+            json.dumps(
+                {
+                    "offsets": {str(k): v for k, v in self._offsets.items()},
+                    "sizes": {str(k): v for k, v in self._sizes.items()},
+                    "end": self._end,
+                }
+            )
+        )
+
+    def close(self) -> None:
+        if not self._closed:
+            self.sync()
+            self._file.close()
+            self._closed = True
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise StorageError("disk is closed")
+
+    def __enter__(self) -> "FileDisk":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,181 @@
+"""Storage manager: wires an index to the simulated disk and buffer pool.
+
+Attaching a :class:`StorageManager` to an index makes every node access go
+through a byte-budgeted LRU buffer pool, turning the paper's node-access
+counts into simulated page I/O (hits, misses, evictions).  ``checkpoint``
+serializes every node onto its page; ``load_tree`` rebuilds an equivalent
+index from the disk image.
+
+Page sizes follow the node levels (1 KB leaves doubling upward by default),
+so buffer-pool experiments see exactly the paged structure the paper
+assumes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Type
+
+from ..core.entry import BranchEntry, DataEntry
+from ..core.geometry import Rect
+from ..core.node import Node
+from ..core.rtree import RTree
+from ..core.srtree import SRTree
+from ..exceptions import StorageError
+from .buffer import BufferPool
+from .disk import SimulatedDisk
+from .serializer import NodeImage, deserialize_node, serialize_node
+
+__all__ = ["StorageManager"]
+
+
+class StorageManager:
+    """Simulated paged storage for one index instance.
+
+    >>> from repro import SRTree, segment
+    >>> tree = SRTree()
+    >>> _ = [tree.insert(segment(i, i + 1, i)) for i in range(100)]
+    >>> manager = StorageManager(tree, buffer_bytes=8 * 1024)
+    >>> root_page = manager.checkpoint()
+    >>> clone = manager.load_tree()
+    >>> len(clone) == len(tree)
+    True
+    """
+
+    def __init__(self, tree: RTree, buffer_bytes: int = 64 * 1024, disk=None):
+        self.tree = tree
+        #: Any page store with the SimulatedDisk interface works; pass a
+        #: repro.storage.FileDisk for real on-disk persistence.
+        self.disk = disk if disk is not None else SimulatedDisk()
+        self.pool = BufferPool(self.disk, buffer_bytes)
+        self.root_page: int | None = None
+        self._page_of: dict[int, int] = {}
+        self._next_page = 1
+        self._payloads: dict[int, Any] = {}
+        for node in tree.iter_nodes():
+            self._ensure_page(node)
+        tree._storage_hook = self._on_access
+
+    # ------------------------------------------------------------------
+    # Access path
+    # ------------------------------------------------------------------
+    def _on_access(self, node: Node) -> None:
+        page_id = self._ensure_page(node)
+        self.pool.touch(page_id)
+
+    def _ensure_page(self, node: Node) -> int:
+        page_id = self._page_of.get(node.node_id)
+        if page_id is None:
+            page_id = self._next_page
+            self._next_page += 1
+            self._page_of[node.node_id] = page_id
+            self.disk.allocate(page_id, self.tree.config.node_bytes(node.level))
+        return page_id
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> int:
+        """Serialize every node to its page; returns the root's page id.
+
+        Payloads are kept in a sidecar heap (a real system would store
+        tuple identifiers in the index and the tuples in a heap file).
+        """
+        self._payloads = {}
+        page_of = {}
+        for node in self.tree.iter_nodes():
+            page_of[node.node_id] = self._ensure_page(node)
+        for node in self.tree.iter_nodes():
+            page_id = page_of[node.node_id]
+            image = serialize_node(node, self.disk.page_size(page_id), page_of)
+            frame = self.pool.fetch(page_id)
+            frame.write(image)
+            self.pool.release(page_id, dirty=True)
+            if node.is_leaf:
+                for e in node.data_entries:
+                    self._payloads.setdefault(e.record_id, e.payload)
+            else:
+                for _, r in node.iter_spanning():
+                    self._payloads.setdefault(r.record_id, r.payload)
+        self.pool.flush()
+        self.root_page = page_of[self.tree.root.node_id]
+        return self.root_page
+
+    def load_tree(self, index_cls: Type[RTree] | None = None) -> RTree:
+        """Rebuild an index object from the last checkpoint.
+
+        Skeleton-specific state (assigned regions, prediction buffers) is
+        not persisted; a reloaded skeleton index behaves like the plain
+        index of the same family from then on, which is safe because the
+        skeleton only influences how the tree *grew*.
+        """
+        if self.root_page is None:
+            raise StorageError("no checkpoint to load")
+        root_image = self._read_image(self.root_page)
+        if index_cls is None:
+            index_cls = SRTree if self.tree.segment_index else RTree
+        tree = index_cls.__new__(index_cls)
+        RTree.__init__(tree, self.tree.config)
+        root = self._build_node(root_image)
+        tree.root = root
+        tree._height = root.level + 1
+        counts: dict[int, int] = {}
+        for rid, _, _ in tree.items():
+            counts[rid] = counts.get(rid, 0) + 1
+        tree._fragment_counts = counts
+        tree._size = len(counts)
+        tree._next_record_id = max(counts, default=0) + 1
+        return tree
+
+    def _read_image(self, page_id: int) -> NodeImage:
+        frame = self.pool.fetch(page_id)
+        data = frame.read()
+        self.pool.release(page_id)
+        return deserialize_node(data)
+
+    def _build_node(self, image: NodeImage) -> Node:
+        node = Node(level=image.level)
+        if image.level == 0:
+            for r in image.records:
+                node.data_entries.append(
+                    DataEntry(
+                        Rect(r.lows, r.highs),
+                        r.record_id,
+                        self._payloads.get(r.record_id),
+                        r.is_remnant,
+                    )
+                )
+            return node
+        for b in image.branches:
+            child = self._build_node(self._read_image(b.child_page))
+            child.parent = node
+            branch = BranchEntry(Rect(b.lows, b.highs), child)
+            for r in b.spanning:
+                branch.spanning.append(
+                    DataEntry(
+                        Rect(r.lows, r.highs),
+                        r.record_id,
+                        self._payloads.get(r.record_id),
+                        r.is_remnant,
+                    )
+                )
+            node.branches.append(branch)
+        return node
+
+    def detach(self) -> None:
+        """Stop instrumenting the index (keeps disk contents)."""
+        self.tree._storage_hook = None
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def io_summary(self) -> dict:
+        return {
+            "buffer_hits": self.pool.stats.hits,
+            "buffer_misses": self.pool.stats.misses,
+            "hit_ratio": self.pool.stats.hit_ratio,
+            "evictions": self.pool.stats.evictions,
+            "disk_reads": self.disk.stats.reads,
+            "disk_writes": self.disk.stats.writes,
+            "allocated_pages": self.disk.allocated_pages,
+            "allocated_bytes": self.disk.allocated_bytes,
+        }

@@ -1,0 +1,170 @@
+"""Binary node serialization.
+
+Maps a :class:`~repro.core.node.Node` onto its fixed-size page image so the
+storage layer can persist and reload indexes and so the capacity accounting
+(``IndexConfig.entry_bytes``) corresponds to a real byte layout:
+
+* data entry  — ``record_id`` (8 bytes, bit 63 = remnant flag) followed by
+  ``2 * dims`` float64 coordinates;
+* branch entry — child page id (8 bytes, bits 48..62 = spanning count)
+  followed by the branch rectangle, then the branch's spanning records
+  encoded as data entries;
+* header — level (1), dims (1), entry count (2).
+
+Payloads are *not* stored in index pages (a real system stores tuple
+references; see :class:`repro.storage.pager.StorageManager` for the sidecar
+payload heap).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from ..core.entry import DataEntry
+from ..core.node import Node
+from ..exceptions import StorageError
+
+__all__ = ["NodeImage", "BranchImage", "RecordImage", "serialize_node", "deserialize_node", "entry_physical_bytes"]
+
+_HEADER = struct.Struct("<BBH")
+_WORD = struct.Struct("<Q")
+_REMNANT_BIT = 1 << 63
+_SPAN_COUNT_SHIFT = 48
+_SPAN_COUNT_MASK = (1 << 15) - 1
+_CHILD_MASK = (1 << _SPAN_COUNT_SHIFT) - 1
+
+
+@dataclass
+class RecordImage:
+    record_id: int
+    is_remnant: bool
+    lows: tuple[float, ...]
+    highs: tuple[float, ...]
+
+
+@dataclass
+class BranchImage:
+    child_page: int
+    lows: tuple[float, ...]
+    highs: tuple[float, ...]
+    spanning: list[RecordImage] = field(default_factory=list)
+
+
+@dataclass
+class NodeImage:
+    level: int
+    dims: int
+    records: list[RecordImage] = field(default_factory=list)
+    branches: list[BranchImage] = field(default_factory=list)
+
+
+def entry_physical_bytes(dims: int) -> int:
+    """Actual bytes one entry occupies on a page."""
+    return 8 + 16 * dims
+
+
+def serialize_node(node: Node, page_size: int, page_of: dict[int, int]) -> bytes:
+    """Encode ``node`` into exactly ``page_size`` bytes.
+
+    ``page_of`` maps node ids to page ids (for branch child pointers).
+    """
+    dims = _node_dims(node)
+    out = bytearray()
+    if node.is_leaf:
+        out += _HEADER.pack(node.level & 0xFF, dims, len(node.data_entries))
+        for e in node.data_entries:
+            out += _pack_record(e, dims)
+    else:
+        out += _HEADER.pack(node.level & 0xFF, dims, len(node.branches))
+        for b in node.branches:
+            if len(b.spanning) > _SPAN_COUNT_MASK:
+                raise StorageError("too many spanning records to encode")
+            child_page = page_of[b.child.node_id]
+            if child_page > _CHILD_MASK:
+                raise StorageError(f"page id {child_page} too large to encode")
+            word = child_page | (len(b.spanning) << _SPAN_COUNT_SHIFT)
+            out += _WORD.pack(word)
+            out += _pack_rect(b.rect.lows, b.rect.highs)
+            for r in b.spanning:
+                out += _pack_record(r, dims)
+    if len(out) > page_size:
+        raise StorageError(
+            f"node {node.node_id} needs {len(out)} bytes > page size {page_size}"
+        )
+    out += bytes(page_size - len(out))
+    return bytes(out)
+
+
+def deserialize_node(data: bytes) -> NodeImage:
+    """Decode a page image produced by :func:`serialize_node`."""
+    if len(data) < _HEADER.size:
+        raise StorageError("page too small for a node header")
+    level, dims, count = _HEADER.unpack_from(data, 0)
+    if dims < 1:
+        raise StorageError(f"corrupt node header: dims={dims}")
+    image = NodeImage(level=level, dims=dims)
+    offset = _HEADER.size
+    if level == 0:
+        for _ in range(count):
+            record, offset = _unpack_record(data, offset, dims)
+            image.records.append(record)
+    else:
+        for _ in range(count):
+            (word,) = _WORD.unpack_from(data, offset)
+            offset += _WORD.size
+            lows, highs, offset = _unpack_rect(data, offset, dims)
+            branch = BranchImage(
+                child_page=word & _CHILD_MASK, lows=lows, highs=highs
+            )
+            for _ in range((word >> _SPAN_COUNT_SHIFT) & _SPAN_COUNT_MASK):
+                record, offset = _unpack_record(data, offset, dims)
+                branch.spanning.append(record)
+            image.branches.append(branch)
+    return image
+
+
+def _node_dims(node: Node) -> int:
+    rects = node.content_rects()
+    if rects:
+        return rects[0].dims
+    if node.assigned_region is not None:
+        return node.assigned_region.dims
+    raise StorageError(f"cannot infer dimensionality of empty node {node.node_id}")
+
+
+def _pack_record(entry: DataEntry, dims: int) -> bytes:
+    rid = entry.record_id
+    if rid >= _REMNANT_BIT:
+        raise StorageError(f"record id {rid} too large to encode")
+    if entry.is_remnant:
+        rid |= _REMNANT_BIT
+    return _WORD.pack(rid) + _pack_rect(entry.rect.lows, entry.rect.highs)
+
+
+def _pack_rect(lows: tuple[float, ...], highs: tuple[float, ...]) -> bytes:
+    dims = len(lows)
+    return struct.pack(f"<{2 * dims}d", *lows, *highs)
+
+
+def _unpack_record(data: bytes, offset: int, dims: int) -> tuple[RecordImage, int]:
+    (word,) = _WORD.unpack_from(data, offset)
+    offset += _WORD.size
+    lows, highs, offset = _unpack_rect(data, offset, dims)
+    return (
+        RecordImage(
+            record_id=word & ~_REMNANT_BIT,
+            is_remnant=bool(word & _REMNANT_BIT),
+            lows=lows,
+            highs=highs,
+        ),
+        offset,
+    )
+
+
+def _unpack_rect(
+    data: bytes, offset: int, dims: int
+) -> tuple[tuple[float, ...], tuple[float, ...], int]:
+    values = struct.unpack_from(f"<{2 * dims}d", data, offset)
+    offset += 16 * dims
+    return values[:dims], values[dims:], offset

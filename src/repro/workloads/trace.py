@@ -1,0 +1,163 @@
+"""Operation traces: generation and validated replay.
+
+The paper's experiments are insert-then-search; a production index also
+faces interleaved workloads.  This module generates deterministic mixed
+traces (insert / search / delete with configurable ratios) and replays
+them against any index of the family while checking every search result
+against a brute-force model — the soak-test harness used by the
+integration tests and available to library users for their own workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Sequence
+
+import numpy as np
+
+from ..core.geometry import Rect
+from ..exceptions import WorkloadError
+from .distributions import DOMAIN_HIGH
+
+__all__ = ["Operation", "TraceConfig", "generate_trace", "replay", "ReplayReport"]
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One trace step: kind is "insert", "search", or "delete"."""
+
+    kind: str
+    rect: Rect | None = None  # insert/search
+    target: int | None = None  # delete: ordinal of the insert to remove
+
+
+@dataclass(frozen=True)
+class TraceConfig:
+    """Mix and shape of a generated trace."""
+
+    operations: int = 1000
+    insert_weight: float = 0.6
+    search_weight: float = 0.3
+    delete_weight: float = 0.1
+    long_fraction: float = 0.15
+    long_scale: float = 20_000.0
+    short_scale: float = 100.0
+    query_extent: float = 5_000.0
+    domain_high: float = DOMAIN_HIGH
+
+    def __post_init__(self) -> None:
+        if self.operations < 1:
+            raise WorkloadError("trace needs at least one operation")
+        total = self.insert_weight + self.search_weight + self.delete_weight
+        if total <= 0:
+            raise WorkloadError("operation weights must sum to a positive value")
+
+
+def generate_trace(config: TraceConfig = TraceConfig(), seed: int = 0) -> list[Operation]:
+    """A deterministic mixed operation trace.
+
+    Deletes refer to inserts by ordinal (the i-th insert of the trace), so
+    the trace is replayable against any index implementation.
+    """
+    rng = np.random.default_rng(seed)
+    weights = np.array(
+        [config.insert_weight, config.search_weight, config.delete_weight]
+    )
+    weights = weights / weights.sum()
+    kinds = rng.choice(3, size=config.operations, p=weights)
+    high = config.domain_high
+    ops: list[Operation] = []
+    inserts_so_far = 0
+    live: list[int] = []
+    for kind in kinds:
+        if kind == 2 and not live:
+            kind = 0  # nothing to delete yet: insert instead
+        if kind == 0:
+            x0 = rng.uniform(0, high)
+            if rng.random() < config.long_fraction:
+                length = rng.exponential(config.long_scale)
+            else:
+                length = rng.uniform(0, config.short_scale)
+            y = rng.uniform(0, high)
+            rect = Rect(
+                (x0, y), (min(x0 + length, high), y)
+            )
+            ops.append(Operation("insert", rect=rect))
+            live.append(inserts_so_far)
+            inserts_so_far += 1
+        elif kind == 1:
+            cx, cy = rng.uniform(0, high), rng.uniform(0, high)
+            extent = rng.uniform(0, config.query_extent)
+            rect = Rect(
+                (cx, cy),
+                (min(cx + extent, high), min(cy + extent, high)),
+            )
+            ops.append(Operation("search", rect=rect))
+        else:
+            pos = int(rng.integers(0, len(live)))
+            target = live.pop(pos)
+            ops.append(Operation("delete", target=target))
+    return ops
+
+
+@dataclass
+class ReplayReport:
+    """Outcome of a validated replay."""
+
+    inserts: int = 0
+    searches: int = 0
+    deletes: int = 0
+    records_found: int = 0
+    mismatches: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+
+def replay(index, trace: Sequence[Operation], validate: bool = True) -> ReplayReport:
+    """Run ``trace`` against ``index``; with ``validate`` every search is
+    checked against a brute-force model of the live records."""
+    report = ReplayReport()
+    model: dict[int, Rect] = {}
+    insert_ids: list[int] = []
+    for step, op in enumerate(trace):
+        if op.kind == "insert":
+            assert op.rect is not None
+            record_id = index.insert(op.rect, payload=step)
+            insert_ids.append(record_id)
+            model[record_id] = op.rect
+            report.inserts += 1
+        elif op.kind == "search":
+            assert op.rect is not None
+            got = index.search_ids(op.rect)
+            report.searches += 1
+            report.records_found += len(got)
+            if validate:
+                want = {
+                    rid for rid, rect in model.items() if rect.intersects(op.rect)
+                }
+                if got != want:
+                    report.mismatches.append(
+                        f"step {step}: search {op.rect!r} returned "
+                        f"{sorted(got ^ want)} unexpectedly"
+                    )
+        elif op.kind == "delete":
+            assert op.target is not None
+            record_id = insert_ids[op.target]
+            rect = model.pop(record_id, None)
+            kwargs = {"hint": rect} if _accepts_hint(index) else {}
+            index.delete(record_id, **kwargs)
+            report.deletes += 1
+        else:
+            raise WorkloadError(f"unknown operation kind {op.kind!r}")
+    return report
+
+
+def _accepts_hint(index) -> bool:
+    import inspect
+
+    try:
+        return "hint" in inspect.signature(index.delete).parameters
+    except (TypeError, ValueError):  # pragma: no cover
+        return False

@@ -1,0 +1,135 @@
+"""Tests for the experiment harness."""
+
+import math
+
+import pytest
+
+from repro import RTree
+from repro.bench import (
+    FIGURES,
+    INDEX_TYPES,
+    ExperimentResult,
+    build_index,
+    default_scale,
+    format_table,
+    hqar_mean,
+    run_experiment,
+    to_csv,
+    vqar_mean,
+)
+from repro.exceptions import WorkloadError
+from repro.workloads import dataset_I3
+
+
+@pytest.fixture(scope="module")
+def small_result():
+    data = dataset_I3(1500, seed=50)
+    return run_experiment(
+        "unit", data, qars=(0.01, 1.0, 100.0), queries_per_qar=10
+    )
+
+
+class TestBuildIndex:
+    def test_all_four_types(self):
+        data = dataset_I3(500, seed=51)
+        for kind in INDEX_TYPES:
+            index = build_index(kind, data)
+            assert len(index) == 500, kind
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(WorkloadError):
+            build_index("B-Tree", dataset_I3(10, seed=0))
+
+    def test_skeleton_flushed_even_if_buffer_not_full(self):
+        data = dataset_I3(50, seed=52)
+        index = build_index("Skeleton SR-Tree", data, prediction_fraction=0.99)
+        assert not index.predicting
+        assert len(index) == 50
+
+
+class TestRunExperiment:
+    def test_result_structure(self, small_result):
+        assert small_result.dataset_size == 1500
+        assert set(small_result.series) == set(INDEX_TYPES)
+        for series in small_result.series.values():
+            assert len(series) == 3
+            assert all(v > 0 for v in series)
+        assert set(small_result.build_stats) == set(INDEX_TYPES)
+
+    def test_at_accessor(self, small_result):
+        v = small_result.at("R-Tree", 1.0)
+        assert v == small_result.series["R-Tree"][1]
+
+    def test_mean_over(self, small_result):
+        lo = small_result.mean_over("R-Tree", lambda q: q < 1)
+        assert lo == small_result.series["R-Tree"][0]
+        with pytest.raises(WorkloadError):
+            small_result.mean_over("R-Tree", lambda q: q > 1e9)
+
+    def test_prebuilt_indexes_reused(self):
+        data = dataset_I3(300, seed=53)
+        tree = build_index("R-Tree", data)
+        result = run_experiment(
+            "reuse",
+            data,
+            index_types=("R-Tree",),
+            indexes={"R-Tree": tree},
+            qars=(1.0,),
+            queries_per_qar=5,
+        )
+        assert result.build_seconds["R-Tree"] == 0.0
+
+    def test_search_counters_isolated_per_qar(self):
+        data = dataset_I3(300, seed=54)
+        result = run_experiment(
+            "iso", data, index_types=("R-Tree",), qars=(0.01, 100.0), queries_per_qar=5
+        )
+        # Counters were reset between QAR points, so values differ and are
+        # plausible per-search averages, not running totals.
+        assert all(v < 500 for v in result.series["R-Tree"])
+
+
+class TestReports:
+    def test_format_table(self, small_result):
+        table = format_table(small_result)
+        assert "log10(QAR)" in table
+        assert "Skeleton SR-Tree" in table
+        assert f"n={small_result.dataset_size}" in table
+        # One row per QAR point.
+        assert len(table.splitlines()) == 2 + len(small_result.qars)
+
+    def test_to_csv(self, small_result):
+        csv = to_csv(small_result)
+        lines = csv.splitlines()
+        assert lines[0].startswith("qar,log10_qar,")
+        assert len(lines) == 1 + len(small_result.qars)
+        first = lines[1].split(",")
+        assert float(first[0]) == small_result.qars[0]
+        assert float(first[1]) == pytest.approx(math.log10(small_result.qars[0]))
+
+
+class TestFigures:
+    def test_all_six_graphs_defined(self):
+        assert set(FIGURES) == {f"graph{i}" for i in range(1, 7)}
+        for spec in FIGURES.values():
+            data = spec.dataset(20, 0)
+            assert len(data) == 20
+            assert spec.claims
+
+    def test_qar_range_helpers(self, small_result):
+        assert vqar_mean(small_result, "R-Tree") == small_result.series["R-Tree"][0]
+        assert hqar_mean(small_result, "R-Tree") == small_result.series["R-Tree"][2]
+
+
+class TestDefaultScale(object):
+    def test_env_override(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        monkeypatch.setenv("REPRO_SCALE", "1234")
+        assert default_scale() == 1234
+        monkeypatch.setenv("REPRO_FULL", "1")
+        assert default_scale() == 200_000
+
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert default_scale() == 20_000

@@ -1,0 +1,130 @@
+"""Tests for the Computational Geometry substrates (Section 1 baselines)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cg import IntervalTree, SegmentTree
+from repro.exceptions import WorkloadError
+
+
+def _random_intervals(n, seed, beta=50.0):
+    rng = random.Random(seed)
+    return [
+        (lo, lo + rng.expovariate(1 / beta), i)
+        for i, lo in enumerate(rng.uniform(0, 1000) for _ in range(n))
+    ]
+
+
+class TestSegmentTree:
+    def test_basic_stab(self):
+        tree = SegmentTree([(1, 5, "a"), (3, 9, "b"), (7, 8, "c")])
+        assert {p for _, _, p in tree.stab(4)} == {"a", "b"}
+        assert {p for _, _, p in tree.stab(7.5)} == {"b", "c"}
+        assert tree.stab(100) == []
+
+    def test_stab_at_endpoints(self):
+        tree = SegmentTree([(1, 5, "a"), (5, 9, "b")])
+        assert {p for _, _, p in tree.stab(5)} == {"a", "b"}
+        assert {p for _, _, p in tree.stab(1)} == {"a"}
+        assert {p for _, _, p in tree.stab(9)} == {"b"}
+
+    def test_point_intervals(self):
+        tree = SegmentTree([(5, 5, "pt"), (0, 10, "broad")])
+        assert {p for _, _, p in tree.stab(5)} == {"pt", "broad"}
+        assert {p for _, _, p in tree.stab(5.1)} == {"broad"}
+
+    def test_duplicate_intervals(self):
+        tree = SegmentTree([(1, 5, "a"), (1, 5, "b")])
+        assert {p for _, _, p in tree.stab(3)} == {"a", "b"}
+
+    def test_insert_with_existing_endpoints(self):
+        tree = SegmentTree([(0, 10, "a"), (5, 20, "b")])
+        tree.insert(0, 20, "c")
+        assert tree.size == 3
+        assert {p for _, _, p in tree.stab(15)} == {"b", "c"}
+
+    def test_insert_new_endpoint_rejected(self):
+        tree = SegmentTree([(0, 10, "a")])
+        with pytest.raises(WorkloadError):
+            tree.insert(0, 7.3, "bad")
+
+    def test_logarithmic_depth(self):
+        tree = SegmentTree(_random_intervals(1000, seed=1))
+        assert tree.depth() <= 2 * 12  # ~2*log2(2000 endpoints)
+
+    def test_inverted_rejected(self):
+        with pytest.raises(WorkloadError):
+            SegmentTree([(5, 1, "x")])
+
+    def test_empty_rejected(self):
+        with pytest.raises(WorkloadError):
+            SegmentTree([])
+
+    def test_matches_brute_force(self):
+        items = _random_intervals(600, seed=2)
+        tree = SegmentTree(items)
+        rng = random.Random(3)
+        for _ in range(300):
+            x = rng.choice(
+                [rng.uniform(-10, 1100), rng.choice(items)[0], rng.choice(items)[1]]
+            )
+            want = {p for lo, hi, p in items if lo <= x <= hi}
+            assert {p for _, _, p in tree.stab(x)} == want
+
+
+class TestIntervalTree:
+    def test_basic(self):
+        tree = IntervalTree([(1, 5, "a"), (3, 9, "b"), (7, 8, "c")])
+        assert {p for _, _, p in tree.stab(4)} == {"a", "b"}
+        assert {p for _, _, p in tree.query(6, 7)} == {"b", "c"}
+
+    def test_query_touching_counts(self):
+        tree = IntervalTree([(0, 5, "a")])
+        assert {p for _, _, p in tree.query(5, 9)} == {"a"}
+        assert tree.query(5.001, 9) == []
+
+    def test_inverted_query_rejected(self):
+        tree = IntervalTree([(0, 5, "a")])
+        with pytest.raises(WorkloadError):
+            tree.query(9, 5)
+
+    def test_matches_brute_force_stab_and_query(self):
+        items = _random_intervals(600, seed=4)
+        tree = IntervalTree(items)
+        rng = random.Random(5)
+        for _ in range(200):
+            x = rng.uniform(-10, 1100)
+            want = {p for lo, hi, p in items if lo <= x <= hi}
+            assert {p for _, _, p in tree.stab(x)} == want
+        for _ in range(200):
+            a = rng.uniform(-10, 1050)
+            b = a + rng.uniform(0, 80)
+            want = {p for lo, hi, p in items if lo <= b and hi >= a}
+            assert {p for _, _, p in tree.query(a, b)} == want
+
+    def test_size(self):
+        assert IntervalTree([(0, 1, "a"), (2, 3, "b")]).size == 2
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(0, 100, allow_nan=False),
+            st.floats(0, 100, allow_nan=False),
+        ),
+        min_size=1,
+        max_size=40,
+    ),
+    st.floats(-5, 105, allow_nan=False),
+)
+def test_property_both_structures_agree(raw, x):
+    items = [(min(a, b), max(a, b), i) for i, (a, b) in enumerate(raw)]
+    seg = SegmentTree(items)
+    itree = IntervalTree(items)
+    want = {p for lo, hi, p in items if lo <= x <= hi}
+    assert {p for _, _, p in seg.stab(x)} == want
+    assert {p for _, _, p in itree.stab(x)} == want

@@ -1,0 +1,134 @@
+"""Tests for the command-line interface."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+
+class TestGenerate:
+    def test_writes_csv(self, tmp_path):
+        out = tmp_path / "data.csv"
+        assert main(["generate", "--dist", "I1", "-n", "50", "-o", str(out)]) == 0
+        lines = out.read_text().splitlines()
+        assert lines[0] == "x_low,y_low,x_high,y_high"
+        assert len(lines) == 51
+
+    def test_deterministic_with_seed(self, tmp_path):
+        a, b = tmp_path / "a.csv", tmp_path / "b.csv"
+        main(["generate", "--dist", "R2", "-n", "30", "--seed", "7", "-o", str(a)])
+        main(["generate", "--dist", "R2", "-n", "30", "--seed", "7", "-o", str(b)])
+        assert a.read_text() == b.read_text()
+
+    def test_unknown_dist_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["generate", "--dist", "Z9", "-n", "10", "-o", "x.csv"])
+
+
+class TestExperiment:
+    def test_from_distribution(self, capsys):
+        assert (
+            main(
+                [
+                    "experiment",
+                    "--dist",
+                    "I1",
+                    "-n",
+                    "300",
+                    "--queries",
+                    "3",
+                    "--index",
+                    "R-Tree",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "log10(QAR)" in out
+        assert "R-Tree" in out
+
+    def test_from_csv_with_plot_and_csv_out(self, tmp_path, capsys):
+        data = tmp_path / "d.csv"
+        main(["generate", "--dist", "I3", "-n", "200", "-o", str(data)])
+        capsys.readouterr()
+        series = tmp_path / "series.csv"
+        assert (
+            main(
+                [
+                    "experiment",
+                    "--input",
+                    str(data),
+                    "--queries",
+                    "3",
+                    "--index",
+                    "SR-Tree",
+                    "--plot",
+                    "--csv",
+                    str(series),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "log10(QAR)" in out
+        assert "& = overlap" in out  # the ASCII plot header
+        assert series.read_text().startswith("qar,log10_qar,")
+
+    def test_requires_dist_or_input(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "--queries", "3"])
+
+    def test_malformed_csv_rejected(self, tmp_path):
+        bad = tmp_path / "bad.csv"
+        bad.write_text("x_low,y_low,x_high,y_high\n1,2,3\n")
+        with pytest.raises(SystemExit):
+            main(["experiment", "--input", str(bad)])
+
+    def test_empty_csv_rejected(self, tmp_path):
+        empty = tmp_path / "empty.csv"
+        empty.write_text("x_low,y_low,x_high,y_high\n")
+        with pytest.raises(SystemExit):
+            main(["experiment", "--input", str(empty)])
+
+
+class TestInspect:
+    def test_metrics_output(self, capsys):
+        assert main(["inspect", "--dist", "I3", "-n", "500"]) == 0
+        out = capsys.readouterr().out
+        assert "height=" in out
+        assert "spanning_placements=" in out
+
+
+class TestGraphs:
+    def test_single_graph(self, capsys):
+        assert main(["graphs", "graph1", "-n", "300", "--queries", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "graph1" in out
+        assert "Skeleton SR-Tree" in out
+
+
+class TestModuleEntryPoint:
+    def test_python_dash_m(self, tmp_path):
+        out = tmp_path / "m.csv"
+        proc = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "generate",
+                "--dist",
+                "I1",
+                "-n",
+                "10",
+                "-o",
+                str(out),
+            ],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert out.exists()

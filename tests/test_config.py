@@ -1,0 +1,98 @@
+"""Tests for IndexConfig capacity accounting."""
+
+import pytest
+
+from repro import IndexConfig
+
+
+class TestDefaults:
+    def test_paper_defaults(self):
+        cfg = IndexConfig()
+        assert cfg.dims == 2
+        assert cfg.leaf_node_bytes == 1024
+        assert cfg.branch_fraction == pytest.approx(2 / 3)
+        assert cfg.coalesce_interval == 1000
+        assert cfg.coalesce_candidates == 10
+
+    def test_leaf_capacity(self):
+        cfg = IndexConfig(leaf_node_bytes=1024, entry_bytes=40)
+        assert cfg.capacity(0) == 25
+
+    def test_node_size_doubles_per_level(self):
+        cfg = IndexConfig()
+        assert cfg.node_bytes(0) == 1024
+        assert cfg.node_bytes(1) == 2048
+        assert cfg.node_bytes(3) == 8192
+
+    def test_doubling_capped(self):
+        cfg = IndexConfig(max_level_for_doubling=2)
+        assert cfg.node_bytes(2) == cfg.node_bytes(5) == 4096
+
+    def test_doubling_disabled(self):
+        cfg = IndexConfig(node_size_doubling=False)
+        assert cfg.node_bytes(0) == cfg.node_bytes(4) == 1024
+
+
+class TestBranchAndSpanningCapacity:
+    def test_rtree_branches_use_all_slots(self):
+        cfg = IndexConfig()
+        assert cfg.branch_capacity(2, segment_index=False) == cfg.capacity(2)
+
+    def test_srtree_branch_plan_is_fraction(self):
+        cfg = IndexConfig()
+        cap = cfg.capacity(1)
+        assert cfg.branch_capacity(1, segment_index=True) == int(cap * 2 / 3)
+
+    def test_leaf_has_no_spanning_area(self):
+        cfg = IndexConfig()
+        assert cfg.spanning_capacity(0) == 0
+        assert cfg.branch_capacity(0, segment_index=True) == cfg.capacity(0)
+
+    def test_spanning_capacity_is_reserved_third(self):
+        cfg = IndexConfig()
+        cap = cfg.capacity(1)
+        assert cfg.spanning_capacity(1) == cap - int(cap * 2 / 3)
+
+    def test_branch_fraction_variants(self):
+        # Section 4: "some fraction of the available entries, e.g. 1/2, 2/3, or 3/4"
+        for fraction in (0.5, 2 / 3, 0.75):
+            cfg = IndexConfig(branch_fraction=fraction)
+            cap = cfg.capacity(1)
+            assert cfg.branch_capacity(1, True) == max(2, int(cap * fraction))
+
+    def test_min_entries(self):
+        cfg = IndexConfig(min_fill=0.4)
+        assert cfg.min_entries(0) == int(cfg.capacity(0) * 0.4)
+
+
+class TestValidation:
+    def test_rejects_zero_dims(self):
+        with pytest.raises(ValueError):
+            IndexConfig(dims=0)
+
+    def test_rejects_tiny_leaf(self):
+        with pytest.raises(ValueError):
+            IndexConfig(leaf_node_bytes=50, entry_bytes=40)
+
+    def test_rejects_bad_branch_fraction(self):
+        with pytest.raises(ValueError):
+            IndexConfig(branch_fraction=0.0)
+        with pytest.raises(ValueError):
+            IndexConfig(branch_fraction=1.5)
+
+    def test_rejects_bad_min_fill(self):
+        with pytest.raises(ValueError):
+            IndexConfig(min_fill=0.9)
+
+    def test_rejects_unknown_split(self):
+        with pytest.raises(ValueError):
+            IndexConfig(split_algorithm="greedy")
+
+    def test_rejects_negative_coalesce(self):
+        with pytest.raises(ValueError):
+            IndexConfig(coalesce_interval=-1)
+
+    def test_frozen(self):
+        cfg = IndexConfig()
+        with pytest.raises(Exception):
+            cfg.dims = 3

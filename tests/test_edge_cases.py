@@ -1,0 +1,173 @@
+"""Edge-case coverage across modules: unusual dimensions, lazy storage
+pages, report helpers, and boundary workloads."""
+
+import random
+
+import pytest
+
+from repro import (
+    IndexConfig,
+    Rect,
+    RTree,
+    SkeletonSRTree,
+    SRTree,
+    check_index,
+    interval,
+    point,
+    segment,
+)
+from repro.exceptions import WorkloadError
+
+from .conftest import brute_force_ids
+
+
+class TestOneDimensionalSkeleton:
+    def test_1d_skeleton_end_to_end(self):
+        cfg = IndexConfig(dims=1, leaf_node_bytes=200)
+        tree = SkeletonSRTree(
+            cfg,
+            expected_tuples=400,
+            domain=[(0.0, 10_000.0)],
+            prediction_fraction=0.05,
+        )
+        rng = random.Random(1)
+        data = {}
+        for _ in range(400):
+            lo = rng.uniform(0, 9_900)
+            hi = min(lo + rng.expovariate(1 / 300), 10_000.0)
+            r = interval(lo, hi)
+            data[tree.insert(r)] = r
+        check_index(tree)
+        for _ in range(100):
+            x = rng.uniform(0, 10_000)
+            q = interval(x, x)
+            assert tree.search_ids(q) == brute_force_ids(data, q)
+
+
+class TestThreeDimensionalSkeleton:
+    def test_3d_skeleton_builds_and_answers(self):
+        cfg = IndexConfig(dims=3, leaf_node_bytes=568, entry_bytes=56)
+        tree = SkeletonSRTree(
+            cfg, expected_tuples=500, domain=[(0.0, 100.0)] * 3
+        )
+        rng = random.Random(2)
+        data = {}
+        for _ in range(500):
+            lows = [rng.uniform(0, 95) for _ in range(3)]
+            highs = [lo + rng.uniform(0, 5) for lo in lows]
+            r = Rect(tuple(lows), tuple(highs))
+            data[tree.insert(r)] = r
+        check_index(tree)
+        q = Rect((10, 10, 10), (40, 40, 40))
+        assert tree.search_ids(q) == brute_force_ids(data, q)
+
+
+class TestLazyStoragePages:
+    def test_nodes_created_after_attach_get_pages(self, small_config):
+        from repro.storage import StorageManager
+
+        tree = SRTree(small_config)
+        for i in range(10):
+            tree.insert(point(i, i))
+        manager = StorageManager(tree)
+        pages_before = manager.disk.allocated_pages
+        # Enough inserts to force splits -> new nodes -> new pages on access.
+        for i in range(200):
+            tree.insert(point(i * 7 % 503, i * 13 % 509))
+        tree.search(Rect((0, 0), (600, 600)))
+        assert manager.disk.allocated_pages > pages_before
+        assert manager.checkpoint() > 0
+
+
+class TestDegenerateWorkloads:
+    def test_all_identical_points(self, small_config):
+        tree = SRTree(small_config)
+        ids = {tree.insert(point(5, 5)) for _ in range(100)}
+        check_index(tree)
+        assert tree.search_ids(point(5, 5)) == ids
+        assert tree.search_ids(point(5.0001, 5)) == set()
+
+    def test_collinear_segments_same_y(self, small_config):
+        tree = SRTree(small_config)
+        data = {}
+        for i in range(120):
+            r = segment(i * 10.0, i * 10.0 + 15.0, 42.0)
+            data[tree.insert(r)] = r
+        check_index(tree)
+        q = segment(55.0, 57.0, 42.0)
+        assert tree.search_ids(q) == brute_force_ids(data, q)
+
+    def test_nested_rectangles(self, small_config):
+        # Russian-doll rectangles: worst case for containment pruning.
+        tree = RTree(small_config)
+        data = {}
+        for i in range(80):
+            r = Rect((i, i), (200 - i, 200 - i))
+            data[tree.insert(r)] = r
+        check_index(tree)
+        assert tree.search_ids(point(100, 100)) == set(data)
+        assert tree.search_ids(point(0, 0)) == {min(data)}
+
+    def test_domain_corner_inserts(self, small_config):
+        tree = SkeletonSRTree(
+            small_config, expected_tuples=50, domain=[(0.0, 100.0)] * 2
+        )
+        corner_ids = set()
+        for _ in range(30):
+            corner_ids.add(tree.insert(point(0.0, 0.0)))
+            corner_ids.add(tree.insert(point(100.0, 100.0)))
+        check_index(tree)
+        got = tree.search_ids(Rect((0, 0), (100, 100)))
+        assert got == corner_ids
+
+
+class TestExperimentEdges:
+    def test_mean_over_single_point(self):
+        from repro.bench.experiment import ExperimentResult
+
+        r = ExperimentResult("x", 1, (2.0,), {"A": [5.0]})
+        assert r.mean_over("A", lambda q: q > 1) == 5.0
+        with pytest.raises(WorkloadError):
+            r.mean_over("A", lambda q: q > 10)
+
+    def test_print_result_writes_stream(self, capsys):
+        from repro.bench import print_result
+        from repro.bench.experiment import ExperimentResult
+
+        r = ExperimentResult("demo", 3, (1.0,), {"A": [2.0]})
+        print_result(r)
+        assert "demo" in capsys.readouterr().out
+
+    def test_cost_model_custom_domain(self):
+        from repro.bench import expected_node_accesses
+
+        tree = RTree()
+        for i in range(40):
+            tree.insert(point(i, i))
+        wide = expected_node_accesses(
+            tree, 10, 10, domain=Rect((0, 0), (50, 50))
+        )
+        narrow = expected_node_accesses(
+            tree, 10, 10, domain=Rect((0, 0), (5000, 5000))
+        )
+        # Same query is relatively bigger in a smaller domain.
+        assert wide >= narrow
+
+
+class TestHistoricalWindowClipping:
+    def test_open_version_clipped_to_window(self):
+        from repro.historical import HistoricalStore
+
+        store = HistoricalStore()
+        store.record("a", 100.0, 0.0)  # open forever
+        # Window [10, 20]: the open version covers all of it.
+        assert store.time_weighted_average(10.0, 20.0) == pytest.approx(100.0)
+
+    def test_version_starting_inside_window(self):
+        from repro.historical import HistoricalStore
+
+        store = HistoricalStore()
+        store.record("a", 100.0, 15.0)
+        # Valid for only half the window -> still averages to its value
+        # over the time it was valid.
+        assert store.time_weighted_average(10.0, 20.0) == pytest.approx(100.0)

@@ -1,0 +1,126 @@
+"""Tests for equi-depth histograms and distribution prediction."""
+
+import numpy as np
+import pytest
+
+from repro import EquiDepthHistogram, Rect, uniform_histogram
+from repro.exceptions import WorkloadError
+from repro.histogram import DistributionPredictor
+
+
+class TestEquiDepthHistogram:
+    def test_uniform_sample_gives_even_boundaries(self):
+        h = EquiDepthHistogram(np.linspace(0, 100, 1001), domain=(0, 100))
+        bounds = h.boundaries(4)
+        assert bounds[0] == 0.0 and bounds[-1] == 100.0
+        assert bounds == pytest.approx([0, 25, 50, 75, 100], abs=0.5)
+
+    def test_skewed_sample_gives_fine_partitions_in_dense_region(self):
+        rng = np.random.default_rng(0)
+        values = rng.exponential(10.0, size=5000)
+        h = EquiDepthHistogram(values, domain=(0, 1000))
+        bounds = h.boundaries(10)
+        widths = np.diff(bounds)
+        assert widths[0] < widths[-1]  # dense low end -> narrow cells
+
+    def test_boundaries_strictly_increasing_with_ties(self):
+        # Heavy ties: 90% of the sample is the single value 5.
+        values = [5.0] * 900 + list(np.linspace(0, 100, 100))
+        h = EquiDepthHistogram(values, domain=(0, 100))
+        bounds = h.boundaries(8)
+        assert all(b2 > b1 for b1, b2 in zip(bounds, bounds[1:]))
+        assert bounds[0] == 0.0 and bounds[-1] == 100.0
+
+    def test_boundaries_cover_domain_even_for_narrow_sample(self):
+        h = EquiDepthHistogram([49, 50, 51], domain=(0, 100))
+        bounds = h.boundaries(5)
+        assert bounds[0] == 0.0 and bounds[-1] == 100.0
+        assert len(bounds) == 6
+
+    def test_single_partition(self):
+        h = EquiDepthHistogram([1, 2, 3], domain=(0, 10))
+        assert h.boundaries(1) == [0.0, 10.0]
+
+    def test_quantile(self):
+        h = EquiDepthHistogram(np.arange(101), domain=(0, 100))
+        assert h.quantile(0.5) == pytest.approx(50.0)
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_cumulative_fraction(self):
+        h = EquiDepthHistogram([1, 2, 3, 4], domain=(0, 10))
+        assert h.cumulative_fraction(2.5) == pytest.approx(0.5)
+
+    def test_values_clipped_to_domain(self):
+        h = EquiDepthHistogram([-50, 5, 500], domain=(0, 10))
+        assert h.quantile(0.0) >= 0.0
+        assert h.quantile(1.0) <= 10.0
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(WorkloadError):
+            EquiDepthHistogram([], domain=(0, 1))
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(WorkloadError):
+            EquiDepthHistogram([1], domain=(5, 5))
+
+    def test_zero_partitions_rejected(self):
+        h = EquiDepthHistogram([1], domain=(0, 10))
+        with pytest.raises(ValueError):
+            h.boundaries(0)
+
+
+class TestUniformHistogram:
+    def test_even_boundaries(self):
+        h = uniform_histogram((0, 80))
+        assert h.boundaries(4) == pytest.approx([0, 20, 40, 60, 80])
+
+
+class TestDistributionPredictor:
+    def _rect(self, x, y):
+        return Rect((x, y), (x + 1, y + 1))
+
+    def test_buffers_until_target(self):
+        p = DistributionPredictor(2, expected_tuples=100, fraction=0.1, domain=[(0, 10), (0, 10)])
+        assert p.buffer_target == 10
+        for i in range(9):
+            assert p.add(self._rect(i % 9, i % 9), i, None) is False
+        assert not p.ready
+        assert p.add(self._rect(5, 5), 9, None) is True
+        assert p.ready
+
+    def test_add_after_ready_rejected(self):
+        p = DistributionPredictor(1, 10, 0.1, [(0, 10)])
+        p.add(Rect((1,), (2,)), 1, None)
+        with pytest.raises(WorkloadError):
+            p.add(Rect((1,), (2,)), 2, None)
+
+    def test_histograms_use_midpoints(self):
+        p = DistributionPredictor(2, 20, 0.1, [(0, 100), (0, 100)])
+        p.add(Rect((10, 20), (30, 20)), 1, None)  # midpoint (20, 20)
+        p.add(Rect((60, 80), (80, 80)), 2, None)
+        hx, hy = p.histograms()
+        assert hx.quantile(0.0) == pytest.approx(20.0)
+        assert hx.quantile(1.0) == pytest.approx(70.0)
+        assert hy.quantile(1.0) == pytest.approx(80.0)
+
+    def test_drain_empties_buffer(self):
+        p = DistributionPredictor(1, 10, 0.2, [(0, 10)])
+        p.add(Rect((1,), (2,)), 1, "a")
+        p.add(Rect((3,), (4,)), 2, "b")
+        drained = p.drain()
+        assert [rid for _, rid, _ in drained] == [1, 2]
+        assert p.buffered == []
+
+    def test_histograms_without_data_rejected(self):
+        p = DistributionPredictor(1, 10, 0.2, [(0, 10)])
+        with pytest.raises(WorkloadError):
+            p.histograms()
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(WorkloadError):
+            DistributionPredictor(1, 0, 0.1, [(0, 1)])
+        with pytest.raises(WorkloadError):
+            DistributionPredictor(1, 10, 0.0, [(0, 1)])
+        with pytest.raises(WorkloadError):
+            DistributionPredictor(2, 10, 0.1, [(0, 1)])

@@ -1,0 +1,139 @@
+"""Tests for the historical store (Figure 1 scenario)."""
+
+import random
+
+import pytest
+
+from repro import IndexConfig, RTree, check_index
+from repro.exceptions import WorkloadError
+from repro.historical import HistoricalStore, Version
+
+
+class TestVersionLifecycle:
+    def test_record_and_close(self):
+        store = HistoricalStore()
+        store.record("alice", 30_000, 1985.0)
+        assert store.current("alice").is_open
+        store.close("alice", 1990.0)
+        assert store.current("alice") is None
+        (v,) = store.history("alice")
+        assert v.start == 1985.0 and v.end == 1990.0
+
+    def test_new_version_closes_previous(self):
+        store = HistoricalStore()
+        store.record("alice", 30_000, 1985.0)
+        store.record("alice", 45_000, 1988.0)
+        first, second = store.history("alice")
+        assert first.end == 1988.0
+        assert second.is_open and second.value == 45_000.0
+
+    def test_out_of_order_rejected(self):
+        store = HistoricalStore()
+        store.record("alice", 30_000, 1985.0)
+        with pytest.raises(WorkloadError):
+            store.record("alice", 40_000, 1980.0)
+        with pytest.raises(WorkloadError):
+            store.close("alice", 1980.0)
+
+    def test_close_without_open_rejected(self):
+        store = HistoricalStore()
+        with pytest.raises(WorkloadError):
+            store.close("ghost", 1990.0)
+
+    def test_len_counts_all_versions(self):
+        store = HistoricalStore()
+        store.record("a", 1, 0.0)
+        store.record("a", 2, 1.0)
+        store.record("b", 3, 0.5)
+        assert len(store) == 3
+
+
+class TestSnapshots:
+    def _populated(self):
+        store = HistoricalStore()
+        store.record("alice", 30_000, 1985.0)
+        store.record("alice", 45_000, 1988.5)  # open
+        store.record("bob", 20_000, 1986.0)
+        store.close("bob", 1990.0)
+        store.record("carol", 90_000, 1989.0)  # open
+        return store
+
+    def test_snapshot_mid_history(self):
+        store = self._populated()
+        snap = {(v.key, v.value) for v in store.snapshot(1987.0)}
+        assert snap == {("alice", 30_000.0), ("bob", 20_000.0)}
+
+    def test_snapshot_sees_open_versions(self):
+        store = self._populated()
+        snap = {(v.key, v.value) for v in store.snapshot(1995.0)}
+        assert snap == {("alice", 45_000.0), ("carol", 90_000.0)}
+
+    def test_snapshot_before_everything(self):
+        assert self._populated().snapshot(1900.0) == []
+
+    def test_snapshot_at_transition_includes_both(self):
+        # Closed intervals: at the raise instant both versions are valid,
+        # like the paper's closed time intervals.
+        store = self._populated()
+        values = {v.value for v in store.snapshot(1988.5) if v.key == "alice"}
+        assert values == {30_000.0, 45_000.0}
+
+
+class TestRangeQueries:
+    def test_time_and_value_window(self):
+        store = HistoricalStore()
+        store.record("alice", 30_000, 1985.0)
+        store.record("alice", 45_000, 1988.5)
+        store.record("bob", 20_000, 1986.0)
+        store.close("bob", 1990.0)
+        got = {(v.key, v.value) for v in store.query(1984, 1992, 25_000, 50_000)}
+        assert got == {("alice", 30_000.0), ("alice", 45_000.0)}
+
+    def test_open_versions_respect_value_filter(self):
+        store = HistoricalStore()
+        store.record("rich", 1_000_000, 1980.0)
+        store.record("poor", 10_000, 1980.0)
+        got = {v.key for v in store.query(1990, 1991, 0, 50_000)}
+        assert got == {"poor"}
+
+    def test_inverted_ranges_rejected(self):
+        store = HistoricalStore()
+        with pytest.raises(WorkloadError):
+            store.query(10, 0)
+        store.record("a", 1, 0.0)
+        store.close("a", 1.0)
+        with pytest.raises(WorkloadError):
+            store.query(0, 1, 10, 0)
+
+
+class TestScaleAndIndexChoice:
+    def test_salary_history_bulk(self):
+        # The Figure 1 shape: most employees get frequent raises, a few
+        # never do -> skewed interval lengths in the index.
+        store = HistoricalStore(IndexConfig(leaf_node_bytes=512))
+        rng = random.Random(3)
+        for emp in range(150):
+            t = 1960.0
+            salary = rng.uniform(15_000, 30_000)
+            loyal = rng.random() < 0.1
+            while t < 1990.0:
+                store.record(f"emp{emp}", salary, t)
+                t += rng.uniform(10.0, 25.0) if loyal else rng.uniform(0.5, 2.0)
+                salary *= 1.0 + rng.uniform(0.0, 0.1)
+            store.close(f"emp{emp}", 1990.0)
+        check_index(store.index)
+        snap = store.snapshot(1975.0)
+        assert len(snap) == 150  # everyone employed has exactly one salary
+        assert len({v.key for v in snap}) == 150
+
+    def test_rtree_backend_option(self):
+        store = HistoricalStore(index_cls=RTree)
+        store.record("a", 10, 0.0)
+        store.close("a", 5.0)
+        assert [v.value for v in store.snapshot(2.0)] == [10.0]
+
+    def test_keys_iteration(self):
+        store = HistoricalStore()
+        store.record("x", 1, 0.0)
+        store.record("y", 2, 0.0)
+        assert set(store.keys()) == {"x", "y"}

@@ -1,0 +1,129 @@
+"""Cross-module integration tests: harness + storage + applications."""
+
+import random
+
+import pytest
+
+from repro import (
+    IndexConfig,
+    Rect,
+    SkeletonSRTree,
+    SRTree,
+    check_index,
+    segment,
+)
+from repro.bench import INDEX_TYPES, build_index, run_experiment
+from repro.historical import HistoricalStore
+from repro.storage import StorageManager
+from repro.workloads import PAPER_QARS, dataset_I3, dataset_R2, qar_sweep
+
+
+class TestExperimentPipeline:
+    def test_mini_paper_protocol(self):
+        """A miniature Section 5 experiment runs end to end and produces
+        internally consistent numbers."""
+        data = dataset_I3(2000, seed=60)
+        result = run_experiment(
+            "mini", data, qars=PAPER_QARS[::4], queries_per_qar=10
+        )
+        for kind in INDEX_TYPES:
+            assert all(v >= 1.0 for v in result.series[kind])
+            assert result.build_stats[kind]["inserts"] == 2000
+
+    def test_indexes_agree_on_results(self):
+        data = dataset_R2(1500, seed=61)
+        indexes = {kind: build_index(kind, data) for kind in INDEX_TYPES}
+        for tree in indexes.values():
+            check_index(tree)
+        queries = qar_sweep(qars=(0.01, 1.0, 100.0), count=5, seed=62)
+        for qar, qs in queries.items():
+            for q in qs:
+                answers = {kind: tree.search_ids(q) for kind, tree in indexes.items()}
+                baseline = answers["R-Tree"]
+                for kind, got in answers.items():
+                    assert got == baseline, f"{kind} diverged at QAR {qar}"
+
+
+class TestStorageIntegration:
+    def test_experiment_under_buffer_pool(self):
+        """Node-access counts are identical with and without the simulated
+        storage layer attached (instrumentation must not perturb)."""
+        data = dataset_I3(800, seed=63)
+        plain = build_index("SR-Tree", data)
+        managed = build_index("SR-Tree", data)
+        manager = StorageManager(managed, buffer_bytes=256 * 1024)
+        queries = qar_sweep(qars=(1.0,), count=20, seed=64)[1.0]
+        plain.stats.reset_search_counters()
+        managed.stats.reset_search_counters()
+        for q in queries:
+            assert plain.search_ids(q) == managed.search_ids(q)
+        assert (
+            plain.stats.search_node_accesses == managed.stats.search_node_accesses
+        )
+        assert manager.pool.stats.accesses >= managed.stats.search_node_accesses
+
+    def test_persist_reload_requery(self):
+        data = dataset_I3(600, seed=65)
+        tree = build_index("Skeleton SR-Tree", data)
+        manager = StorageManager(tree)
+        manager.checkpoint()
+        clone = manager.load_tree()
+        check_index(clone)
+        for q in qar_sweep(qars=(0.1, 10.0), count=10, seed=66)[0.1]:
+            assert clone.search_ids(q) == tree.search_ids(q)
+
+
+class TestHistoricalOnSkeleton:
+    def test_store_over_skeleton_index(self):
+        """The historical store accepts any index of the family."""
+        store = HistoricalStore(index_cls=SRTree)
+        rng = random.Random(67)
+        for emp in range(60):
+            t = 0.0
+            while t < 100.0:
+                store.record(emp, rng.uniform(10_000, 90_000), t)
+                t += rng.uniform(1.0, 30.0)
+            store.close(emp, 100.0)
+        snap = store.snapshot(50.0)
+        assert len(snap) == 60
+        # Cross-check against per-key histories.
+        for v in snap:
+            assert any(
+                h.start <= 50.0 and (h.end is None or h.end >= 50.0)
+                for h in store.history(v.key)
+            )
+
+
+class TestMixedWorkload:
+    def test_interleaved_everything(self, small_config):
+        """Inserts, deletes, searches, and validation interleaved."""
+        tree = SkeletonSRTree(
+            small_config,
+            expected_tuples=500,
+            domain=[(0.0, 100_000.0)] * 2,
+            prediction_fraction=0.05,
+        )
+        rng = random.Random(68)
+        model = {}
+        for step in range(700):
+            action = rng.random()
+            if action < 0.7 or not model:
+                if rng.random() < 0.2:
+                    x0 = rng.uniform(0, 50_000)
+                    r = segment(x0, x0 + rng.uniform(10_000, 50_000), rng.uniform(0, 100_000))
+                else:
+                    x0 = rng.uniform(0, 99_000)
+                    r = segment(x0, x0 + rng.uniform(0, 200), rng.uniform(0, 100_000))
+                model[tree.insert(r)] = r
+            elif action < 0.85:
+                rid = rng.choice(sorted(model))
+                assert tree.delete(rid, hint=model.pop(rid)) >= 1
+            else:
+                cx, cy = rng.uniform(0, 100_000), rng.uniform(0, 100_000)
+                q = Rect((cx, cy), (cx + 5000, cy + 5000))
+                want = {rid for rid, r in model.items() if r.intersects(q)}
+                assert tree.search_ids(q) == want
+            if step % 200 == 199:
+                check_index(tree)
+        check_index(tree)
+        assert tree.search_ids(Rect((0, 0), (100_000, 100_000))) == set(model)

@@ -1,0 +1,117 @@
+"""Tests for the structural metrics module."""
+
+import pytest
+
+from repro import (
+    IndexConfig,
+    Rect,
+    RTree,
+    SkeletonSRTree,
+    SRTree,
+    measure_index,
+    point,
+    segment,
+)
+from repro.core.metrics import _aspect_ratio, _pairwise_overlap
+
+from .conftest import random_segments
+
+
+class TestAspectRatio:
+    def test_square(self):
+        assert _aspect_ratio(Rect((0, 0), (10, 10))) == 1.0
+
+    def test_elongated_folded(self):
+        assert _aspect_ratio(Rect((0, 0), (100, 10))) == 10.0
+        assert _aspect_ratio(Rect((0, 0), (10, 100))) == 10.0
+
+    def test_degenerate(self):
+        assert _aspect_ratio(segment(0, 10, 5)) == float("inf")
+        assert _aspect_ratio(point(1, 2)) == 1.0
+        assert _aspect_ratio(Rect((0,), (10,))) == 1.0  # 1-D has no aspect
+
+
+class TestPairwiseOverlap:
+    def test_disjoint(self):
+        rects = [Rect((0, 0), (1, 1)), Rect((5, 5), (6, 6))]
+        assert _pairwise_overlap(rects, 100) == 0.0
+
+    def test_known_overlap(self):
+        rects = [Rect((0, 0), (2, 2)), Rect((1, 1), (3, 3))]
+        assert _pairwise_overlap(rects, 100) == pytest.approx(1.0)
+
+    def test_single_rect(self):
+        assert _pairwise_overlap([Rect((0, 0), (1, 1))], 100) == 0.0
+
+    def test_sampling_path(self):
+        rects = [Rect((i, 0), (i + 2, 1)) for i in range(0, 100)]
+        exact = _pairwise_overlap(rects, sample_limit=10_000)
+        sampled = _pairwise_overlap(rects, sample_limit=50)
+        assert sampled == pytest.approx(exact, rel=0.5)
+
+
+class TestMeasureIndex:
+    def test_levels_and_counts(self, small_config):
+        tree = SRTree(small_config)
+        for rect in random_segments(400, seed=60, long_fraction=0.3):
+            tree.insert(rect)
+        metrics = measure_index(tree)
+        assert metrics.height == tree.height
+        assert metrics.node_count == tree.node_count()
+        assert metrics.index_bytes == tree.total_index_bytes()
+        assert {lv.level for lv in metrics.levels} == set(range(tree.height))
+        leaf = metrics.level(0)
+        total_fragments = leaf.data_entries + metrics.records_above_leaves
+        assert total_fragments >= len(tree)  # cutting adds fragments
+
+    def test_spanning_fraction(self, small_config):
+        tree = SRTree(small_config)
+        for rect in random_segments(400, seed=61, long_fraction=0.0):
+            tree.insert(rect)
+        assert measure_index(tree).spanning_fraction == 0.0
+        tree.insert(segment(0, 100_000, 50_000))
+        assert measure_index(tree).spanning_fraction > 0.0
+
+    def test_fill_bounds(self, small_config):
+        tree = RTree(small_config)
+        for rect in random_segments(300, seed=62):
+            tree.insert(rect)
+        for lv in measure_index(tree).levels:
+            assert 0.0 < lv.mean_fill <= 1.0
+
+    def test_missing_level_raises(self):
+        tree = RTree()
+        tree.insert(point(0, 0))
+        metrics = measure_index(tree)
+        with pytest.raises(KeyError):
+            metrics.level(7)
+
+    def test_summary_renders(self, small_config):
+        tree = RTree(small_config)
+        for rect in random_segments(200, seed=63):
+            tree.insert(rect)
+        text = measure_index(tree).summary()
+        assert "height=" in text and "L0:" in text
+
+    def test_skeleton_has_less_overlap_than_organic(self, small_config):
+        rects = random_segments(600, seed=64)
+        organic = RTree(small_config)
+        skeleton = SkeletonSRTree(
+            small_config, expected_tuples=600, domain=[(0, 100_000)] * 2
+        )
+        for rect in rects:
+            organic.insert(rect)
+            skeleton.insert(rect)
+        m_organic = measure_index(organic)
+        m_skeleton = measure_index(skeleton)
+        # The skeleton's raison d'etre (Section 4): "a more regular
+        # decomposition of the regions covered by the non-leaf nodes" —
+        # squarer level-1 regions with less overlap.
+        assert (
+            m_skeleton.level(1).overlap_fraction
+            < m_organic.level(1).overlap_fraction
+        )
+        assert (
+            m_skeleton.level(1).mean_aspect_ratio
+            < m_organic.level(1).mean_aspect_ratio
+        )

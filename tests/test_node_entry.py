@@ -1,0 +1,102 @@
+"""Unit tests for the Node and entry primitives."""
+
+import pytest
+
+from repro import Rect, segment
+from repro.core.entry import BranchEntry, DataEntry
+from repro.core.node import Node
+
+
+class TestDataEntry:
+    def test_with_rect_preserves_identity(self):
+        e = DataEntry(segment(0, 10, 5), record_id=7, payload={"k": 1})
+        frag = e.with_rect(segment(0, 4, 5), is_remnant=True)
+        assert frag.record_id == 7
+        assert frag.payload is e.payload
+        assert frag.is_remnant
+        assert not e.is_remnant
+
+    def test_with_rect_inherits_flag_by_default(self):
+        e = DataEntry(segment(0, 10, 5), 1, None, is_remnant=True)
+        assert e.with_rect(segment(0, 4, 5)).is_remnant
+
+    def test_repr_shows_kind(self):
+        assert "remnant" in repr(DataEntry(segment(0, 1, 0), 1, None, True))
+        assert "data" in repr(DataEntry(segment(0, 1, 0), 1, None))
+
+
+class TestNode:
+    def test_unique_increasing_ids(self):
+        a, b = Node(0), Node(0)
+        assert b.node_id > a.node_id
+
+    def test_leaf_slots(self):
+        leaf = Node(0)
+        leaf.data_entries.append(DataEntry(segment(0, 1, 0), 1, None))
+        leaf.data_entries.append(DataEntry(segment(2, 3, 0), 2, None))
+        assert leaf.is_leaf
+        assert leaf.slots_used == 2
+        assert leaf.spanning_count == 0
+
+    def test_nonleaf_slots_count_spanning(self):
+        inner = Node(1)
+        child = Node(0, parent=inner)
+        branch = BranchEntry(Rect((0, 0), (10, 10)), child)
+        branch.spanning.append(DataEntry(segment(0, 10, 5), 3, None))
+        inner.branches.append(branch)
+        assert inner.slots_used == 2  # one branch + one spanning record
+        assert inner.spanning_count == 1
+        assert list(inner.iter_spanning()) == [(branch, branch.spanning[0])]
+
+    def test_branch_for_child(self):
+        inner = Node(1)
+        child = Node(0, parent=inner)
+        branch = BranchEntry(Rect((0, 0), (1, 1)), child)
+        inner.branches.append(branch)
+        assert inner.branch_for_child(child) is branch
+        with pytest.raises(KeyError):
+            inner.branch_for_child(Node(0))
+
+    def test_mbr_empty_organic_node(self):
+        assert Node(0).mbr() is None
+
+    def test_mbr_empty_skeleton_node_is_assigned_region(self):
+        region = Rect((0, 0), (5, 5))
+        assert Node(0, assigned_region=region).mbr() == region
+
+    def test_mbr_grows_to_assigned_region(self):
+        region = Rect((0, 0), (5, 5))
+        leaf = Node(0, assigned_region=region)
+        leaf.data_entries.append(DataEntry(Rect((4, 4), (9, 9)), 1, None))
+        assert leaf.mbr() == Rect((0, 0), (9, 9))
+
+    def test_content_rects_includes_spanning(self):
+        inner = Node(1)
+        child = Node(0, parent=inner)
+        branch = BranchEntry(Rect((0, 0), (10, 10)), child)
+        spanning_rect = segment(0, 10, 5)
+        branch.spanning.append(DataEntry(spanning_rect, 1, None))
+        inner.branches.append(branch)
+        assert spanning_rect in inner.content_rects()
+
+    def test_touch_counts_modifications(self):
+        node = Node(0)
+        assert node.modifications == 0
+        node.touch()
+        node.touch()
+        assert node.modifications == 2
+
+
+class TestExceptionsHierarchy:
+    def test_all_derive_from_repro_error(self):
+        from repro.exceptions import (
+            CapacityError,
+            IndexStructureError,
+            ReproError,
+            StorageError,
+            WorkloadError,
+        )
+
+        for exc in (CapacityError, IndexStructureError, StorageError, WorkloadError):
+            assert issubclass(exc, ReproError)
+            assert issubclass(exc, Exception)

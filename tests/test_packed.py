@@ -1,0 +1,125 @@
+"""Tests for Sort-Tile-Recursive bulk loading (packed R-Trees)."""
+
+import random
+
+import pytest
+
+from repro import IndexConfig, Rect, RTree, SRTree, check_index, pack_tree, segment
+from repro.core.packed import str_partition
+from repro.exceptions import WorkloadError
+
+from .conftest import brute_force_ids, random_boxes, random_segments
+
+
+class TestStrPartition:
+    def test_groups_cover_everything(self):
+        rects = [Rect((i, j), (i + 1, j + 1)) for i in range(10) for j in range(10)]
+        groups = str_partition(rects, group_size=8, dims=2)
+        flat = sorted(i for g in groups for i in g)
+        assert flat == list(range(100))
+        assert all(len(g) <= 8 for g in groups)
+
+    def test_groups_are_spatially_tight(self):
+        rng = random.Random(1)
+        rects = [
+            Rect((x, y), (x + 1, y + 1))
+            for x, y in ((rng.uniform(0, 100), rng.uniform(0, 100)) for _ in range(200))
+        ]
+        groups = str_partition(rects, group_size=10, dims=2)
+        # Tiles should be far smaller than the whole domain.
+        for g in groups:
+            if len(g) < 5:
+                continue
+            cover = rects[g[0]]
+            for i in g[1:]:
+                cover = cover.union(rects[i])
+            assert cover.area < 100 * 100 / 2
+
+    def test_single_group(self):
+        rects = [Rect((0, 0), (1, 1))] * 3
+        assert str_partition(rects, group_size=10, dims=2) == [[0, 1, 2]]
+
+    def test_bad_group_size(self):
+        with pytest.raises(WorkloadError):
+            str_partition([Rect((0, 0), (1, 1))], 0, 2)
+
+
+class TestPackTree:
+    def _items(self, n, seed):
+        return [(rect, i) for i, rect in enumerate(random_segments(n, seed=seed))]
+
+    def test_round_trip_search(self):
+        items = self._items(2000, seed=2)
+        tree = pack_tree(items)
+        check_index(tree)
+        data = {rid: rect for rid, (rect, _) in enumerate(items, start=1)}
+        rng = random.Random(3)
+        for _ in range(80):
+            cx, cy = rng.uniform(0, 100_000), rng.uniform(0, 100_000)
+            q = Rect((cx, cy), (cx + 4000, cy + 4000))
+            assert tree.search_ids(q) == brute_force_ids(data, q)
+
+    def test_high_fill_factor(self):
+        from repro import measure_index
+
+        items = self._items(2000, seed=4)
+        packed = pack_tree(items, fill=0.9)
+        organic = RTree()
+        for rect, payload in items:
+            organic.insert(rect, payload)
+        m_packed = measure_index(packed)
+        m_organic = measure_index(organic)
+        assert m_packed.level(0).mean_fill > m_organic.level(0).mean_fill
+        assert packed.node_count() < organic.node_count()
+
+    def test_packed_beats_organic_on_search(self):
+        items = [(rect, i) for i, rect in enumerate(random_boxes(3000, seed=5))]
+        packed = pack_tree(items)
+        organic = RTree()
+        for rect, payload in items:
+            organic.insert(rect, payload)
+        rng = random.Random(6)
+        queries = [
+            Rect((x, y), (x + 3000, y + 3000))
+            for x, y in ((rng.uniform(0, 97_000), rng.uniform(0, 97_000)) for _ in range(50))
+        ]
+        for tree in (packed, organic):
+            tree.stats.reset_search_counters()
+            for q in queries:
+                tree.search(q)
+        assert (
+            packed.stats.avg_nodes_per_search < organic.stats.avg_nodes_per_search
+        )
+
+    def test_dynamic_inserts_after_packing(self):
+        items = self._items(500, seed=7)
+        tree = pack_tree(items, index_cls=SRTree, fill=0.7)
+        new_id = tree.insert(segment(0, 100_000, 50_000))
+        check_index(tree)
+        assert new_id in tree.search_ids(Rect((40_000, 49_000), (41_000, 51_000)))
+
+    def test_payloads_and_ids(self):
+        tree = pack_tree([(segment(0, 1, 0), "a"), (segment(2, 3, 0), "b")])
+        assert dict(tree.search(Rect((0, 0), (3, 0)))) == {1: "a", 2: "b"}
+
+    def test_empty_rejected(self):
+        with pytest.raises(WorkloadError):
+            pack_tree([])
+
+    def test_bad_fill_rejected(self):
+        with pytest.raises(WorkloadError):
+            pack_tree([(segment(0, 1, 0), None)], fill=0.01)
+
+    def test_dims_mismatch_rejected(self):
+        with pytest.raises(WorkloadError):
+            pack_tree([(Rect((0,), (1,)), None)], IndexConfig(dims=2))
+
+    def test_single_leaf_tree(self):
+        tree = pack_tree([(segment(i, i + 1, 0), i) for i in range(5)])
+        assert tree.height == 1
+        assert len(tree) == 5
+        check_index(tree)
+
+    def test_stats_count_bulk_inserts(self):
+        tree = pack_tree(self._items(100, seed=8))
+        assert tree.stats.inserts == 100

@@ -1,0 +1,42 @@
+"""Tests for the ASCII plot and report rendering."""
+
+from repro.bench import ascii_plot
+from repro.bench.experiment import ExperimentResult
+
+
+def _result(series):
+    qars = (0.01, 1.0, 100.0)
+    return ExperimentResult("demo", 42, qars, series)
+
+
+class TestAsciiPlot:
+    def test_renders_all_series(self):
+        text = ascii_plot(_result({"A": [100, 10, 100], "B": [20, 5, 20]}))
+        assert "demo" in text
+        assert "o A" in text and "x B" in text
+        assert "log10(QAR)" in text
+
+    def test_dimensions(self):
+        text = ascii_plot(_result({"A": [1, 2, 3]}), width=40, height=10)
+        lines = text.splitlines()
+        # title + height rows + axis + x-label + legend
+        assert len(lines) == 1 + 10 + 3
+        for line in lines[1:11]:
+            assert len(line) <= 10 + 40
+
+    def test_linear_scale(self):
+        text = ascii_plot(_result({"A": [1, 2, 3]}), log_y=False)
+        assert "Y = nodes/search" in text
+
+    def test_flat_series_does_not_crash(self):
+        text = ascii_plot(_result({"A": [5, 5, 5]}))
+        assert "A" in text
+
+    def test_overlapping_points_marked(self):
+        # Two identical series collide on every point.
+        text = ascii_plot(_result({"A": [10, 20, 30], "B": [10, 20, 30]}))
+        assert "&" in text
+
+    def test_single_qar_point(self):
+        r = ExperimentResult("one", 1, (1.0,), {"A": [7.0]})
+        assert "one" in ascii_plot(r)

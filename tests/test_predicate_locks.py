@@ -1,0 +1,144 @@
+"""Tests for the predicate lock manager (strict 2PL over a Segment Index)."""
+
+import random
+
+import pytest
+
+from repro import IndexConfig
+from repro.exceptions import WorkloadError
+from repro.rules import LockConflict, PredicateLockManager
+
+
+class TestBasicProtocol:
+    def test_shared_locks_coexist(self):
+        mgr = PredicateLockManager()
+        mgr.acquire("T1", 0, 100, "shared")
+        mgr.acquire("T2", 50, 150, "shared")
+        assert len(mgr) == 2
+
+    def test_exclusive_blocks_shared(self):
+        mgr = PredicateLockManager()
+        mgr.acquire("T1", 0, 100, "exclusive")
+        with pytest.raises(LockConflict) as exc:
+            mgr.acquire("T2", 50, 60, "shared")
+        assert exc.value.holders[0].txn == "T1"
+
+    def test_shared_blocks_exclusive(self):
+        mgr = PredicateLockManager()
+        mgr.acquire("T1", 0, 100, "shared")
+        with pytest.raises(LockConflict):
+            mgr.acquire("T2", 50, 60, "exclusive")
+
+    def test_disjoint_predicates_never_conflict(self):
+        mgr = PredicateLockManager()
+        mgr.acquire("T1", 0, 10, "exclusive")
+        mgr.acquire("T2", 20, 30, "exclusive")
+        assert len(mgr) == 2
+
+    def test_touching_predicates_conflict(self):
+        # Closed intervals share the boundary point.
+        mgr = PredicateLockManager()
+        mgr.acquire("T1", 0, 10, "exclusive")
+        with pytest.raises(LockConflict):
+            mgr.acquire("T2", 10, 20, "exclusive")
+
+    def test_self_locks_never_conflict(self):
+        mgr = PredicateLockManager()
+        mgr.acquire("T1", 0, 100, "exclusive")
+        mgr.acquire("T1", 50, 60, "exclusive")
+        assert len(mgr.locks_of("T1")) == 2
+
+    def test_point_lock(self):
+        mgr = PredicateLockManager()
+        mgr.acquire_point("T1", 42.0)
+        assert mgr.would_block("T2", 42.0, 42.0, "shared")
+        assert not mgr.would_block("T2", 42.5, 43.0, "exclusive")
+
+    def test_unknown_mode_rejected(self):
+        mgr = PredicateLockManager()
+        with pytest.raises(WorkloadError):
+            mgr.acquire("T1", 0, 1, "intent-shared")
+
+    def test_inverted_range_rejected(self):
+        mgr = PredicateLockManager()
+        with pytest.raises(WorkloadError):
+            mgr.acquire("T1", 10, 0)
+
+
+class TestReleaseAll:
+    def test_release_unblocks(self):
+        mgr = PredicateLockManager()
+        mgr.acquire("T1", 0, 100, "exclusive")
+        assert mgr.release_all("T1") == 1
+        mgr.acquire("T2", 50, 60, "exclusive")  # no longer blocked
+        assert len(mgr) == 1
+
+    def test_release_unknown_txn(self):
+        mgr = PredicateLockManager()
+        assert mgr.release_all("ghost") == 0
+
+    def test_release_only_own_locks(self):
+        mgr = PredicateLockManager()
+        mgr.acquire("T1", 0, 10, "shared")
+        mgr.acquire("T2", 100, 110, "shared")
+        mgr.release_all("T1")
+        assert [h.txn for h in mgr.locks_of("T2")] == ["T2"]
+        assert list(mgr.active_transactions()) == ["T2"]
+
+
+class TestIntrospection:
+    def test_holders_at(self):
+        mgr = PredicateLockManager()
+        mgr.acquire("T1", 0, 100, "shared")
+        mgr.acquire("T2", 50, 150, "shared")
+        holders = {h.txn for h in mgr.holders_at(75.0)}
+        assert holders == {"T1", "T2"}
+        assert {h.txn for h in mgr.holders_at(125.0)} == {"T2"}
+
+    def test_escalation_visible_through_index(self):
+        cfg = IndexConfig(dims=1, leaf_node_bytes=200)
+        mgr = PredicateLockManager(cfg)
+        rng = random.Random(1)
+        for i in range(300):
+            lo = rng.uniform(0, 99_000)
+            mgr.acquire(f"T{i}", lo, lo + rng.uniform(0, 50), "shared")
+        for i in range(10):
+            lo = rng.uniform(0, 20_000)
+            mgr.acquire(f"B{i}", lo, lo + rng.uniform(50_000, 79_000), "shared")
+        assert mgr.index.escalation_ratio() > 0.0
+
+
+class TestConflictMatrixUnderLoad:
+    def test_random_schedule_matches_reference(self):
+        """The manager must agree with a brute-force conflict check over a
+        random workload of acquires and releases."""
+        rng = random.Random(2)
+        mgr = PredicateLockManager()
+        reference: dict[object, list[tuple[float, float, str]]] = {}
+        for step in range(400):
+            action = rng.random()
+            txn = f"T{rng.randrange(8)}"
+            if action < 0.75:
+                lo = rng.uniform(0, 990)
+                hi = lo + rng.uniform(0, 50)
+                mode = "exclusive" if rng.random() < 0.3 else "shared"
+                expected_block = any(
+                    other != txn
+                    and o_lo <= hi
+                    and o_hi >= lo
+                    and (mode == "exclusive" or o_mode == "exclusive")
+                    for other, locks in reference.items()
+                    for (o_lo, o_hi, o_mode) in locks
+                )
+                try:
+                    mgr.acquire(txn, lo, hi, mode)
+                    granted = True
+                except LockConflict:
+                    granted = False
+                assert granted == (not expected_block), step
+                if granted:
+                    reference.setdefault(txn, []).append((lo, hi, mode))
+            else:
+                mgr.release_all(txn)
+                reference.pop(txn, None)
+        assert len(mgr) == sum(len(v) for v in reference.values())

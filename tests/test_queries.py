@@ -1,0 +1,73 @@
+"""Tests for the QAR query generator."""
+
+import math
+
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.workloads import PAPER_QARS, QUERY_AREA, qar_sweep, query_rectangles
+
+
+class TestPaperConstants:
+    def test_thirteen_qars(self):
+        assert len(PAPER_QARS) == 13
+        assert PAPER_QARS[0] == 0.0001
+        assert PAPER_QARS[-1] == 10_000
+
+    def test_area_is_million(self):
+        assert QUERY_AREA == 1_000_000.0
+
+
+class TestQueryRectangles:
+    def test_aspect_ratio_and_area(self):
+        for qar in (0.01, 1.0, 100.0):
+            # Use a tiny count and check the *unclipped* shape via extents
+            # of queries that landed fully inside the domain.
+            queries = query_rectangles(qar, 50, seed=1)
+            w_expect = math.sqrt(QUERY_AREA * qar)
+            h_expect = math.sqrt(QUERY_AREA / qar)
+            interior = [
+                q
+                for q in queries
+                if 0 < q.lows[0] and q.highs[0] < 100_000
+                and 0 < q.lows[1] and q.highs[1] < 100_000
+            ]
+            assert interior, "expected some fully interior queries"
+            for q in interior:
+                assert q.extent(0) == pytest.approx(w_expect, rel=1e-9)
+                assert q.extent(1) == pytest.approx(h_expect, rel=1e-9)
+
+    def test_extreme_qar_clips_to_domain(self):
+        queries = query_rectangles(10_000, 20, seed=2)
+        for q in queries:
+            assert q.lows[0] >= 0 and q.highs[0] <= 100_000
+            # Width sqrt(1e6 * 1e4) = 100_000: full-domain wide.
+            assert q.extent(0) >= 50_000
+
+    def test_count(self):
+        assert len(query_rectangles(1.0, 7, seed=3)) == 7
+
+    def test_deterministic(self):
+        assert query_rectangles(1.0, 5, seed=4) == query_rectangles(1.0, 5, seed=4)
+
+    def test_invalid_args(self):
+        with pytest.raises(WorkloadError):
+            query_rectangles(0.0, 10)
+        with pytest.raises(WorkloadError):
+            query_rectangles(1.0, 0)
+        with pytest.raises(WorkloadError):
+            query_rectangles(1.0, 10, area=-1)
+
+
+class TestSweep:
+    def test_sweep_covers_all_qars(self):
+        sweep = qar_sweep(count=5)
+        assert set(sweep) == set(PAPER_QARS)
+        assert all(len(v) == 5 for v in sweep.values())
+
+    def test_sweep_seeds_differ_per_qar(self):
+        sweep = qar_sweep(qars=(1.0, 2.0), count=3, seed=0)
+        # Different seeds -> different centroids even at the same area.
+        centers_1 = [q.center for q in sweep[1.0]]
+        centers_2 = [q.center for q in sweep[2.0]]
+        assert centers_1 != centers_2

@@ -1,0 +1,128 @@
+"""Tests for the R*-Tree and Segment R*-Tree variants."""
+
+import random
+
+import pytest
+
+from repro import (
+    IndexConfig,
+    Rect,
+    RStarTree,
+    RTree,
+    SRStarTree,
+    check_index,
+    point,
+    segment,
+)
+from repro.core.split import rstar_split
+
+from .conftest import brute_force_ids, random_boxes, random_segments
+
+
+class TestRStarSplit:
+    def test_partition_exact(self):
+        boxes = [Rect((i, 0), (i + 1, 1)) for i in range(10)]
+        a, b = rstar_split(boxes, min_entries=3)
+        assert sorted(a + b) == list(range(10))
+        assert min(len(a), len(b)) >= 3
+
+    def test_two_clusters_zero_overlap(self):
+        cluster_a = [Rect((i, i), (i + 1, i + 1)) for i in range(4)]
+        cluster_b = [Rect((100 + i, 100), (101 + i, 101)) for i in range(4)]
+        boxes = cluster_a + cluster_b
+        a, b = rstar_split(boxes, min_entries=2)
+        covers = []
+        for group in (a, b):
+            cover = boxes[group[0]]
+            for i in group[1:]:
+                cover = cover.union(boxes[i])
+            covers.append(cover)
+        inter = covers[0].intersection(covers[1])
+        assert inter is None or inter.area == 0.0
+
+    def test_chooses_axis_with_smaller_margin(self):
+        # Elongated along Y: splitting on Y gives squarer halves.
+        boxes = [Rect((0, 10 * i), (1, 10 * i + 1)) for i in range(8)]
+        a, b = rstar_split(boxes, min_entries=3)
+        ys_a = {boxes[i].lows[1] for i in a}
+        ys_b = {boxes[i].lows[1] for i in b}
+        assert max(ys_a) < min(ys_b) or max(ys_b) < min(ys_a)
+
+
+class TestRStarTree:
+    def test_config_forced_to_rstar_split(self):
+        tree = RStarTree(IndexConfig(split_algorithm="quadratic"))
+        assert tree.config.split_algorithm == "rstar"
+
+    def test_matches_brute_force(self, small_config):
+        tree = RStarTree(small_config)
+        data = {}
+        for rect in random_boxes(500, seed=31):
+            data[tree.insert(rect)] = rect
+        check_index(tree)
+        rng = random.Random(32)
+        for _ in range(80):
+            cx, cy = rng.uniform(0, 100_000), rng.uniform(0, 100_000)
+            q = Rect((cx, cy), (cx + 3000, cy + 3000))
+            assert tree.search_ids(q) == brute_force_ids(data, q)
+
+    def test_forced_reinsertion_happens(self, small_config):
+        tree = RStarTree(small_config)
+        rng = random.Random(33)
+        for _ in range(300):
+            tree.insert(point(rng.uniform(0, 1000), rng.uniform(0, 1000)))
+        assert tree.stats.forced_reinserts > 0
+        # Reinsertion defers splits, it does not eliminate them: the split
+        # count stays in the same ballpark as Guttman's.
+        guttman = RTree(small_config)
+        rng = random.Random(33)
+        for _ in range(300):
+            guttman.insert(point(rng.uniform(0, 1000), rng.uniform(0, 1000)))
+        assert tree.stats.splits <= guttman.stats.splits * 1.3
+        check_index(tree)
+
+    def test_less_overlap_than_guttman_on_boxes(self, small_config):
+        from repro import measure_index
+
+        boxes = random_boxes(800, seed=34)
+        rstar = RStarTree(small_config)
+        guttman = RTree(small_config)
+        for rect in boxes:
+            rstar.insert(rect)
+            guttman.insert(rect)
+        m_rstar = measure_index(rstar)
+        m_guttman = measure_index(guttman)
+        # The R* design goal: less leaf-level overlap.
+        assert (
+            m_rstar.level(0).overlap_fraction
+            <= m_guttman.level(0).overlap_fraction * 1.1
+        )
+
+    def test_delete_works(self, small_config):
+        tree = RStarTree(small_config)
+        data = {}
+        for rect in random_segments(200, seed=35):
+            data[tree.insert(rect)] = rect
+        victim = next(iter(data))
+        assert tree.delete(victim, hint=data.pop(victim)) == 1
+        q = Rect((0, 0), (100_000, 100_000))
+        assert tree.search_ids(q) == set(data)
+
+
+class TestSRStarTree:
+    def test_spanning_machinery_active(self, small_config):
+        tree = SRStarTree(small_config)
+        data = {}
+        for rect in random_segments(600, seed=36, long_fraction=0.3):
+            data[tree.insert(rect)] = rect
+        assert tree.stats.spanning_placements > 0
+        check_index(tree)
+        rng = random.Random(37)
+        for _ in range(80):
+            cx, cy = rng.uniform(0, 100_000), rng.uniform(0, 100_000)
+            q = Rect((cx, cy), (cx + 1500, cy + 25_000))
+            assert tree.search_ids(q) == brute_force_ids(data, q)
+
+    def test_segment_index_flag(self):
+        assert SRStarTree.segment_index is True
+        assert RStarTree.segment_index is False

@@ -1,0 +1,239 @@
+"""Tests for the baseline R-Tree."""
+
+import pytest
+
+from repro import IndexConfig, Rect, RTree, check_index, point, segment
+
+from .conftest import brute_force_ids, random_boxes, random_segments
+
+
+class TestBasics:
+    def test_empty_tree(self):
+        tree = RTree()
+        assert len(tree) == 0
+        assert tree.height == 1
+        assert tree.search(Rect((0, 0), (10, 10))) == []
+        assert tree.bounding_rect() is None
+
+    def test_single_insert_search(self):
+        tree = RTree()
+        rid = tree.insert(Rect((1, 1), (2, 2)), payload="x")
+        assert len(tree) == 1
+        assert tree.search(Rect((0, 0), (3, 3))) == [(rid, "x")]
+        assert tree.search(Rect((5, 5), (6, 6))) == []
+
+    def test_record_ids_are_unique_and_increasing(self):
+        tree = RTree()
+        ids = [tree.insert(point(i, i)) for i in range(50)]
+        assert len(set(ids)) == 50
+        assert ids == sorted(ids)
+
+    def test_dimension_mismatch_rejected(self):
+        tree = RTree(IndexConfig(dims=2))
+        with pytest.raises(ValueError):
+            tree.insert(Rect((0,), (1,)))
+        with pytest.raises(ValueError):
+            tree.search(Rect((0, 0, 0), (1, 1, 1)))
+
+    def test_stab_query(self):
+        tree = RTree()
+        a = tree.insert(Rect((0, 0), (10, 10)), "a")
+        tree.insert(Rect((20, 20), (30, 30)), "b")
+        assert tree.stab(5, 5) == [(a, "a")]
+
+    def test_count(self):
+        tree = RTree()
+        for i in range(10):
+            tree.insert(point(i, 0))
+        assert tree.count(Rect((2, -1), (5, 1))) == 4
+
+    def test_payloads_preserved(self):
+        tree = RTree()
+        payload = {"nested": [1, 2, 3]}
+        rid = tree.insert(point(1, 1), payload)
+        assert tree.search(point(1, 1))[0] == (rid, payload)
+
+
+class TestGrowth:
+    def test_height_grows_with_inserts(self, small_config):
+        tree = RTree(small_config)
+        for i in range(200):
+            tree.insert(point(i * 7 % 101, i * 13 % 97))
+        assert tree.height >= 3
+        check_index(tree)
+
+    def test_node_count_reasonable(self, small_config):
+        tree = RTree(small_config)
+        for i in range(200):
+            tree.insert(point(i * 7 % 101, i * 13 % 97))
+        cap = small_config.capacity(0)
+        assert tree.node_count() >= 200 // cap
+
+    def test_all_leaves_same_depth(self, small_config):
+        tree = RTree(small_config)
+        for rect in random_segments(300, seed=11):
+            tree.insert(rect)
+        check_index(tree)  # includes the uniform-depth assertion
+
+    def test_total_index_bytes(self, small_config):
+        tree = RTree(small_config)
+        for i in range(50):
+            tree.insert(point(i, i))
+        assert tree.total_index_bytes() >= tree.node_count() * small_config.leaf_node_bytes
+
+
+class TestSearchEquivalence:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_segments_match_brute_force(self, seed, small_config):
+        tree = RTree(small_config)
+        data = {}
+        for rect in random_segments(400, seed=seed):
+            data[tree.insert(rect)] = rect
+        check_index(tree)
+        import random
+
+        rng = random.Random(seed + 100)
+        for _ in range(60):
+            cx, cy = rng.uniform(0, 100_000), rng.uniform(0, 100_000)
+            q = Rect((cx, cy), (cx + 4000, cy + 4000))
+            assert tree.search_ids(q) == brute_force_ids(data, q)
+
+    def test_boxes_match_brute_force(self, small_config):
+        tree = RTree(small_config)
+        data = {}
+        for rect in random_boxes(400, seed=5):
+            data[tree.insert(rect)] = rect
+        check_index(tree)
+        import random
+
+        rng = random.Random(7)
+        for _ in range(60):
+            cx, cy = rng.uniform(0, 100_000), rng.uniform(0, 100_000)
+            q = Rect((cx, cy), (cx + 2000, cy + 8000))
+            assert tree.search_ids(q) == brute_force_ids(data, q)
+
+    def test_duplicate_rects_all_found(self):
+        tree = RTree()
+        r = Rect((5, 5), (6, 6))
+        ids = {tree.insert(r) for _ in range(30)}
+        assert tree.search_ids(Rect((5, 5), (6, 6))) == ids
+
+
+class TestDelete:
+    def test_delete_removes_record(self):
+        tree = RTree()
+        keep = tree.insert(point(1, 1), "keep")
+        gone = tree.insert(point(2, 2), "gone")
+        assert tree.delete(gone) == 1
+        assert len(tree) == 1
+        assert tree.search_ids(Rect((0, 0), (3, 3))) == {keep}
+
+    def test_delete_missing_returns_zero(self):
+        tree = RTree()
+        tree.insert(point(1, 1))
+        assert tree.delete(99999) == 0
+        assert len(tree) == 1
+
+    def test_delete_with_hint(self, small_config):
+        tree = RTree(small_config)
+        data = {}
+        for rect in random_segments(300, seed=3):
+            data[tree.insert(rect)] = rect
+        victim = next(iter(data))
+        assert tree.delete(victim, hint=data[victim]) == 1
+        del data[victim]
+        q = Rect((0, 0), (100_000, 100_000))
+        assert tree.search_ids(q) == set(data)
+        check_index(tree)
+
+    def test_mass_delete_then_reuse(self, small_config):
+        tree = RTree(small_config)
+        data = {}
+        for rect in random_segments(200, seed=9):
+            data[tree.insert(rect)] = rect
+        for rid in list(data)[:150]:
+            assert tree.delete(rid, hint=data.pop(rid)) == 1
+        check_index(tree)
+        q = Rect((0, 0), (100_000, 100_000))
+        assert tree.search_ids(q) == set(data)
+        # The tree keeps working after heavy deletion.
+        extra = tree.insert(point(123, 456))
+        assert extra in tree.search_ids(Rect((0, 0), (100_000, 100_000)))
+
+    def test_root_shrinks_after_deleting_everything(self, small_config):
+        tree = RTree(small_config)
+        data = {}
+        for rect in random_segments(150, seed=13):
+            data[tree.insert(rect)] = rect
+        for rid, rect in data.items():
+            tree.delete(rid, hint=rect)
+        assert len(tree) == 0
+        assert tree.search(Rect((0, 0), (100_000, 100_000))) == []
+
+
+class TestStats:
+    def test_search_counts_nodes(self):
+        tree = RTree()
+        for i in range(10):
+            tree.insert(point(i, i))
+        _, stats = tree.search_with_stats(Rect((0, 0), (9, 9)))
+        assert stats.nodes_accessed >= 1
+        assert stats.records_found == 10
+        assert tree.stats.searches == 1
+
+    def test_avg_nodes_per_search(self, small_config):
+        tree = RTree(small_config)
+        for rect in random_segments(300, seed=1):
+            tree.insert(rect)
+        tree.stats.reset_search_counters()
+        for i in range(10):
+            tree.search(Rect((i * 1000, 0), (i * 1000 + 500, 100_000)))
+        assert tree.stats.searches == 10
+        assert tree.stats.avg_nodes_per_search > 1.0
+
+    def test_insert_counted(self):
+        tree = RTree()
+        tree.insert(point(0, 0))
+        assert tree.stats.inserts == 1
+
+    def test_linear_split_variant_works(self):
+        cfg = IndexConfig(split_algorithm="linear", leaf_node_bytes=200)
+        tree = RTree(cfg)
+        data = {}
+        for rect in random_segments(300, seed=21):
+            data[tree.insert(rect)] = rect
+        check_index(tree)
+        q = Rect((10_000, 10_000), (30_000, 30_000))
+        assert tree.search_ids(q) == brute_force_ids(data, q)
+
+
+class TestOneDimensional:
+    def test_1d_interval_index(self):
+        tree = RTree(IndexConfig(dims=1, leaf_node_bytes=200))
+        from repro import interval
+
+        data = {}
+        for i in range(100):
+            r = interval(i, i + 5)
+            data[tree.insert(r)] = r
+        check_index(tree)
+        got = tree.search_ids(interval(50, 52))
+        assert got == brute_force_ids(data, interval(50, 52))
+
+
+class TestThreeDimensional:
+    def test_3d_boxes(self):
+        import random
+
+        cfg = IndexConfig(dims=3, leaf_node_bytes=560, entry_bytes=56)
+        tree = RTree(cfg)
+        rng = random.Random(4)
+        data = {}
+        for _ in range(200):
+            lows = [rng.uniform(0, 90) for _ in range(3)]
+            highs = [lo + rng.uniform(0, 10) for lo in lows]
+            r = Rect(tuple(lows), tuple(highs))
+            data[tree.insert(r)] = r
+        check_index(tree)
+        q = Rect((20, 20, 20), (40, 40, 40))
+        assert tree.search_ids(q) == brute_force_ids(data, q)

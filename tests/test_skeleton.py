@@ -1,0 +1,277 @@
+"""Tests for Skeleton Indexes: sizing, construction, prediction, coalescing."""
+
+import random
+
+import pytest
+
+from repro import (
+    IndexConfig,
+    Rect,
+    SkeletonRTree,
+    SkeletonSRTree,
+    check_index,
+    segment,
+    uniform_histogram,
+)
+from repro.core.skeleton import build_skeleton_root, plan_levels
+from repro.exceptions import WorkloadError
+
+from .conftest import brute_force_ids, random_segments
+
+
+class TestPlanLevels:
+    def test_paper_sizing_loop(self):
+        # 200K tuples, leaf capacity 25: ceil(200000/25)=8000 -> 90 per dim.
+        cfg = IndexConfig()
+        plan = plan_levels(200_000, cfg, segment_index=False)
+        assert plan[0] == 90
+        assert plan[-1] == 1  # a single root
+        # Each level shrinks.
+        assert all(a > b for a, b in zip(plan, plan[1:]))
+
+    def test_sr_variant_plans_smaller_fanout(self):
+        cfg = IndexConfig()
+        plan_r = plan_levels(200_000, cfg, segment_index=False)
+        plan_sr = plan_levels(200_000, cfg, segment_index=True)
+        # SR reserves slots for spanning records -> needs at least as many
+        # upper-level nodes.
+        assert len(plan_sr) >= len(plan_r)
+
+    def test_tiny_input_single_leaf(self):
+        cfg = IndexConfig()
+        assert plan_levels(10, cfg, segment_index=False) == [1]
+
+    def test_one_dimensional_plan(self):
+        cfg = IndexConfig(dims=1)
+        plan = plan_levels(10_000, cfg, segment_index=False)
+        assert plan[0] == 400  # ceil(10000/25) leaves, no square round-up
+
+    def test_degenerate_config_terminates(self):
+        cfg = IndexConfig(leaf_node_bytes=80, entry_bytes=40)  # capacity 2
+        plan = plan_levels(1000, cfg, segment_index=True)
+        assert plan[-1] == 1
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(WorkloadError):
+            plan_levels(0, IndexConfig(), False)
+
+
+class TestBuildSkeletonRoot:
+    def _histograms(self):
+        return [uniform_histogram((0, 100_000)), uniform_histogram((0, 100_000))]
+
+    def test_structure_nested_and_complete(self):
+        cfg = IndexConfig()
+        root = build_skeleton_root(self._histograms(), 50_000, cfg, False)
+        assert root.level >= 2
+        # Walk: every child region nested in its parent's branch rect.
+        stack = [(root, None)]
+        leaf_regions = []
+        while stack:
+            node, region = stack.pop()
+            if node.is_leaf:
+                leaf_regions.append(node.assigned_region)
+                continue
+            for b in node.branches:
+                assert b.rect == b.child.assigned_region
+                if region is not None:
+                    assert region.contains(b.rect)
+                stack.append((b.child, b.rect))
+        # Leaf cells tile the domain.
+        total = sum(r.area for r in leaf_regions)
+        assert total == pytest.approx(100_000.0 ** 2, rel=1e-9)
+
+    def test_skewed_histogram_gives_skewed_cells(self):
+        import numpy as np
+
+        from repro import EquiDepthHistogram
+
+        rng = np.random.default_rng(1)
+        skewed = EquiDepthHistogram(
+            np.clip(rng.exponential(7000, 20_000), 0, 100_000), (0, 100_000)
+        )
+        cfg = IndexConfig()
+        root = build_skeleton_root(
+            [uniform_histogram((0, 100_000)), skewed], 20_000, cfg, False
+        )
+        leaves = []
+        stack = [root]
+        while stack:
+            n = stack.pop()
+            if n.is_leaf:
+                leaves.append(n)
+            else:
+                stack.extend(b.child for b in n.branches)
+        heights = sorted(leaf.assigned_region.extent(1) for leaf in leaves)
+        # Dense low-Y region gets much finer cells than the sparse top.
+        assert heights[0] < heights[-1] / 5
+
+    def test_wrong_histogram_count_rejected(self):
+        with pytest.raises(WorkloadError):
+            build_skeleton_root([uniform_histogram((0, 1))], 100, IndexConfig(), False)
+
+
+class TestSkeletonInsertSearch:
+    @pytest.mark.parametrize("cls", [SkeletonRTree, SkeletonSRTree])
+    def test_known_histograms_mode(self, cls, small_config):
+        hists = [uniform_histogram((0, 100_000)), uniform_histogram((0, 100_000))]
+        tree = cls(small_config, expected_tuples=500, histograms=hists)
+        data = {}
+        for rect in random_segments(500, seed=20):
+            data[tree.insert(rect)] = rect
+        check_index(tree)
+        rng = random.Random(21)
+        for _ in range(50):
+            cx, cy = rng.uniform(0, 100_000), rng.uniform(0, 100_000)
+            q = Rect((cx, cy), (cx + 2000, cy + 2000))
+            assert tree.search_ids(q) == brute_force_ids(data, q)
+
+    @pytest.mark.parametrize("cls", [SkeletonRTree, SkeletonSRTree])
+    def test_uniform_assumption_mode(self, cls, small_config):
+        tree = cls(small_config, expected_tuples=400, domain=[(0, 100_000)] * 2)
+        assert not tree.predicting
+        data = {}
+        for rect in random_segments(400, seed=22):
+            data[tree.insert(rect)] = rect
+        check_index(tree)
+        q = Rect((0, 0), (100_000, 100_000))
+        assert tree.search_ids(q) == set(data)
+
+    def test_missing_domain_rejected(self):
+        with pytest.raises(WorkloadError):
+            SkeletonRTree(expected_tuples=100)
+
+
+class TestDistributionPrediction:
+    def test_buffering_phase_then_flush(self, small_config):
+        tree = SkeletonSRTree(
+            small_config,
+            expected_tuples=300,
+            domain=[(0, 100_000)] * 2,
+            prediction_fraction=0.1,
+        )
+        data = {}
+        rects = random_segments(300, seed=23)
+        for rect in rects[:20]:
+            data[tree.insert(rect)] = rect
+        assert tree.predicting  # 20 < 30 buffered
+        # Searches during buffering still see buffered records.
+        q = Rect((0, 0), (100_000, 100_000))
+        assert tree.search_ids(q) == set(data)
+        for rect in rects[20:]:
+            data[tree.insert(rect)] = rect
+        assert not tree.predicting
+        check_index(tree)
+        assert tree.search_ids(q) == set(data)
+
+    def test_flush_forces_construction(self, small_config):
+        tree = SkeletonRTree(
+            small_config,
+            expected_tuples=1000,
+            domain=[(0, 1000)] * 2,
+            prediction_fraction=0.5,
+        )
+        for i in range(10):
+            tree.insert(Rect((i, i), (i + 1, i + 1)))
+        assert tree.predicting
+        tree.flush()
+        assert not tree.predicting
+        assert len(tree) == 10
+        check_index(tree)
+
+    def test_flush_empty_buffer_builds_uniform(self, small_config):
+        tree = SkeletonRTree(
+            small_config,
+            expected_tuples=100,
+            domain=[(0, 1000)] * 2,
+            prediction_fraction=0.5,
+        )
+        tree.flush()
+        assert not tree.predicting
+        rid = tree.insert(Rect((5, 5), (6, 6)))
+        assert tree.search_ids(Rect((0, 0), (10, 10))) == {rid}
+
+    def test_delete_during_buffering(self, small_config):
+        tree = SkeletonRTree(
+            small_config,
+            expected_tuples=1000,
+            domain=[(0, 1000)] * 2,
+            prediction_fraction=0.9,
+        )
+        rid = tree.insert(Rect((1, 1), (2, 2)))
+        keep = tree.insert(Rect((3, 3), (4, 4)))
+        assert tree.delete(rid) == 1
+        assert len(tree) == 1
+        assert tree.search_ids(Rect((0, 0), (10, 10))) == {keep}
+
+
+class TestCoalescing:
+    def test_sparse_regions_coalesce(self):
+        # Skeleton sized for 10x more data than arrives, clustered in one
+        # corner: the empty cells elsewhere must merge.
+        cfg = IndexConfig(leaf_node_bytes=200, coalesce_interval=20, coalesce_candidates=10)
+        tree = SkeletonRTree(cfg, expected_tuples=2000, domain=[(0, 100_000)] * 2)
+
+        def empty_leaves():
+            return sum(
+                1
+                for n in tree.iter_nodes()
+                if n.is_leaf and not n.data_entries
+            )
+
+        empty_before = empty_leaves()
+        rng = random.Random(24)
+        data = {}
+        for _ in range(300):
+            x, y = rng.uniform(0, 10_000), rng.uniform(0, 10_000)
+            r = Rect((x, y), (x + 10, y + 10))
+            data[tree.insert(r)] = r
+        assert tree.stats.coalesces > 0
+        # Sparse (empty) cells merged away even though the dense corner split.
+        assert empty_leaves() < empty_before
+        check_index(tree)
+        q = Rect((0, 0), (100_000, 100_000))
+        assert tree.search_ids(q) == set(data)
+
+    def test_coalescing_disabled(self):
+        cfg = IndexConfig(leaf_node_bytes=200, coalesce_interval=0)
+        tree = SkeletonRTree(cfg, expected_tuples=1000, domain=[(0, 1000)] * 2)
+        for i in range(200):
+            tree.insert(Rect((i % 31, i % 37), (i % 31 + 1, i % 37 + 1)))
+        assert tree.stats.coalesces == 0
+
+    def test_coalescing_with_spanning_records(self):
+        cfg = IndexConfig(leaf_node_bytes=200, coalesce_interval=25, coalesce_candidates=10)
+        tree = SkeletonSRTree(cfg, expected_tuples=1500, domain=[(0, 100_000)] * 2)
+        rng = random.Random(25)
+        data = {}
+        for i in range(400):
+            if i % 4 == 0:
+                x0 = rng.uniform(0, 40_000)
+                r = segment(x0, x0 + rng.uniform(10_000, 60_000), rng.uniform(0, 20_000))
+            else:
+                x0 = rng.uniform(0, 20_000)
+                r = segment(x0, x0 + rng.uniform(0, 50), rng.uniform(0, 20_000))
+            data[tree.insert(r)] = r
+        check_index(tree)
+        for _ in range(40):
+            cx, cy = rng.uniform(0, 100_000), rng.uniform(0, 100_000)
+            q = Rect((cx, cy), (cx + 5000, cy + 5000))
+            assert tree.search_ids(q) == brute_force_ids(data, q)
+
+
+class TestSkeletonAdaptation:
+    def test_dense_region_splits(self):
+        # Skeleton sized for uniform data; all data lands in one cell.
+        cfg = IndexConfig(leaf_node_bytes=200, coalesce_interval=0)
+        tree = SkeletonRTree(cfg, expected_tuples=500, domain=[(0, 100_000)] * 2)
+        rng = random.Random(26)
+        data = {}
+        for _ in range(500):
+            x, y = rng.uniform(0, 100), rng.uniform(0, 100)
+            r = Rect((x, y), (x + 1, y + 1))
+            data[tree.insert(r)] = r
+        assert tree.stats.splits > 0
+        check_index(tree)
+        q = Rect((0, 0), (200, 200))
+        assert tree.search_ids(q) == set(data)

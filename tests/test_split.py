@@ -1,0 +1,90 @@
+"""Tests for the Guttman node-split algorithms."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Rect
+from repro.core.split import linear_split, quadratic_split, split_rects
+
+from .conftest import rects
+
+
+def _boxes(*bounds):
+    return [Rect((lo_x, lo_y), (hi_x, hi_y)) for lo_x, lo_y, hi_x, hi_y in bounds]
+
+
+class TestQuadraticSplit:
+    def test_two_clusters_separate(self):
+        cluster_a = _boxes((0, 0, 1, 1), (1, 1, 2, 2), (0.5, 0.5, 1.5, 1.5))
+        cluster_b = _boxes((100, 100, 101, 101), (101, 101, 102, 102))
+        groups = quadratic_split(cluster_a + cluster_b, min_entries=2)
+        sets = [set(g) for g in groups]
+        assert {0, 1, 2} in sets
+        assert {3, 4} in sets
+
+    def test_partition_is_exact(self):
+        boxes = _boxes(*[(i, i, i + 1, i + 1) for i in range(10)])
+        a, b = quadratic_split(boxes, min_entries=4)
+        assert sorted(a + b) == list(range(10))
+        assert not set(a) & set(b)
+
+    def test_min_fill_respected(self):
+        # Nine identical boxes plus one far away: min fill must still hold.
+        boxes = _boxes(*[(0, 0, 1, 1)] * 9, (500, 500, 501, 501))
+        a, b = quadratic_split(boxes, min_entries=4)
+        assert min(len(a), len(b)) >= 4
+
+    def test_cannot_split_single(self):
+        with pytest.raises(ValueError):
+            split_rects([Rect((0, 0), (1, 1))], 1, "quadratic")
+
+    def test_two_entries(self):
+        a, b = quadratic_split(_boxes((0, 0, 1, 1), (5, 5, 6, 6)), min_entries=1)
+        assert len(a) == len(b) == 1
+
+
+class TestLinearSplit:
+    def test_partition_is_exact(self):
+        boxes = _boxes(*[(i * 3, 0, i * 3 + 1, 1) for i in range(8)])
+        a, b = linear_split(boxes, min_entries=3)
+        assert sorted(a + b) == list(range(8))
+
+    def test_separates_extremes(self):
+        boxes = _boxes((0, 0, 1, 1), (99, 0, 100, 1), (50, 0, 51, 1), (2, 0, 3, 1))
+        a, b = linear_split(boxes, min_entries=1)
+        group_of = {}
+        for idx in a:
+            group_of[idx] = "a"
+        for idx in b:
+            group_of[idx] = "b"
+        assert group_of[0] != group_of[1]
+
+    def test_identical_rects_split_evenly_enough(self):
+        boxes = _boxes(*[(0, 0, 1, 1)] * 6)
+        a, b = linear_split(boxes, min_entries=2)
+        assert min(len(a), len(b)) >= 2
+
+
+class TestDispatch:
+    def test_unknown_algorithm_falls_back_to_quadratic(self):
+        # split_rects only dispatches on "linear"; anything else uses quadratic,
+        # and IndexConfig already rejects unknown names upstream.
+        boxes = _boxes((0, 0, 1, 1), (10, 10, 11, 11), (1, 1, 2, 2))
+        a, b = split_rects(boxes, 1, "quadratic")
+        assert sorted(a + b) == [0, 1, 2]
+
+    def test_min_entries_clamped_to_half(self):
+        boxes = _boxes((0, 0, 1, 1), (10, 10, 11, 11), (1, 1, 2, 2))
+        a, b = split_rects(boxes, min_entries=5, algorithm="quadratic")
+        assert sorted(a + b) == [0, 1, 2]
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(rects(), min_size=2, max_size=30), st.sampled_from(["quadratic", "linear"]))
+def test_property_split_partitions(boxes, algorithm):
+    min_entries = max(1, len(boxes) // 3)
+    a, b = split_rects(boxes, min_entries, algorithm)
+    assert sorted(a + b) == list(range(len(boxes)))
+    assert len(a) >= 1 and len(b) >= 1
+    assert min(len(a), len(b)) >= min(min_entries, len(boxes) // 2)

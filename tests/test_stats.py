@@ -1,0 +1,50 @@
+"""Tests for the statistics counters."""
+
+from repro import AccessStats
+from repro.core.stats import SearchStats
+
+
+class TestAccessStats:
+    def test_record_access_by_level(self):
+        stats = AccessStats()
+        stats.record_access(0)
+        stats.record_access(0)
+        stats.record_access(2)
+        assert stats.node_accesses == 3
+        assert stats.accesses_by_level[0] == 2
+        assert stats.accesses_by_level[2] == 1
+
+    def test_avg_nodes_per_search(self):
+        stats = AccessStats()
+        assert stats.avg_nodes_per_search == 0.0
+        stats.searches = 4
+        stats.search_node_accesses = 10
+        assert stats.avg_nodes_per_search == 2.5
+
+    def test_reset_search_counters_keeps_build_side(self):
+        stats = AccessStats()
+        stats.inserts = 100
+        stats.splits = 5
+        stats.searches = 3
+        stats.search_node_accesses = 30
+        stats.reset_search_counters()
+        assert stats.searches == 0
+        assert stats.search_node_accesses == 0
+        assert stats.inserts == 100
+        assert stats.splits == 5
+
+    def test_snapshot_is_plain_dict(self):
+        stats = AccessStats()
+        stats.inserts = 7
+        snap = stats.snapshot()
+        assert snap["inserts"] == 7
+        assert isinstance(snap, dict)
+        snap["inserts"] = 0
+        assert stats.inserts == 7  # snapshot detached
+
+
+class TestSearchStats:
+    def test_fields(self):
+        s = SearchStats(nodes_accessed=5, records_found=2)
+        assert s.nodes_accessed == 5
+        assert s.records_found == 2

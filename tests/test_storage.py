@@ -1,0 +1,174 @@
+"""Tests for the simulated storage stack: pages, disk, buffer pool."""
+
+import pytest
+
+from repro.exceptions import StorageError
+from repro.storage import BufferPool, Page, SimulatedDisk
+
+
+class TestPage:
+    def test_fresh_page_zeroed(self):
+        p = Page(1, 64)
+        assert p.read() == b"\x00" * 64
+        assert not p.dirty
+
+    def test_write_read(self):
+        p = Page(1, 64)
+        p.write(b"hello", offset=10)
+        assert p.read(5, offset=10) == b"hello"
+        assert p.dirty
+
+    def test_write_overflow_rejected(self):
+        p = Page(1, 16)
+        with pytest.raises(StorageError):
+            p.write(b"x" * 17)
+        with pytest.raises(StorageError):
+            p.write(b"abc", offset=15)
+
+    def test_read_overflow_rejected(self):
+        p = Page(1, 16)
+        with pytest.raises(StorageError):
+            p.read(17)
+
+    def test_pin_unpin(self):
+        p = Page(1, 16)
+        p.pin()
+        p.pin()
+        p.unpin()
+        assert p.pin_count == 1
+        p.unpin()
+        with pytest.raises(StorageError):
+            p.unpin()
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(StorageError):
+            Page(1, 0)
+
+    def test_mismatched_buffer_rejected(self):
+        with pytest.raises(StorageError):
+            Page(1, 16, bytearray(8))
+
+
+class TestSimulatedDisk:
+    def test_allocate_read_write(self):
+        disk = SimulatedDisk()
+        disk.allocate(1, 32)
+        assert disk.read_page(1) == b"\x00" * 32
+        disk.write_page(1, b"a" * 32)
+        assert disk.read_page(1) == b"a" * 32
+        assert disk.stats.reads == 2
+        assert disk.stats.writes == 1
+        assert disk.stats.bytes_written == 32
+
+    def test_variable_page_sizes(self):
+        disk = SimulatedDisk()
+        disk.allocate(1, 1024)
+        disk.allocate(2, 2048)
+        assert disk.page_size(1) == 1024
+        assert disk.page_size(2) == 2048
+        assert disk.allocated_bytes == 3072
+        assert disk.allocated_pages == 2
+
+    def test_double_allocate_rejected(self):
+        disk = SimulatedDisk()
+        disk.allocate(1, 32)
+        with pytest.raises(StorageError):
+            disk.allocate(1, 32)
+
+    def test_unallocated_access_rejected(self):
+        disk = SimulatedDisk()
+        with pytest.raises(StorageError):
+            disk.read_page(9)
+        with pytest.raises(StorageError):
+            disk.write_page(9, b"")
+
+    def test_size_mismatch_write_rejected(self):
+        disk = SimulatedDisk()
+        disk.allocate(1, 32)
+        with pytest.raises(StorageError):
+            disk.write_page(1, b"short")
+
+    def test_deallocate(self):
+        disk = SimulatedDisk()
+        disk.allocate(1, 32)
+        disk.deallocate(1)
+        assert disk.allocated_pages == 0
+        with pytest.raises(StorageError):
+            disk.deallocate(1)
+
+
+class TestBufferPool:
+    def _disk(self, pages=10, size=64):
+        disk = SimulatedDisk()
+        for i in range(1, pages + 1):
+            disk.allocate(i, size)
+        return disk
+
+    def test_miss_then_hit(self):
+        pool = BufferPool(self._disk(), capacity_bytes=256)
+        pool.touch(1)
+        pool.touch(1)
+        assert pool.stats.misses == 1
+        assert pool.stats.hits == 1
+        assert pool.stats.hit_ratio == 0.5
+
+    def test_eviction_lru_order(self):
+        pool = BufferPool(self._disk(), capacity_bytes=128)  # two 64B frames
+        pool.touch(1)
+        pool.touch(2)
+        pool.touch(1)  # 1 is now MRU
+        pool.touch(3)  # evicts 2
+        assert pool.stats.evictions == 1
+        pool.touch(1)
+        assert pool.stats.hits == 2  # 1 stayed resident
+
+    def test_dirty_writeback_on_eviction(self):
+        disk = self._disk()
+        pool = BufferPool(disk, capacity_bytes=64)
+        frame = pool.fetch(1)
+        frame.write(b"x" * 64)
+        pool.release(1, dirty=True)
+        pool.touch(2)  # evicts dirty page 1
+        assert pool.stats.dirty_writebacks == 1
+        assert disk.read_page(1) == b"x" * 64
+
+    def test_pinned_pages_not_evicted(self):
+        pool = BufferPool(self._disk(), capacity_bytes=64)
+        pool.fetch(1)  # pinned
+        with pytest.raises(StorageError):
+            pool.fetch(2)  # no room, page 1 pinned
+
+    def test_flush_writes_dirty(self):
+        disk = self._disk()
+        pool = BufferPool(disk, capacity_bytes=256)
+        frame = pool.fetch(1)
+        frame.write(b"y" * 64)
+        pool.release(1, dirty=True)
+        pool.flush()
+        assert disk.read_page(1) == b"y" * 64
+
+    def test_oversized_page_rejected(self):
+        disk = SimulatedDisk()
+        disk.allocate(1, 1024)
+        pool = BufferPool(disk, capacity_bytes=512)
+        with pytest.raises(StorageError):
+            pool.fetch(1)
+
+    def test_release_nonresident_rejected(self):
+        pool = BufferPool(self._disk(), capacity_bytes=256)
+        with pytest.raises(StorageError):
+            pool.release(1)
+
+    def test_variable_size_accounting(self):
+        disk = SimulatedDisk()
+        disk.allocate(1, 1024)
+        disk.allocate(2, 2048)
+        pool = BufferPool(disk, capacity_bytes=3072)
+        pool.touch(1)
+        pool.touch(2)
+        assert pool.resident_bytes == 3072
+        assert pool.resident_pages == 2
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(StorageError):
+            BufferPool(SimulatedDisk(), capacity_bytes=0)

@@ -1,0 +1,152 @@
+"""Tests for trace generation/replay and the analytical cost model."""
+
+import math
+
+import pytest
+
+from repro import IndexConfig, Rect, RTree, SkeletonSRTree, SRTree, point
+from repro.bench import expected_node_accesses, predict_qar_series
+from repro.bench.experiment import build_index
+from repro.exceptions import WorkloadError
+from repro.workloads import (
+    Operation,
+    TraceConfig,
+    dataset_I1,
+    generate_trace,
+    qar_sweep,
+    replay,
+)
+
+
+class TestTraceGeneration:
+    def test_deterministic(self):
+        cfg = TraceConfig(operations=200)
+        assert generate_trace(cfg, seed=1) == generate_trace(cfg, seed=1)
+        assert generate_trace(cfg, seed=1) != generate_trace(cfg, seed=2)
+
+    def test_mix_roughly_matches_weights(self):
+        cfg = TraceConfig(operations=2000, insert_weight=0.5, search_weight=0.4, delete_weight=0.1)
+        trace = generate_trace(cfg, seed=3)
+        counts = {"insert": 0, "search": 0, "delete": 0}
+        for op in trace:
+            counts[op.kind] += 1
+        assert counts["insert"] > counts["search"] > counts["delete"]
+
+    def test_deletes_reference_live_inserts(self):
+        cfg = TraceConfig(operations=500, delete_weight=0.4)
+        trace = generate_trace(cfg, seed=4)
+        inserted = 0
+        deleted = set()
+        for op in trace:
+            if op.kind == "insert":
+                inserted += 1
+            elif op.kind == "delete":
+                assert op.target is not None
+                assert 0 <= op.target < inserted
+                assert op.target not in deleted  # never delete twice
+                deleted.add(op.target)
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(WorkloadError):
+            TraceConfig(operations=0)
+        with pytest.raises(WorkloadError):
+            TraceConfig(insert_weight=0, search_weight=0, delete_weight=0)
+
+
+class TestReplay:
+    @pytest.mark.parametrize("kind", ["R-Tree", "SR-Tree"])
+    def test_validated_replay_passes(self, kind, small_config):
+        trace = generate_trace(TraceConfig(operations=600), seed=5)
+        index = RTree(small_config) if kind == "R-Tree" else SRTree(small_config)
+        report = replay(index, trace)
+        assert report.ok, report.mismatches[:3]
+        assert report.inserts > 0 and report.searches > 0
+
+    def test_replay_on_skeleton(self, small_config):
+        trace = generate_trace(TraceConfig(operations=500, delete_weight=0.15), seed=6)
+        index = SkeletonSRTree(
+            small_config,
+            expected_tuples=400,
+            domain=[(0.0, 100_000.0)] * 2,
+            prediction_fraction=0.05,
+        )
+        report = replay(index, trace)
+        assert report.ok, report.mismatches[:3]
+        assert report.deletes > 0
+
+    def test_replay_detects_broken_index(self):
+        """Sanity: the validator actually catches wrong answers."""
+
+        class LyingIndex(RTree):
+            def search_ids(self, rect):
+                return set()  # always claims nothing matches
+
+        trace = [
+            Operation("insert", rect=point(5, 5)),
+            Operation("search", rect=Rect((0, 0), (10, 10))),
+        ]
+        report = replay(LyingIndex(), trace)
+        assert not report.ok
+
+    def test_unknown_operation_rejected(self):
+        with pytest.raises(WorkloadError):
+            replay(RTree(), [Operation("truncate")])
+
+
+class TestCostModel:
+    def test_single_leaf_tree(self):
+        tree = RTree()
+        tree.insert(point(5, 5))
+        # Only the root exists: exactly one access regardless of shape.
+        assert expected_node_accesses(tree, 1000, 1000) == 1.0
+
+    def test_monotone_in_query_size(self, small_config):
+        tree = build_index("R-Tree", dataset_I1(2000, seed=7), small_config)
+        small = expected_node_accesses(tree, 100, 100)
+        large = expected_node_accesses(tree, 10_000, 10_000)
+        assert small < large
+
+    def test_predicts_measured_accesses(self, small_config):
+        """The model must track reality closely: uniform data, uniform
+        query centroids — exactly its assumptions."""
+        tree = build_index("SR-Tree", dataset_I1(3000, seed=8), small_config)
+        qars = (0.01, 1.0, 100.0)
+        predicted = predict_qar_series(tree, qars)
+        queries = qar_sweep(qars=qars, count=60, seed=9)
+        for qar, pred in zip(qars, predicted):
+            tree.stats.reset_search_counters()
+            for q in queries[qar]:
+                tree.search(q)
+            measured = tree.stats.avg_nodes_per_search
+            assert pred == pytest.approx(measured, rel=0.35), qar
+
+    def test_predicts_index_ordering(self, small_config):
+        """Whatever structure wins on vertical slivers, the model must
+        predict the same winner that measurement finds."""
+        data = dataset_I1(3000, seed=10)
+        trees = {
+            kind: build_index(kind, data, small_config)
+            for kind in ("R-Tree", "Skeleton R-Tree")
+        }
+        w, h = math.sqrt(1e6 * 1e-4), math.sqrt(1e6 / 1e-4)
+        predicted = {k: expected_node_accesses(t, w, h) for k, t in trees.items()}
+        queries = qar_sweep(qars=(0.0001,), count=60, seed=9)[0.0001]
+        measured = {}
+        for kind, tree in trees.items():
+            tree.stats.reset_search_counters()
+            for q in queries:
+                tree.search(q)
+            measured[kind] = tree.stats.avg_nodes_per_search
+        predicted_winner = min(predicted, key=predicted.get)
+        measured_winner = min(measured, key=measured.get)
+        assert predicted_winner == measured_winner
+        for kind in trees:
+            assert predicted[kind] == pytest.approx(measured[kind], rel=0.35)
+
+    def test_invalid_inputs_rejected(self):
+        tree = RTree()
+        tree.insert(point(0, 0))
+        with pytest.raises(WorkloadError):
+            expected_node_accesses(tree, -1, 10)
+        with pytest.raises(WorkloadError):
+            predict_qar_series(tree, qars=(0.0,))

@@ -1,0 +1,140 @@
+"""The validator must catch deliberately corrupted trees."""
+
+import pytest
+
+from repro import IndexConfig, Rect, RTree, SRTree, check_index, point, segment
+from repro.core.entry import DataEntry
+from repro.exceptions import IndexStructureError
+
+from .conftest import random_segments
+
+
+def _valid_tree(config):
+    tree = SRTree(config)
+    for rect in random_segments(300, seed=30, long_fraction=0.3):
+        tree.insert(rect)
+    return tree
+
+
+class TestValidatorAcceptsValid:
+    def test_fresh_tree(self, small_config):
+        check_index(_valid_tree(small_config))
+
+    def test_empty_tree(self):
+        check_index(RTree())
+
+
+class TestValidatorCatchesCorruption:
+    def test_branch_rect_too_small(self, small_config):
+        tree = _valid_tree(small_config)
+        node = tree.root
+        while not node.is_leaf:
+            node = node.branches[0].child
+        branch = node.parent.branch_for_child(node)
+        branch.rect = Rect((0, 0), (0.001, 0.001))
+        with pytest.raises(IndexStructureError):
+            check_index(tree)
+
+    def test_broken_parent_pointer(self, small_config):
+        tree = _valid_tree(small_config)
+        tree.root.branches[0].child.parent = None
+        with pytest.raises(IndexStructureError):
+            check_index(tree)
+
+    def test_overfull_leaf(self, small_config):
+        tree = _valid_tree(small_config)
+        node = tree.root
+        while not node.is_leaf:
+            node = node.branches[0].child
+        rect = node.data_entries[0].rect
+        for i in range(small_config.capacity(0) + 1):
+            node.data_entries.append(DataEntry(rect, 10_000 + i, None))
+        with pytest.raises(IndexStructureError):
+            check_index(tree)
+
+    def test_spanning_record_outside_region(self, small_config):
+        tree = _valid_tree(small_config)
+        # Find a non-root non-leaf node and plant an out-of-region record.
+        target = None
+        for node in tree.iter_nodes():
+            if not node.is_leaf and node.parent is not None:
+                target = node
+                break
+        if target is None:
+            pytest.skip("tree too shallow")
+        bad = DataEntry(Rect((-500, -500), (-400, -400)), 99_999, None)
+        target.branches[0].spanning.append(bad)
+        tree._size += 1
+        with pytest.raises(IndexStructureError):
+            check_index(tree)
+
+    def test_spanning_record_not_spanning_its_branch(self, small_config):
+        tree = _valid_tree(small_config)
+        target = None
+        for node in tree.iter_nodes():
+            if not node.is_leaf:
+                target = node
+                break
+        branch = target.branches[0]
+        # A tiny record strictly inside the branch spans nothing.
+        c = branch.rect.center
+        tiny = DataEntry(Rect(c, c), 88_888, None)
+        inner = Rect(
+            tuple(l + (h - l) * 0.4 for l, h in zip(branch.rect.lows, branch.rect.highs)),
+            tuple(l + (h - l) * 0.6 for l, h in zip(branch.rect.lows, branch.rect.highs)),
+        )
+        if branch.rect.extent(0) == 0:
+            pytest.skip("degenerate branch")
+        tiny = DataEntry(inner, 88_888, None)
+        if inner.spans(branch.rect):
+            pytest.skip("branch degenerate enough that inner spans it")
+        branch.spanning.append(tiny)
+        tree._size += 1
+        with pytest.raises(IndexStructureError):
+            check_index(tree)
+
+    def test_spanning_on_plain_rtree(self, small_config):
+        tree = RTree(small_config)
+        for rect in random_segments(200, seed=31):
+            tree.insert(rect)
+        node = tree.root
+        assert not node.is_leaf
+        node.branches[0].spanning.append(
+            DataEntry(node.branches[0].rect, 77_777, None)
+        )
+        tree._size += 1
+        with pytest.raises(IndexStructureError):
+            check_index(tree)
+
+    def test_size_mismatch(self, small_config):
+        tree = _valid_tree(small_config)
+        tree._size += 5
+        with pytest.raises(IndexStructureError):
+            check_index(tree)
+
+    def test_overlapping_fragments(self, small_config):
+        tree = SRTree(small_config)
+        rid = tree.insert(segment(0, 100, 5))
+        # Plant a second overlapping fragment with the same record id.
+        node = tree.root
+        while not node.is_leaf:
+            node = node.branches[0].child
+        node.data_entries.append(DataEntry(segment(50, 150, 5), rid, None, True))
+        with pytest.raises(IndexStructureError):
+            check_index(tree)
+
+    def test_level_gap(self, small_config):
+        tree = _valid_tree(small_config)
+        if tree.height < 3:
+            pytest.skip("tree too shallow")
+        tree.root.branches[0].child.level += 3
+        with pytest.raises(IndexStructureError):
+            check_index(tree)
+
+    def test_root_with_parent(self, small_config):
+        tree = _valid_tree(small_config)
+        from repro.core.node import Node
+
+        tree.root.parent = Node(level=tree.root.level + 1)
+        with pytest.raises(IndexStructureError):
+            check_index(tree)

@@ -1,0 +1,125 @@
+"""Tests for the dataset generators (I1-I4, R1-R2)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.workloads import (
+    DATASETS,
+    DOMAIN_HIGH,
+    ExponentialSampler,
+    UniformSampler,
+    dataset_I1,
+    dataset_I2,
+    dataset_I3,
+    dataset_I4,
+    dataset_R1,
+    dataset_R2,
+    interval_dataset,
+    make_sampler,
+    rectangle_dataset,
+)
+
+
+class TestSamplers:
+    def test_uniform_range(self):
+        rng = np.random.default_rng(0)
+        values = UniformSampler(10, 20).draw(rng, 1000)
+        assert values.min() >= 10 and values.max() <= 20
+
+    def test_exponential_mean(self):
+        rng = np.random.default_rng(0)
+        values = ExponentialSampler(beta=2000, high=1e12).draw(rng, 50_000)
+        assert values.mean() == pytest.approx(2000, rel=0.05)
+
+    def test_exponential_clipped(self):
+        rng = np.random.default_rng(0)
+        values = ExponentialSampler(beta=50_000).draw(rng, 10_000)
+        assert values.max() <= DOMAIN_HIGH
+
+    def test_factory(self):
+        assert isinstance(make_sampler("uniform"), UniformSampler)
+        assert isinstance(make_sampler("exponential", beta=5.0), ExponentialSampler)
+        with pytest.raises(WorkloadError):
+            make_sampler("zipf")
+
+    def test_invalid_parameters(self):
+        with pytest.raises(WorkloadError):
+            UniformSampler(5, 5)
+        with pytest.raises(WorkloadError):
+            ExponentialSampler(beta=0)
+
+
+class TestIntervalDatasets:
+    def test_segments_are_horizontal(self):
+        for rect in dataset_I1(200, seed=1):
+            assert rect.lows[1] == rect.highs[1]  # Y is a point
+            assert rect.lows[0] <= rect.highs[0]
+
+    def test_i1_short_uniform_lengths(self):
+        lengths = [r.extent(0) for r in dataset_I1(5000, seed=2)]
+        assert max(lengths) <= 100.0
+        assert np.mean(lengths) == pytest.approx(50.0, rel=0.1)
+
+    def test_i3_exponential_lengths(self):
+        lengths = [r.extent(0) for r in dataset_I3(20_000, seed=3)]
+        # Clipping at the domain borders shaves a little off the mean.
+        assert np.mean(lengths) == pytest.approx(2000.0, rel=0.15)
+        assert max(lengths) > 5000.0
+
+    def test_i2_exponential_y(self):
+        ys = [r.lows[1] for r in dataset_I2(20_000, seed=4)]
+        assert np.mean(ys) == pytest.approx(7000.0, rel=0.15)
+
+    def test_i4_combines_both(self):
+        data = dataset_I4(10_000, seed=5)
+        ys = [r.lows[1] for r in data]
+        lengths = [r.extent(0) for r in data]
+        assert np.mean(ys) < 15_000  # exponential, not uniform (mean 50K)
+        assert max(lengths) > 5000.0
+
+    def test_within_domain(self):
+        for name, gen in DATASETS.items():
+            for rect in gen(500, 6):
+                assert 0.0 <= rect.lows[0] <= rect.highs[0] <= DOMAIN_HIGH
+                assert 0.0 <= rect.lows[1] <= rect.highs[1] <= DOMAIN_HIGH
+
+    def test_deterministic(self):
+        assert dataset_I3(100, seed=7) == dataset_I3(100, seed=7)
+        assert dataset_I3(100, seed=7) != dataset_I3(100, seed=8)
+
+    def test_unknown_distribution_rejected(self):
+        with pytest.raises(WorkloadError):
+            interval_dataset(10, y_dist="zipf")
+
+    def test_empty_rejected(self):
+        with pytest.raises(WorkloadError):
+            dataset_I1(0)
+
+
+class TestRectangleDatasets:
+    def test_r1_small_uniform_edges(self):
+        for rect in dataset_R1(2000, seed=8):
+            assert rect.extent(0) <= 100.0
+            assert rect.extent(1) <= 100.0
+
+    def test_r2_exponential_edges(self):
+        widths = [r.extent(0) for r in dataset_R2(20_000, seed=9)]
+        assert np.mean(widths) == pytest.approx(2000.0, rel=0.15)
+
+    def test_r2_edges_independent(self):
+        data = dataset_R2(5000, seed=10)
+        widths = np.array([r.extent(0) for r in data])
+        heights = np.array([r.extent(1) for r in data])
+        corr = np.corrcoef(widths, heights)[0, 1]
+        assert abs(corr) < 0.05
+
+    def test_exponential_centroids_variant(self):
+        data = rectangle_dataset(10_000, "uniform", centroid="exponential", seed=11)
+        cx = np.array([r.center[0] for r in data])
+        assert np.mean(cx) < 40_000  # clustered at the low end
+
+    def test_centroids_uniform_by_default(self):
+        data = dataset_R1(10_000, seed=12)
+        cx = np.array([r.center[0] for r in data])
+        assert np.mean(cx) == pytest.approx(50_000, rel=0.05)
