@@ -12,10 +12,20 @@ EXPERIMENTS.md records a full-scale 200K run.
 
 from __future__ import annotations
 
+import os
+from pathlib import Path
+
 import pytest
 
 from repro.bench import build_index, default_scale, format_table, run_experiment
 from repro.workloads import qar_sweep
+
+# Every benchmark run leaves a machine-readable BENCH_<name>.json behind
+# (schema repro.bench-report/v1) unless the caller points REPRO_REPORT_DIR
+# elsewhere or sets it to "" to suppress.
+os.environ.setdefault(
+    "REPRO_REPORT_DIR", str(Path(__file__).resolve().parent.parent / "results" / "reports")
+)
 
 
 def graph_experiment(name, spec, scale=None, config=None, queries_per_qar=30, seed=42):

@@ -13,7 +13,7 @@ Shape assertions are calibrated for the default 20K bench scale and above.
 
 import pytest
 
-from repro.bench import FIGURES, INDEX_TYPES, hqar_mean, vqar_mean
+from repro.bench import INDEX_TYPES, hqar_mean, vqar_mean
 
 from .conftest import get_experiment, requires_default_scale, search_batch
 

@@ -10,7 +10,7 @@ Paper claims reproduced here (Section 5.1):
 
 import pytest
 
-from repro.bench import FIGURES, INDEX_TYPES, vqar_mean
+from repro.bench import INDEX_TYPES, vqar_mean
 
 from .conftest import get_experiment, requires_default_scale, search_batch
 

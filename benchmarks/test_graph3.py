@@ -16,7 +16,7 @@ builds cleaner horizontal slabs than the 1991 original.
 
 import pytest
 
-from repro.bench import FIGURES, INDEX_TYPES, vqar_mean
+from repro.bench import INDEX_TYPES, vqar_mean
 
 from .conftest import get_experiment, requires_default_scale, search_batch
 

@@ -15,7 +15,7 @@ per-point noise.
 
 import pytest
 
-from repro.bench import FIGURES, INDEX_TYPES, vqar_mean
+from repro.bench import INDEX_TYPES, vqar_mean
 
 from .conftest import get_experiment, requires_default_scale, search_batch
 

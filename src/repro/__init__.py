@@ -48,8 +48,19 @@ from .exceptions import (
     WorkloadError,
 )
 from .histogram import DistributionPredictor, EquiDepthHistogram, uniform_histogram
+from .obs import (
+    NULL_TRACER,
+    Histogram,
+    JsonlSink,
+    MetricsRegistry,
+    QueryTrace,
+    RingBufferSink,
+    Tracer,
+    index_registry,
+    trace_search,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AccessStats",
@@ -81,5 +92,14 @@ __all__ = [
     "DistributionPredictor",
     "EquiDepthHistogram",
     "uniform_histogram",
+    "NULL_TRACER",
+    "Histogram",
+    "JsonlSink",
+    "MetricsRegistry",
+    "QueryTrace",
+    "RingBufferSink",
+    "Tracer",
+    "index_registry",
+    "trace_search",
     "__version__",
 ]

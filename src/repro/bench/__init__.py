@@ -11,7 +11,13 @@ from .experiment import (
 from .cost_model import expected_node_accesses, predict_qar_series
 from .figures import FIGURES, FigureSpec, hqar_mean, vqar_mean
 from .plot import ascii_plot
-from .report import format_table, print_result, to_csv
+from .report import (
+    experiment_report,
+    format_table,
+    print_result,
+    to_csv,
+    write_experiment_report,
+)
 
 __all__ = [
     "INDEX_TYPES",
@@ -30,4 +36,6 @@ __all__ = [
     "format_table",
     "print_result",
     "to_csv",
+    "experiment_report",
+    "write_experiment_report",
 ]

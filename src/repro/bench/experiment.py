@@ -26,6 +26,7 @@ from ..core.rtree import RTree
 from ..core.skeleton import SkeletonRTree, SkeletonSRTree
 from ..core.srtree import SRTree
 from ..exceptions import WorkloadError
+from ..obs.registry import NODES_PER_SEARCH_BUCKETS, Histogram
 from ..workloads.generators import DOMAIN
 from ..workloads.queries import PAPER_QARS, QUERY_AREA, qar_sweep
 
@@ -60,6 +61,10 @@ class ExperimentResult:
     series: dict[str, list[float]]
     build_stats: dict[str, dict] = field(default_factory=dict)
     build_seconds: dict[str, float] = field(default_factory=dict)
+    query_seconds: dict[str, float] = field(default_factory=dict)
+    #: Per-index-type histogram summaries of nodes accessed per search
+    #: (the distribution behind the per-QAR averages in ``series``).
+    search_histograms: dict[str, dict] = field(default_factory=dict)
 
     def at(self, index_type: str, qar: float) -> float:
         return self.series[index_type][self.qars.index(qar)]
@@ -84,12 +89,14 @@ def build_index(
     config: IndexConfig | None = None,
     prediction_fraction: float = PREDICTION_FRACTION,
     domain: Sequence[tuple[float, float]] | None = None,
+    tracer=None,
 ) -> RTree:
     """Build one of the paper's four index types over ``dataset``.
 
     ``kind`` is one of :data:`INDEX_TYPES`.  The dataset is inserted in the
     given order (the paper inserts in random order; its generators already
-    produce randomly ordered data).
+    produce randomly ordered data).  Pass a :class:`repro.obs.Tracer` as
+    ``tracer`` to trace the build itself (splits, cuts, demotions, ...).
     """
     config = config or IndexConfig()
     domain = list(domain) if domain is not None else DOMAIN
@@ -114,6 +121,8 @@ def build_index(
     else:
         raise WorkloadError(f"unknown index type {kind!r}; pick from {INDEX_TYPES}")
 
+    if tracer is not None:
+        index.tracer = tracer
     for i, rect in enumerate(dataset):
         index.insert(rect, payload=i)
     if hasattr(index, "flush"):
@@ -132,16 +141,24 @@ def run_experiment(
     query_seed: int = 1991,
     prediction_fraction: float = PREDICTION_FRACTION,
     indexes: dict[str, RTree] | None = None,
+    report_dir: str | None = None,
 ) -> ExperimentResult:
     """Run the full Section 5 protocol and return the per-QAR series.
 
     Pass ``indexes`` to reuse pre-built indexes (the ablation benches build
     their own variants); otherwise each requested type is built here.
+
+    When ``report_dir`` is given — or the ``REPRO_REPORT_DIR`` environment
+    variable is set — a machine-readable ``BENCH_<name>.json`` run report
+    is written there (see :mod:`repro.obs.report`).  Pass an empty string
+    to suppress the report even when the variable is set.
     """
     queries = qar_sweep(qars, queries_per_qar, query_area, seed=query_seed)
     series: dict[str, list[float]] = {}
     build_stats: dict[str, dict] = {}
     build_seconds: dict[str, float] = {}
+    query_seconds: dict[str, float] = {}
+    search_histograms: dict[str, dict] = {}
 
     for kind in index_types:
         if indexes is not None and kind in indexes:
@@ -152,22 +169,38 @@ def run_experiment(
             index = build_index(kind, dataset, config, prediction_fraction)
             build_seconds[kind] = time.perf_counter() - start
         build_stats[kind] = index.stats.snapshot()
+        histogram = Histogram("nodes_per_search", NODES_PER_SEARCH_BUCKETS)
         points: list[float] = []
+        query_start = time.perf_counter()
         for qar in qars:
             index.stats.reset_search_counters()
             for query in queries[qar]:
+                before = index.stats.search_node_accesses
                 index.search(query)
+                histogram.observe(index.stats.search_node_accesses - before)
             points.append(index.stats.avg_nodes_per_search)
+        query_seconds[kind] = time.perf_counter() - query_start
         series[kind] = points
+        search_histograms[kind] = histogram.summary()
 
-    return ExperimentResult(
+    result = ExperimentResult(
         name=name,
         dataset_size=len(dataset),
         qars=tuple(qars),
         series=series,
         build_stats=build_stats,
         build_seconds=build_seconds,
+        query_seconds=query_seconds,
+        search_histograms=search_histograms,
     )
+
+    if report_dir is None:
+        report_dir = os.environ.get("REPRO_REPORT_DIR")
+    if report_dir:
+        from .report import write_experiment_report
+
+        write_experiment_report(result, report_dir)
+    return result
 
 
 def default_scale() -> int:

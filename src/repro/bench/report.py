@@ -8,11 +8,19 @@ column per index type.
 from __future__ import annotations
 
 import math
+from pathlib import Path
 from typing import TextIO
 
+from ..obs.report import build_report, write_report
 from .experiment import ExperimentResult
 
-__all__ = ["format_table", "to_csv", "print_result"]
+__all__ = [
+    "format_table",
+    "to_csv",
+    "print_result",
+    "experiment_report",
+    "write_experiment_report",
+]
 
 
 def format_table(result: ExperimentResult) -> str:
@@ -44,3 +52,40 @@ def to_csv(result: ExperimentResult) -> str:
 
 def print_result(result: ExperimentResult, stream: TextIO | None = None) -> None:
     print(format_table(result), file=stream)
+
+
+def experiment_report(result: ExperimentResult) -> dict:
+    """Shape an :class:`ExperimentResult` into a BENCH report document.
+
+    The report carries the run configuration, total wall time, the
+    per-index build statistics and per-QAR series, and the
+    nodes-per-search histograms — everything a later PR needs to compare
+    a fresh run against this one.
+    """
+    kinds = list(result.series)
+    wall = sum(result.build_seconds.values()) + sum(result.query_seconds.values())
+    histograms = {
+        f"nodes_per_search/{kind}": summary
+        for kind, summary in result.search_histograms.items()
+    }
+    return build_report(
+        result.name,
+        config={
+            "dataset_size": result.dataset_size,
+            "qars": list(result.qars),
+            "index_types": kinds,
+        },
+        wall_seconds=wall,
+        metrics={
+            "series": {k: list(v) for k, v in result.series.items()},
+            "build_stats": result.build_stats,
+            "build_seconds": result.build_seconds,
+            "query_seconds": result.query_seconds,
+        },
+        histograms=histograms,
+    )
+
+
+def write_experiment_report(result: ExperimentResult, out_dir: str | Path) -> Path:
+    """Write ``BENCH_<name>.json`` for ``result``; returns the file path."""
+    return write_report(experiment_report(result), out_dir)

@@ -6,12 +6,16 @@ Commands:
 * ``experiment`` — run the Section 5 protocol on a distribution (or a CSV
   produced by ``generate``) and print the table / ASCII graph;
 * ``inspect``   — build one index type and print its structural metrics;
-* ``graphs``    — reproduce one or more of the paper's Graphs 1-6.
+* ``graphs``    — reproduce one or more of the paper's Graphs 1-6;
+* ``trace``     — run a search workload with tracing on and dump the
+  JSONL event stream;
+* ``stats``     — pretty-print a machine-readable ``BENCH_*.json`` report.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 
@@ -23,27 +27,61 @@ from .bench import (
     format_table,
     run_experiment,
     to_csv,
+    write_experiment_report,
 )
 from .core import Rect, measure_index
-from .workloads import DATASETS
+from .obs import JsonlSink, NULL_TRACER, RingBufferSink, TeeSink, Tracer
+from .obs.report import format_report, load_report
+from .workloads import DATASETS, qar_sweep
 
 __all__ = ["main"]
 
+#: Default directory for machine-readable run reports.
+DEFAULT_REPORT_DIR = "results/reports"
+
+
+def _report_dir(args) -> str:
+    """Resolve the report directory: explicit --report-dir beats the
+    REPRO_REPORT_DIR environment variable beats the default.  An empty
+    value (or --no-report) suppresses the report."""
+    if args.no_report:
+        return ""
+    if args.report_dir is not None:
+        return args.report_dir
+    return os.environ.get("REPRO_REPORT_DIR", DEFAULT_REPORT_DIR)
+
 
 def _load_csv(path: Path) -> list[Rect]:
+    """Parse a ``repro generate`` CSV; malformed rows raise ``ValueError``
+    naming the file and line."""
     rects = []
-    with path.open() as fh:
+    try:
+        fh = path.open()
+    except OSError as exc:
+        raise ValueError(f"cannot read {path}: {exc}") from exc
+    with fh:
         for line_no, line in enumerate(fh, start=1):
             line = line.strip()
             if not line or line.startswith("#") or line.startswith("x_low"):
                 continue
             parts = line.split(",")
             if len(parts) != 4:
-                raise SystemExit(f"{path}:{line_no}: expected 4 columns")
-            x_lo, y_lo, x_hi, y_hi = map(float, parts)
-            rects.append(Rect((x_lo, y_lo), (x_hi, y_hi)))
+                raise ValueError(
+                    f"{path}:{line_no}: expected 4 comma-separated values "
+                    f"(x_low,y_low,x_high,y_high), got {len(parts)}"
+                )
+            try:
+                x_lo, y_lo, x_hi, y_hi = map(float, parts)
+            except ValueError:
+                raise ValueError(
+                    f"{path}:{line_no}: non-numeric value in row {line!r}"
+                ) from None
+            try:
+                rects.append(Rect((x_lo, y_lo), (x_hi, y_hi)))
+            except Exception as exc:
+                raise ValueError(f"{path}:{line_no}: {exc}") from None
     if not rects:
-        raise SystemExit(f"{path}: no rectangles found")
+        raise ValueError(f"{path}: no rectangles found")
     return rects
 
 
@@ -72,6 +110,7 @@ def _cmd_experiment(args) -> int:
         rects,
         index_types=kinds,
         queries_per_qar=args.queries,
+        report_dir="",  # the CLI writes (or skips) the report itself
     )
     print(format_table(result))
     if args.plot:
@@ -80,6 +119,10 @@ def _cmd_experiment(args) -> int:
     if args.csv:
         Path(args.csv).write_text(to_csv(result) + "\n")
         print(f"series written to {args.csv}")
+    report_dir = _report_dir(args)
+    if report_dir:
+        path = write_experiment_report(result, report_dir)
+        print(f"report written to {path}")
     return 0
 
 
@@ -103,11 +146,61 @@ def _cmd_graphs(args) -> int:
         spec = FIGURES[graph_id]
         print(f"\n## {graph_id}: {spec.title}")
         rects = spec.dataset(args.n, args.seed)
-        result = run_experiment(graph_id, rects, queries_per_qar=args.queries)
+        result = run_experiment(
+            graph_id, rects, queries_per_qar=args.queries, report_dir=""
+        )
         print(format_table(result))
         if args.plot:
             print()
             print(ascii_plot(result))
+        report_dir = _report_dir(args)
+        if report_dir:
+            path = write_experiment_report(result, report_dir)
+            print(f"report written to {path}")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    """Run a traced search workload and dump the JSONL event stream."""
+    rects = _dataset(args)
+    out = Path(args.output)
+    ring = RingBufferSink()
+    with JsonlSink(out) as jsonl:
+        tracer = Tracer(TeeSink(ring, jsonl))
+        build_tracer = tracer if args.phase in ("build", "both") else None
+        index = build_index(args.index, rects, tracer=build_tracer)
+        index.tracer = NULL_TRACER
+        if args.buffer_bytes:
+            from .storage import StorageManager
+
+            StorageManager(index, buffer_bytes=args.buffer_bytes, tracer=tracer)
+        if args.phase in ("search", "both"):
+            index.tracer = tracer
+            queries = qar_sweep((args.qar,), args.queries, seed=args.seed)[args.qar]
+            for query in queries:
+                index.search(query)
+            index.tracer = NULL_TRACER
+        events = jsonl.events_written
+    by_type: dict[str, int] = {}
+    for event in ring:
+        by_type[event.etype] = by_type.get(event.etype, 0) + 1
+    print(f"wrote {events} events to {out}")
+    for etype, count in sorted(by_type.items(), key=lambda kv: -kv[1]):
+        print(f"  {etype}: {count}")
+    if args.phase in ("search", "both"):
+        print(
+            f"searches: {index.stats.searches}, "
+            f"avg nodes/search: {index.stats.avg_nodes_per_search:.1f}"
+        )
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    """Pretty-print one or more BENCH_*.json run reports."""
+    for i, path in enumerate(args.report):
+        if i:
+            print()
+        print(format_report(load_report(Path(path))))
     return 0
 
 
@@ -136,6 +229,15 @@ def _parser() -> argparse.ArgumentParser:
     )
     exp.add_argument("--plot", action="store_true", help="ASCII graph")
     exp.add_argument("--csv", help="write the series to this file")
+    exp.add_argument(
+        "--report-dir",
+        default=None,
+        help="directory for the BENCH_<name>.json run report "
+        f"(default: $REPRO_REPORT_DIR or {DEFAULT_REPORT_DIR})",
+    )
+    exp.add_argument(
+        "--no-report", action="store_true", help="skip the JSON run report"
+    )
     exp.set_defaults(func=_cmd_experiment)
 
     ins = sub.add_parser("inspect", help="structural metrics of one index")
@@ -152,16 +254,59 @@ def _parser() -> argparse.ArgumentParser:
     gra.add_argument("--seed", type=int, default=42)
     gra.add_argument("--queries", type=int, default=50)
     gra.add_argument("--plot", action="store_true")
+    gra.add_argument("--report-dir", default=None)
+    gra.add_argument("--no-report", action="store_true")
     gra.set_defaults(func=_cmd_graphs)
+
+    tra = sub.add_parser(
+        "trace", help="run a workload with tracing on and dump JSONL"
+    )
+    tra.add_argument("--dist", choices=sorted(DATASETS))
+    tra.add_argument("--input", help="CSV from `repro generate` instead of --dist")
+    tra.add_argument("-n", type=int, default=10_000)
+    tra.add_argument("--seed", type=int, default=42)
+    tra.add_argument("--index", default="SR-Tree", choices=INDEX_TYPES)
+    tra.add_argument("--queries", type=int, default=50)
+    tra.add_argument("--qar", type=float, default=1.0, help="query aspect ratio")
+    tra.add_argument(
+        "--phase",
+        choices=("build", "search", "both"),
+        default="search",
+        help="which phase(s) to trace",
+    )
+    tra.add_argument(
+        "--buffer-bytes",
+        type=int,
+        default=0,
+        help="attach a buffer pool of this size to also trace page I/O",
+    )
+    tra.add_argument("-o", "--output", required=True, help="JSONL output file")
+    tra.set_defaults(func=_cmd_trace)
+
+    sta = sub.add_parser("stats", help="pretty-print BENCH_*.json run reports")
+    sta.add_argument("report", nargs="+", help="report file(s) to print")
+    sta.set_defaults(func=_cmd_stats)
 
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = _parser().parse_args(argv)
-    if args.command in ("experiment", "inspect") and not (args.dist or args.input):
+    if args.command in ("experiment", "inspect", "trace") and not (
+        args.dist or args.input
+    ):
         raise SystemExit("either --dist or --input is required")
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from exc
+    except BrokenPipeError:
+        # stdout went away (e.g. `repro stats ... | head`); not an error.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
+    except OSError as exc:
+        raise SystemExit(f"{type(exc).__name__}: {exc}") from exc
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -38,6 +38,21 @@ class LevelMetrics:
         """Pairwise-overlap area relative to total covered area."""
         return self.overlap_area / self.total_area if self.total_area else 0.0
 
+    def to_dict(self) -> dict:
+        """JSON-ready copy (all values finite)."""
+        return {
+            "level": self.level,
+            "nodes": self.nodes,
+            "branch_entries": self.branch_entries,
+            "data_entries": self.data_entries,
+            "spanning_entries": self.spanning_entries,
+            "total_area": self.total_area,
+            "overlap_area": self.overlap_area,
+            "overlap_fraction": self.overlap_fraction,
+            "mean_aspect_ratio": self.mean_aspect_ratio,
+            "mean_fill": self.mean_fill,
+        }
+
 
 @dataclass
 class IndexMetrics:
@@ -70,6 +85,18 @@ class IndexMetrics:
             if lv.level == level:
                 return lv
         raise KeyError(f"no level {level} in this index")
+
+    def to_dict(self) -> dict:
+        """JSON-ready whole-index summary (feeds the metrics registry)."""
+        return {
+            "height": self.height,
+            "node_count": self.node_count,
+            "index_bytes": self.index_bytes,
+            "leaf_records": self.leaf_records,
+            "records_above_leaves": self.records_above_leaves,
+            "spanning_fraction": self.spanning_fraction,
+            "levels": [lv.to_dict() for lv in sorted(self.levels, key=lambda l: l.level)],
+        }
 
     def summary(self) -> str:
         lines = [
@@ -129,8 +156,19 @@ def measure_index(tree: RTree, overlap_sample_limit: int = 2000) -> IndexMetrics
     )
 
 
+#: Ceiling for the aspect ratio of degenerate (zero-extent) rectangles.
+#: An unbounded ratio would poison every mean and serialize as Infinity,
+#: which is not valid JSON; any clamp this large still reads as "extremely
+#: elongated" in the paper's sense.
+ASPECT_RATIO_CAP = 1e6
+
+
 def _aspect_ratio(rect: Rect) -> float:
-    """Width/height ratio folded to >= 1 (1 = square, large = elongated)."""
+    """Width/height ratio folded to >= 1 (1 = square, large = elongated).
+
+    Degenerate rectangles (one zero extent) are clamped to
+    :data:`ASPECT_RATIO_CAP` so aggregates stay finite and JSON-safe.
+    """
     if rect.dims < 2:
         return 1.0
     w = rect.extent(0)
@@ -138,8 +176,8 @@ def _aspect_ratio(rect: Rect) -> float:
     if w == 0.0 and h == 0.0:
         return 1.0
     if min(w, h) == 0.0:
-        return float("inf")
-    return max(w, h) / min(w, h)
+        return ASPECT_RATIO_CAP
+    return min(max(w, h) / min(w, h), ASPECT_RATIO_CAP)
 
 
 def _pairwise_overlap(rects: list[Rect], sample_limit: int) -> float:

@@ -17,7 +17,7 @@ while staying dynamic.  The packed tree is an ordinary :class:`RTree` (or
 from __future__ import annotations
 
 import math
-from typing import Any, Iterable, Sequence, Type
+from typing import Any, Sequence, Type
 
 from ..exceptions import WorkloadError
 from .config import IndexConfig

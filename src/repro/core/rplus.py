@@ -25,9 +25,10 @@ insertion and search (Section 3.1.1).
 
 from __future__ import annotations
 
-from typing import Any, Iterator, Optional, Sequence
+from typing import Any, Iterator, Sequence
 
 from ..exceptions import IndexStructureError, WorkloadError
+from ..obs.tracer import NULL_TRACER, Tracer
 from .config import IndexConfig
 from .entry import BranchEntry, DataEntry
 from .geometry import Rect
@@ -70,6 +71,7 @@ class RPlusTree:
         )
         self.root = Node(level=0, assigned_region=self.domain)
         self.stats = AccessStats()
+        self.tracer: Tracer = NULL_TRACER
         self._size = 0
         self._next_record_id = 1
         self._height = 1
@@ -237,6 +239,13 @@ class RPlusTree:
             return
         axis, value = cut
         self.stats.splits += 1
+        if self.tracer.enabled:
+            self.tracer.event(
+                "split",
+                node_id=node.node_id,
+                level=node.level,
+                page_bytes=self.config.node_bytes(node.level),
+            )
         left_region, right_region = _split_region(region, axis, value)
         left_entries: list[DataEntry] = []
         right_entries: list[DataEntry] = []
@@ -251,6 +260,14 @@ class RPlusTree:
                 right_entries.append(e.with_rect(rp, is_remnant=placed))
                 if placed:
                     self.stats.cuts += 1
+                    if self.tracer.enabled:
+                        self.tracer.event(
+                            "cut",
+                            record_id=e.record_id,
+                            node_id=node.node_id,
+                            level=node.level,
+                            remnants=1,
+                        )
         node.assigned_region = left_region
         node.data_entries = left_entries
         sibling = Node(level=0, parent=node.parent, assigned_region=right_region)
@@ -326,6 +343,13 @@ class RPlusTree:
             return  # soft overflow: no guillotine line separates children
         axis, value = cut
         self.stats.splits += 1
+        if self.tracer.enabled:
+            self.tracer.event(
+                "split",
+                node_id=node.node_id,
+                level=node.level,
+                page_bytes=self.config.node_bytes(node.level),
+            )
         left_region, right_region = _split_region(region, axis, value)
         left: list[BranchEntry] = []
         right: list[BranchEntry] = []

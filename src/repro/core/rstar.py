@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import replace
 
 from .config import IndexConfig
-from .entry import BranchEntry, DataEntry
+from .entry import DataEntry
 from .node import Node
 from .rtree import RTree
 from .srtree import SRTree
@@ -116,6 +116,8 @@ class RStarTree(_RStarChooseMixin, RTree):
 
     def _forced_reinsert(self, node: Node, pending: list[DataEntry]) -> None:
         self.stats.forced_reinserts += 1
+        if self.tracer.enabled:
+            self.tracer.event("reinsert", node_id=node.node_id, level=node.level)
         count = max(1, int(len(node.data_entries) * _REINSERT_FRACTION))
         center_rect = self._node_rect(node)
         cx = center_rect.center

@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import Any, Callable, Iterator, Optional
 
 from ..exceptions import IndexStructureError
+from ..obs.tracer import NULL_TRACER, Tracer
 from .config import IndexConfig
 from .entry import BranchEntry, DataEntry
 from .geometry import Rect, pieces_cover, union_all
@@ -62,6 +63,10 @@ class RTree:
         self._fragment_counts: dict[int, int] = {}
         #: Optional storage hook: called with each accessed node.
         self._storage_hook: Optional[Callable[[Node], None]] = None
+        #: Observability: spans and typed events flow through here.  The
+        #: shared NULL_TRACER is disabled; replace it with a live
+        #: :class:`repro.obs.Tracer` to capture traces.
+        self.tracer: Tracer = NULL_TRACER
 
     # ------------------------------------------------------------------
     # Public API
@@ -92,8 +97,10 @@ class RTree:
         self.stats.inserts += 1
         self._size += 1
         self._fragment_counts[record_id] = 1
-        self._run_insertion([entry])
-        self._after_insert()
+        with self.tracer.span("insert", record_id=record_id) as sp:
+            self._run_insertion([entry])
+            self._after_insert()
+            sp.set(fragments=self._fragment_counts[record_id])
         return record_id
 
     def search(self, rect: Rect) -> list[tuple[int, Any]]:
@@ -104,7 +111,9 @@ class RTree:
         self._check_rect(rect)
         results: list[tuple[int, Any]] = []
         seen: set[int] = set()
-        accessed = self._search_into(rect, results, seen)
+        with self.tracer.span("search") as sp:
+            accessed = self._search_into(rect, results, seen)
+            sp.set(nodes_accessed=accessed, records_found=len(results))
         self.stats.searches += 1
         self.stats.search_node_accesses += accessed
         return results
@@ -170,6 +179,8 @@ class RTree:
         one search in the statistics)."""
         found: dict[int, tuple[Any, list[Rect]]] = {}
         accessed = 0
+        span = self.tracer.span("search", mode="fragments")
+        span.__enter__()
         stack = [self.root]
         while stack:
             node = stack.pop()
@@ -189,6 +200,8 @@ class RTree:
                         found[e.record_id] = (e.payload, [e.rect])
                     else:
                         entry[1].append(e.rect)
+        span.set(nodes_accessed=accessed, records_found=len(found))
+        span.__exit__(None, None, None)
         self.stats.searches += 1
         self.stats.search_node_accesses += accessed
         return found
@@ -201,12 +214,14 @@ class RTree:
         related spanning/remnant fragments (Section 3.1.1), which is what we
         do when no hint is given.
         """
-        removed = self._remove_fragments(self.root, record_id, hint)
-        if removed:
-            self._size -= 1
-            self.stats.deletes += 1
-            self._fragment_counts.pop(record_id, None)
-            self._condense()
+        with self.tracer.span("delete", record_id=record_id) as sp:
+            removed = self._remove_fragments(self.root, record_id, hint)
+            if removed:
+                self._size -= 1
+                self.stats.deletes += 1
+                self._fragment_counts.pop(record_id, None)
+                self._condense()
+            sp.set(fragments_removed=removed)
         return removed
 
     def items(self) -> Iterator[tuple[int, Rect, Any]]:
@@ -255,6 +270,9 @@ class RTree:
         hook = self._storage_hook
         if hook is not None:
             hook(node)
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.event("node_access", node_id=node.node_id, level=node.level)
 
     def _search_into(
         self, rect: Rect, results: list[tuple[int, Any]], seen: set[int]
@@ -263,6 +281,8 @@ class RTree:
         stack = [self.root]
         rlo, rhi = rect.lows, rect.highs
         dims = range(len(rlo))
+        tracer = self.tracer
+        traced = tracer.enabled
         while stack:
             node = stack.pop()
             self._access(node)
@@ -288,6 +308,13 @@ class RTree:
                         if r.record_id not in seen:
                             seen.add(r.record_id)
                             results.append((r.record_id, r.payload))
+                            if traced:
+                                tracer.event(
+                                    "spanning_hit",
+                                    node_id=node.node_id,
+                                    level=node.level,
+                                    record_id=r.record_id,
+                                )
                 blo, bhi = b.rect.lows, b.rect.highs
                 for d in dims:
                     if blo[d] > rhi[d] or bhi[d] < rlo[d]:
@@ -425,6 +452,14 @@ class RTree:
                 b.child.parent = sibling
         node.touch()
         sibling.touch()
+        if self.tracer.enabled:
+            self.tracer.event(
+                "split",
+                node_id=node.node_id,
+                sibling_id=sibling.node_id,
+                level=node.level,
+                page_bytes=self.config.node_bytes(node.level),
+            )
 
         # A split node stops being a skeleton cell: its coverage now follows
         # its actual contents (the skeleton "adapts", Section 4).

@@ -30,7 +30,7 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
-from typing import Any, Iterable, Sequence
+from typing import Any, Sequence
 
 from ..exceptions import WorkloadError
 from ..histogram.equidepth import EquiDepthHistogram, uniform_histogram
@@ -325,6 +325,14 @@ class SkeletonMixin:
         parent.branches.remove(absorb)
         parent.touch()
         self.stats.coalesces += 1
+        if self.tracer.enabled:
+            self.tracer.event(
+                "coalesce",
+                node_id=survivor.node_id,
+                absorbed_id=absorbed.node_id,
+                level=survivor.level,
+                entries=len(survivor.data_entries),
+            )
 
         # Spanning records linked to the absorbed branch move to the merged
         # branch; the merged branch also *grew*, which can break spanning

@@ -113,11 +113,26 @@ class SRTree(RTree):
             record = entry.with_rect(portion)
             for rect in remnant_rects:
                 pending.append(entry.with_rect(rect, is_remnant=True))
+            if self.tracer.enabled:
+                self.tracer.event(
+                    "cut",
+                    record_id=entry.record_id,
+                    node_id=node.node_id,
+                    level=node.level,
+                    remnants=len(remnant_rects),
+                )
         else:
             record = entry
         target.spanning.append(record)
         node.touch()
         self.stats.spanning_placements += 1
+        if self.tracer.enabled:
+            self.tracer.event(
+                "spanning_place",
+                record_id=entry.record_id,
+                node_id=node.node_id,
+                level=node.level,
+            )
 
         if self._node_overflowing(node):
             self._split_node(node, pending)
@@ -168,6 +183,13 @@ class SRTree(RTree):
                         self._demote_counts.get(record.record_id, 0) + 1
                     )
                     pending.append(record)
+                    if self.tracer.enabled:
+                        self.tracer.event(
+                            "demote",
+                            record_id=record.record_id,
+                            node_id=node.node_id,
+                            level=node.level,
+                        )
             if len(keep) != len(branch.spanning):
                 branch.spanning = keep
                 node.touch()
@@ -209,6 +231,14 @@ class SRTree(RTree):
                         continue
                     target.spanning.append(record)
                     self.stats.promotions += 1
+                    if self.tracer.enabled:
+                        self.tracer.event(
+                            "promote",
+                            record_id=record.record_id,
+                            node_id=half.node_id,
+                            parent_id=parent.node_id,
+                            level=parent.level,
+                        )
                 if len(keep) != len(branch.spanning):
                     branch.spanning = keep
                     half.touch()

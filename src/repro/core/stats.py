@@ -74,4 +74,7 @@ class AccessStats:
             "coalesces": self.coalesces,
             "spanning_placements": self.spanning_placements,
             "forced_reinserts": self.forced_reinserts,
+            "accesses_by_level": {
+                level: count for level, count in sorted(self.accesses_by_level.items())
+            },
         }

@@ -1,0 +1,215 @@
+"""Metrics registry: counters, gauges, histograms, and pull sources.
+
+One registry unifies the per-index :class:`~repro.core.stats.AccessStats`,
+the storage layer's :class:`~repro.storage.buffer.BufferStats` /
+:class:`~repro.storage.disk.DiskStats`, and the structural
+:class:`~repro.core.metrics.IndexMetrics` behind a single
+:meth:`MetricsRegistry.snapshot` / :meth:`MetricsRegistry.to_json`
+surface, which is what the BENCH report emitter and the CLI consume.
+
+Histograms use fixed bucket boundaries so snapshots from different runs
+are directly comparable; the presets cover the paper's two axes of
+interest (nodes accessed per search, bytes read).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, Sequence
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NODES_PER_SEARCH_BUCKETS",
+    "BYTES_READ_BUCKETS",
+    "index_registry",
+]
+
+#: Power-of-two buckets for the paper's headline metric (average index
+#: nodes accessed per search is O(tens) at 20K scale, O(hundreds) at 200K).
+NODES_PER_SEARCH_BUCKETS: tuple[float, ...] = (
+    1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048,
+)
+
+#: Byte-volume buckets from one leaf page (1 KB) up to 16 MB.
+BYTES_READ_BUCKETS: tuple[float, ...] = (
+    1 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 18, 1 << 20, 1 << 22, 1 << 24,
+)
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        if n < 0:
+            raise ValueError("counters only go up; use a gauge")
+        self.value += n
+
+
+class Gauge:
+    """Point-in-time value: either set directly or pulled from a callable."""
+
+    __slots__ = ("name", "_value", "_fn")
+
+    def __init__(self, name: str, fn: Callable[[], float] | None = None):
+        self.name = name
+        self._value: float = 0.0
+        self._fn = fn
+
+    def set(self, value: float) -> None:
+        self._fn = None
+        self._value = value
+
+    @property
+    def value(self) -> float:
+        if self._fn is not None:
+            return self._fn()
+        return self._value
+
+
+class Histogram:
+    """Fixed-bucket histogram of observed values.
+
+    ``buckets`` are inclusive upper bounds; one overflow bin catches
+    everything above the last bound.  The summary keeps count/sum/min/max
+    so means survive aggregation across runs.
+
+    >>> h = Histogram("nodes", (1, 4, 16))
+    >>> for v in (1, 3, 5, 100):
+    ...     h.observe(v)
+    >>> h.summary()["counts"]
+    [1, 1, 1, 1]
+    """
+
+    __slots__ = ("name", "buckets", "counts", "count", "total", "_min", "_max")
+
+    def __init__(self, name: str, buckets: Sequence[float]):
+        if not buckets:
+            raise ValueError("histogram needs at least one bucket bound")
+        bounds = tuple(float(b) for b in buckets)
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError(f"bucket bounds must be strictly increasing: {bounds}")
+        self.name = name
+        self.buckets = bounds
+        self.counts = [0] * (len(bounds) + 1)  # +1 overflow bin
+        self.count = 0
+        self.total = 0.0
+        self._min: float | None = None
+        self._max: float | None = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self._min is None or value < self._min:
+            self._min = value
+        if self._max is None or value > self._max:
+            self._max = value
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> dict:
+        """JSON-ready summary: bounds, per-bin counts, and moments."""
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "min": self._min,
+            "max": self._max,
+            "le": list(self.buckets) + [None],  # None = +inf overflow bin
+            "counts": list(self.counts),
+        }
+
+
+class MetricsRegistry:
+    """Named metrics plus pull-based sources, snapshotted as one dict.
+
+    Sources are zero-argument callables returning a dict (e.g.
+    ``AccessStats.snapshot``); they are evaluated lazily at snapshot
+    time, so a registry can be built once and sampled repeatedly.
+    """
+
+    def __init__(self):
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._sources: dict[str, Callable[[], dict]] = {}
+
+    # -- registration (get-or-create) ----------------------------------
+    def counter(self, name: str) -> Counter:
+        if name not in self._counters:
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def gauge(self, name: str, fn: Callable[[], float] | None = None) -> Gauge:
+        if name not in self._gauges:
+            self._gauges[name] = Gauge(name, fn)
+        elif fn is not None:
+            self._gauges[name]._fn = fn
+        return self._gauges[name]
+
+    def histogram(
+        self, name: str, buckets: Sequence[float] = NODES_PER_SEARCH_BUCKETS
+    ) -> Histogram:
+        if name not in self._histograms:
+            self._histograms[name] = Histogram(name, buckets)
+        return self._histograms[name]
+
+    def source(self, name: str, fn: Callable[[], dict]) -> None:
+        """Register a pull source whose dict appears under ``name``."""
+        self._sources[name] = fn
+
+    # -- export --------------------------------------------------------
+    def snapshot(self) -> dict:
+        doc: dict = {}
+        if self._counters:
+            doc["counters"] = {n: c.value for n, c in sorted(self._counters.items())}
+        if self._gauges:
+            doc["gauges"] = {n: g.value for n, g in sorted(self._gauges.items())}
+        if self._histograms:
+            doc["histograms"] = {
+                n: h.summary() for n, h in sorted(self._histograms.items())
+            }
+        for name, fn in self._sources.items():
+            doc[name] = fn()
+        return doc
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+
+def index_registry(tree, storage=None, structure: bool = False) -> MetricsRegistry:
+    """A registry covering one index (and optionally its storage stack).
+
+    Registers the tree's access stats, basic shape gauges, the storage
+    manager's buffer/disk stats when given, and — when ``structure`` is
+    true — a full :func:`~repro.core.metrics.measure_index` pass (which
+    walks the whole tree, so leave it off for frequent sampling).
+    """
+    reg = MetricsRegistry()
+    reg.source("access", tree.stats.snapshot)
+    reg.gauge("index.size", lambda: float(len(tree)))
+    reg.gauge("index.height", lambda: float(tree.height))
+    reg.gauge("index.nodes", lambda: float(tree.node_count()))
+    if storage is not None:
+        reg.source("buffer", storage.pool.stats.snapshot)
+        reg.source("disk", storage.disk.stats.snapshot)
+    if structure:
+        from ..core.metrics import measure_index
+
+        reg.source("structure", lambda: measure_index(tree).to_dict())
+    return reg

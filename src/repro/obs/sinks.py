@@ -1,0 +1,124 @@
+"""Trace sinks: where :class:`~repro.obs.tracer.Tracer` events go.
+
+Three sinks cover the observability use cases:
+
+* :class:`NullSink` — drops everything (the disabled default);
+* :class:`RingBufferSink` — keeps the last N events in memory, for
+  per-query capture and tests;
+* :class:`JsonlSink` — streams one JSON object per line to a file, the
+  machine-readable trace format consumed by ``repro stats`` and external
+  tooling.
+
+:class:`TeeSink` fans one event stream out to several sinks (e.g. ring
+buffer for assertions plus JSONL for the artifact).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from pathlib import Path
+from typing import IO, TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .tracer import TraceEvent
+
+__all__ = ["NullSink", "RingBufferSink", "JsonlSink", "TeeSink"]
+
+
+class NullSink:
+    """Swallows events; the sink behind the disabled tracer."""
+
+    def write(self, event: "TraceEvent") -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+class RingBufferSink:
+    """Keeps the most recent ``capacity`` events in memory."""
+
+    def __init__(self, capacity: int = 65536):
+        self._buffer: deque = deque(maxlen=capacity)
+
+    def write(self, event: "TraceEvent") -> None:
+        self._buffer.append(event)
+
+    def close(self) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    def __iter__(self):
+        return iter(self._buffer)
+
+    @property
+    def events(self) -> list:
+        """The buffered events, oldest first."""
+        return list(self._buffer)
+
+    def clear(self) -> None:
+        self._buffer.clear()
+
+
+class JsonlSink:
+    """Writes one JSON object per event line (JSON Lines format).
+
+    Accepts a path (opened and owned by the sink) or an already-open
+    text stream (left open on :meth:`close`).  Usable as a context
+    manager.
+    """
+
+    def __init__(self, target: str | Path | IO[str]):
+        if isinstance(target, (str, Path)):
+            self.path: Path | None = Path(target)
+            self._fh: IO[str] = self.path.open("w")
+            self._owns = True
+        else:
+            self.path = None
+            self._fh = target
+            self._owns = False
+        self.events_written = 0
+
+    def write(self, event: "TraceEvent") -> None:
+        self._fh.write(json.dumps(event.to_dict(), separators=(",", ":")))
+        self._fh.write("\n")
+        self.events_written += 1
+
+    def close(self) -> None:
+        if self._owns and not self._fh.closed:
+            self._fh.close()
+        else:
+            self._fh.flush()
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class TeeSink:
+    """Duplicates every event to each of the given sinks."""
+
+    def __init__(self, *sinks):
+        self.sinks = tuple(sinks)
+
+    def write(self, event: "TraceEvent") -> None:
+        for sink in self.sinks:
+            sink.write(event)
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            sink.close()
+
+
+def read_jsonl(path: str | Path) -> Iterable[dict]:
+    """Parse a JSONL trace file back into event dicts."""
+    with Path(path).open() as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                yield json.loads(line)

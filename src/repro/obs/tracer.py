@@ -1,0 +1,207 @@
+"""Lightweight tracer: nestable spans and typed events.
+
+The index family funnels every interesting moment — node accesses,
+splits, cuts, demotions, promotions, coalesces, page fetches, evictions —
+through a :class:`Tracer` attached to the tree (and, when a storage
+manager is attached, to the buffer pool).  Events carry the node id,
+level and page size where applicable, and are tagged with the operation
+span they happened inside, so a JSONL trace can be sliced per query.
+
+The default tracer on every index is :data:`NULL_TRACER`, whose
+``enabled`` flag is ``False``; hot paths guard their instrumentation on
+that single attribute, so tracing costs one attribute check per node
+visit when off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from .sinks import RingBufferSink
+
+__all__ = ["EVENT_TYPES", "TraceEvent", "Tracer", "NullTracer", "NULL_TRACER"]
+
+#: The typed event vocabulary.  ``span_begin``/``span_end`` delimit
+#: operations (insert/search/delete); the rest are point events emitted
+#: inside them.
+EVENT_TYPES = frozenset(
+    {
+        "span_begin",
+        "span_end",
+        "node_access",
+        "spanning_hit",
+        "spanning_place",
+        "split",
+        "cut",
+        "demote",
+        "promote",
+        "coalesce",
+        "reinsert",
+        "page_fetch",
+        "eviction",
+    }
+)
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One trace record.
+
+    ``span`` is the id of the innermost enclosing span (0 when outside
+    any operation) and ``op`` its operation name, so flat JSONL streams
+    can be grouped back into per-operation traces.
+    """
+
+    seq: int
+    etype: str
+    span: int
+    op: str
+    fields: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        doc: dict[str, Any] = {
+            "seq": self.seq,
+            "type": self.etype,
+            "span": self.span,
+            "op": self.op,
+        }
+        doc.update(self.fields)
+        return doc
+
+
+class _SpanHandle:
+    """Context manager for one operation span.
+
+    :meth:`set` attaches summary fields (e.g. ``nodes_accessed``) that
+    are emitted on the closing ``span_end`` event.
+    """
+
+    __slots__ = ("_tracer", "span_id", "op", "end_fields")
+
+    def __init__(self, tracer: "Tracer", span_id: int, op: str):
+        self._tracer = tracer
+        self.span_id = span_id
+        self.op = op
+        self.end_fields: dict = {}
+
+    def set(self, **fields) -> None:
+        self.end_fields.update(fields)
+
+    def __enter__(self) -> "_SpanHandle":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._tracer._end_span(self)
+
+
+class _NullSpan:
+    """Reusable no-op span for the disabled tracer."""
+
+    __slots__ = ()
+
+    def set(self, **fields) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Emits :class:`TraceEvent` records to a sink.
+
+    >>> tracer = Tracer()
+    >>> with tracer.span("search") as sp:
+    ...     tracer.event("node_access", node_id=1, level=0)
+    ...     sp.set(nodes_accessed=1)
+    >>> [e.etype for e in tracer.events]
+    ['span_begin', 'node_access', 'span_end']
+    """
+
+    enabled = True
+
+    def __init__(self, sink=None):
+        self.sink = sink if sink is not None else RingBufferSink()
+        self._seq = 0
+        self._next_span = 1
+        self._stack: list[_SpanHandle] = []
+
+    # -- emission ------------------------------------------------------
+    def event(self, etype: str, **fields) -> None:
+        """Emit one point event inside the current span (if any)."""
+        if etype not in EVENT_TYPES:
+            raise ValueError(
+                f"unknown trace event type {etype!r}; known: {sorted(EVENT_TYPES)}"
+            )
+        self._emit(etype, fields)
+
+    def span(self, op: str, **fields) -> _SpanHandle:
+        """Open an operation span; use as a context manager."""
+        handle = _SpanHandle(self, self._next_span, op)
+        self._next_span += 1
+        self._stack.append(handle)
+        self._emit("span_begin", fields, span=handle.span_id, op=op)
+        return handle
+
+    def _end_span(self, handle: _SpanHandle) -> None:
+        if self._stack and self._stack[-1] is handle:
+            self._stack.pop()
+        else:  # out-of-order exit; drop it wherever it is
+            try:
+                self._stack.remove(handle)
+            except ValueError:
+                pass
+        self._emit("span_end", handle.end_fields, span=handle.span_id, op=handle.op)
+
+    def _emit(self, etype: str, fields: dict, span=None, op=None) -> None:
+        if span is None:
+            if self._stack:
+                top = self._stack[-1]
+                span, op = top.span_id, top.op
+            else:
+                span, op = 0, ""
+        self._seq += 1
+        self.sink.write(TraceEvent(self._seq, etype, span, op, fields))
+
+    # -- convenience ---------------------------------------------------
+    @property
+    def events(self) -> list:
+        """Buffered events when the sink is a :class:`RingBufferSink`."""
+        events = getattr(self.sink, "events", None)
+        if events is None:
+            raise TypeError(f"sink {type(self.sink).__name__} does not buffer events")
+        return events
+
+    def close(self) -> None:
+        self.sink.close()
+
+
+class NullTracer(Tracer):
+    """The disabled tracer: every operation is a no-op.
+
+    A single shared instance (:data:`NULL_TRACER`) is the default on all
+    indexes and buffer pools.
+    """
+
+    enabled = False
+
+    def __init__(self):
+        pass
+
+    def event(self, etype: str, **fields) -> None:
+        pass
+
+    def span(self, op: str, **fields) -> _NullSpan:  # type: ignore[override]
+        return _NULL_SPAN
+
+    def close(self) -> None:
+        pass
+
+
+NULL_TRACER = NullTracer()

@@ -24,7 +24,7 @@ from dataclasses import dataclass
 from typing import Any, Iterator
 
 from ..core.config import IndexConfig
-from ..core.geometry import Rect, interval
+from ..core.geometry import interval
 from ..core.srtree import SRTree
 from ..exceptions import WorkloadError
 

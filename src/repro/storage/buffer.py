@@ -13,6 +13,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 
 from ..exceptions import StorageError
+from ..obs.tracer import NULL_TRACER, Tracer
 from .disk import SimulatedDisk
 from .page import Page, PageId
 
@@ -35,6 +36,17 @@ class BufferStats:
         total = self.accesses
         return self.hits / total if total else 0.0
 
+    def snapshot(self) -> dict:
+        """A plain-dict copy for reports and the metrics registry."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "accesses": self.accesses,
+            "hit_ratio": self.hit_ratio,
+            "evictions": self.evictions,
+            "dirty_writebacks": self.dirty_writebacks,
+        }
+
 
 class BufferPool:
     """Byte-budgeted LRU cache of pages.
@@ -46,12 +58,19 @@ class BufferPool:
     >>> pool.release(1)
     """
 
-    def __init__(self, disk: SimulatedDisk, capacity_bytes: int):
+    def __init__(
+        self,
+        disk: SimulatedDisk,
+        capacity_bytes: int,
+        tracer: Tracer | None = None,
+    ):
         if capacity_bytes <= 0:
             raise StorageError("buffer pool capacity must be positive")
         self.disk = disk
         self.capacity_bytes = capacity_bytes
         self.stats = BufferStats()
+        #: Observability: ``page_fetch``/``eviction`` events flow here.
+        self.tracer: Tracer = tracer if tracer is not None else NULL_TRACER
         self._frames: "OrderedDict[PageId, Page]" = OrderedDict()
         self._resident_bytes = 0
 
@@ -68,12 +87,20 @@ class BufferPool:
         frame = self._frames.get(page_id)
         if frame is not None:
             self.stats.hits += 1
+            if self.tracer.enabled:
+                self.tracer.event(
+                    "page_fetch", page_id=page_id, hit=True, page_bytes=frame.size
+                )
             self._frames.move_to_end(page_id)
             frame.pin()
             return frame
         self.stats.misses += 1
         data = self.disk.read_page(page_id)
         frame = Page(page_id, len(data), bytearray(data))
+        if self.tracer.enabled:
+            self.tracer.event(
+                "page_fetch", page_id=page_id, hit=False, page_bytes=frame.size
+            )
         self._make_room(frame.size)
         self._frames[page_id] = frame
         self._resident_bytes += frame.size
@@ -118,6 +145,13 @@ class BufferPool:
         while self._resident_bytes + needed > self.capacity_bytes:
             victim_id = self._pick_victim()
             victim = self._frames.pop(victim_id)
+            if self.tracer.enabled:
+                self.tracer.event(
+                    "eviction",
+                    page_id=victim.page_id,
+                    dirty=victim.dirty,
+                    page_bytes=victim.size,
+                )
             if victim.dirty:
                 self.disk.write_page(victim.page_id, bytes(victim.data))
                 self.stats.dirty_writebacks += 1

@@ -23,6 +23,15 @@ class DiskStats:
     bytes_read: int = 0
     bytes_written: int = 0
 
+    def snapshot(self) -> dict:
+        """A plain-dict copy for reports and the metrics registry."""
+        return {
+            "reads": self.reads,
+            "writes": self.writes,
+            "bytes_read": self.bytes_read,
+            "bytes_written": self.bytes_written,
+        }
+
 
 class SimulatedDisk:
     """A byte store addressed by page id, with per-page sizes.

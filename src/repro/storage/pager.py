@@ -41,12 +41,16 @@ class StorageManager:
     True
     """
 
-    def __init__(self, tree: RTree, buffer_bytes: int = 64 * 1024, disk=None):
+    def __init__(self, tree: RTree, buffer_bytes: int = 64 * 1024, disk=None, tracer=None):
         self.tree = tree
         #: Any page store with the SimulatedDisk interface works; pass a
         #: repro.storage.FileDisk for real on-disk persistence.
         self.disk = disk if disk is not None else SimulatedDisk()
-        self.pool = BufferPool(self.disk, buffer_bytes)
+        # Default to the tree's tracer so node accesses and the page
+        # fetches they cause land in one event stream.
+        self.pool = BufferPool(
+            self.disk, buffer_bytes, tracer=tracer if tracer is not None else tree.tracer
+        )
         self.root_page: int | None = None
         self._page_of: dict[int, int] = {}
         self._next_page = 1
@@ -164,6 +168,11 @@ class StorageManager:
     def detach(self) -> None:
         """Stop instrumenting the index (keeps disk contents)."""
         self.tree._storage_hook = None
+
+    def set_tracer(self, tracer) -> None:
+        """Point the index and the buffer pool at one tracer."""
+        self.tree.tracer = tracer
+        self.pool.tracer = tracer
 
     # ------------------------------------------------------------------
     # Reporting

@@ -11,7 +11,7 @@ integration tests and available to library users for their own workloads.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Iterator, Sequence
+from typing import Sequence
 
 import numpy as np
 

@@ -4,11 +4,9 @@ import math
 
 import pytest
 
-from repro import RTree
 from repro.bench import (
     FIGURES,
     INDEX_TYPES,
-    ExperimentResult,
     build_index,
     default_scale,
     format_table,

@@ -2,7 +2,6 @@
 
 import subprocess
 import sys
-from pathlib import Path
 
 import pytest
 
@@ -42,6 +41,7 @@ class TestExperiment:
                     "3",
                     "--index",
                     "R-Tree",
+                    "--no-report",
                 ]
             )
             == 0
@@ -49,6 +49,33 @@ class TestExperiment:
         out = capsys.readouterr().out
         assert "log10(QAR)" in out
         assert "R-Tree" in out
+
+    def test_writes_bench_report(self, tmp_path, capsys):
+        reports = tmp_path / "reports"
+        assert (
+            main(
+                [
+                    "experiment",
+                    "--dist",
+                    "I1",
+                    "-n",
+                    "300",
+                    "--queries",
+                    "3",
+                    "--index",
+                    "R-Tree",
+                    "--report-dir",
+                    str(reports),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "report written to" in out
+        from repro.obs.report import load_report
+
+        doc = load_report(reports / "BENCH_I1.json")
+        assert doc["config"]["dataset_size"] == 300
 
     def test_from_csv_with_plot_and_csv_out(self, tmp_path, capsys):
         data = tmp_path / "d.csv"
@@ -68,6 +95,7 @@ class TestExperiment:
                     "--plot",
                     "--csv",
                     str(series),
+                    "--no-report",
                 ]
             )
             == 0
@@ -94,6 +122,51 @@ class TestExperiment:
             main(["experiment", "--input", str(empty)])
 
 
+class TestLoadCsv:
+    """The CSV loader must fail loudly, naming the file and line."""
+
+    def test_wrong_column_count_names_line(self, tmp_path):
+        from repro.cli import _load_csv
+
+        bad = tmp_path / "bad.csv"
+        bad.write_text("x_low,y_low,x_high,y_high\n0,0,1,1\n1,2,3\n")
+        with pytest.raises(ValueError) as err:
+            _load_csv(bad)
+        assert f"{bad}:3" in str(err.value)
+        assert "4 comma-separated values" in str(err.value)
+
+    def test_non_numeric_value_names_line(self, tmp_path):
+        from repro.cli import _load_csv
+
+        bad = tmp_path / "bad.csv"
+        bad.write_text("0,0,1,1\n0,zero,1,1\n")
+        with pytest.raises(ValueError) as err:
+            _load_csv(bad)
+        assert f"{bad}:2" in str(err.value)
+        assert "non-numeric" in str(err.value)
+
+    def test_inverted_bounds_name_line(self, tmp_path):
+        from repro.cli import _load_csv
+
+        bad = tmp_path / "bad.csv"
+        bad.write_text("5,5,1,1\n")
+        with pytest.raises(ValueError) as err:
+            _load_csv(bad)
+        assert f"{bad}:1" in str(err.value)
+
+    def test_cli_converts_to_clean_exit(self, tmp_path):
+        # via main(), the ValueError surfaces as SystemExit (no traceback)
+        bad = tmp_path / "bad.csv"
+        bad.write_text("1,2,3\n")
+        with pytest.raises(SystemExit) as err:
+            main(["experiment", "--input", str(bad), "--no-report"])
+        assert "bad.csv:1" in str(err.value)
+
+    def test_missing_file_clean_exit(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["experiment", "--input", str(tmp_path / "nope.csv"), "--no-report"])
+
+
 class TestInspect:
     def test_metrics_output(self, capsys):
         assert main(["inspect", "--dist", "I3", "-n", "500"]) == 0
@@ -104,10 +177,111 @@ class TestInspect:
 
 class TestGraphs:
     def test_single_graph(self, capsys):
-        assert main(["graphs", "graph1", "-n", "300", "--queries", "3"]) == 0
+        assert (
+            main(["graphs", "graph1", "-n", "300", "--queries", "3", "--no-report"])
+            == 0
+        )
         out = capsys.readouterr().out
         assert "graph1" in out
         assert "Skeleton SR-Tree" in out
+
+    def test_graph_report_written(self, tmp_path, capsys):
+        reports = tmp_path / "r"
+        assert (
+            main(
+                [
+                    "graphs", "graph1", "-n", "300", "--queries", "3",
+                    "--report-dir", str(reports),
+                ]
+            )
+            == 0
+        )
+        assert (reports / "BENCH_graph1.json").exists()
+
+
+class TestTrace:
+    def test_search_trace_jsonl(self, tmp_path, capsys):
+        out = tmp_path / "trace.jsonl"
+        assert (
+            main(
+                [
+                    "trace", "--dist", "I3", "-n", "500", "--queries", "5",
+                    "--index", "SR-Tree", "-o", str(out),
+                ]
+            )
+            == 0
+        )
+        printed = capsys.readouterr().out
+        assert "wrote" in printed and "events" in printed
+        from repro.obs import read_jsonl
+
+        rows = list(read_jsonl(out))
+        searches = [r for r in rows if r["type"] == "span_end" and r["op"] == "search"]
+        accesses = [r for r in rows if r["type"] == "node_access"]
+        assert len(searches) == 5
+        assert sum(r["nodes_accessed"] for r in searches) == len(accesses)
+
+    def test_trace_with_buffer_records_page_io(self, tmp_path):
+        out = tmp_path / "trace.jsonl"
+        assert (
+            main(
+                [
+                    "trace", "--dist", "I1", "-n", "500", "--queries", "5",
+                    "--buffer-bytes", "8192", "-o", str(out),
+                ]
+            )
+            == 0
+        )
+        from repro.obs import read_jsonl
+
+        rows = list(read_jsonl(out))
+        fetches = [r for r in rows if r["type"] == "page_fetch"]
+        accesses = [r for r in rows if r["type"] == "node_access"]
+        assert fetches and len(fetches) == len(accesses)
+
+    def test_trace_build_phase(self, tmp_path):
+        out = tmp_path / "trace.jsonl"
+        assert (
+            main(
+                [
+                    "trace", "--dist", "I1", "-n", "400", "--phase", "build",
+                    "--queries", "2", "-o", str(out),
+                ]
+            )
+            == 0
+        )
+        from repro.obs import read_jsonl
+
+        rows = list(read_jsonl(out))
+        assert [r for r in rows if r["type"] == "split"]
+        assert not [r for r in rows if r["op"] == "search"]
+
+
+class TestStats:
+    def test_pretty_prints_report(self, tmp_path, capsys):
+        reports = tmp_path / "r"
+        main(
+            [
+                "experiment", "--dist", "I1", "-n", "300", "--queries", "3",
+                "--index", "R-Tree", "--report-dir", str(reports),
+            ]
+        )
+        capsys.readouterr()
+        assert main(["stats", str(reports / "BENCH_I1.json")]) == 0
+        out = capsys.readouterr().out
+        assert "I1" in out
+        assert "wall time" in out
+        assert "histogram" in out
+
+    def test_invalid_report_clean_exit(self, tmp_path):
+        bad = tmp_path / "BENCH_x.json"
+        bad.write_text('{"schema": "wrong"}')
+        with pytest.raises(SystemExit):
+            main(["stats", str(bad)])
+
+    def test_missing_report_clean_exit(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["stats", str(tmp_path / "BENCH_none.json")])
 
 
 class TestModuleEntryPoint:

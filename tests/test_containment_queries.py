@@ -4,7 +4,7 @@ import random
 
 import pytest
 
-from repro import IndexConfig, Rect, RTree, SRTree, check_index, point, segment
+from repro import Rect, RTree, SRTree, check_index, point, segment
 
 from .conftest import random_segments
 

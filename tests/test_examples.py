@@ -1,11 +1,9 @@
 """Smoke tests: every example script runs (at reduced scale where needed)."""
 
-import runpy
 import subprocess
 import sys
 from pathlib import Path
 
-import pytest
 
 EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
 

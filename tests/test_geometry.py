@@ -4,7 +4,6 @@ import math
 
 import pytest
 from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro import Rect, interval, point, segment, union_all
 from repro.core.geometry import GeometryError

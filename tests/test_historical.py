@@ -6,7 +6,7 @@ import pytest
 
 from repro import IndexConfig, RTree, check_index
 from repro.exceptions import WorkloadError
-from repro.historical import HistoricalStore, Version
+from repro.historical import HistoricalStore
 
 
 class TestVersionLifecycle:

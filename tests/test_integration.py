@@ -2,10 +2,8 @@
 
 import random
 
-import pytest
 
 from repro import (
-    IndexConfig,
     Rect,
     SkeletonSRTree,
     SRTree,

@@ -3,7 +3,6 @@
 import pytest
 
 from repro import (
-    IndexConfig,
     Rect,
     RTree,
     SkeletonSRTree,
@@ -12,7 +11,7 @@ from repro import (
     point,
     segment,
 )
-from repro.core.metrics import _aspect_ratio, _pairwise_overlap
+from repro.core.metrics import ASPECT_RATIO_CAP, _aspect_ratio, _pairwise_overlap
 
 from .conftest import random_segments
 
@@ -25,10 +24,28 @@ class TestAspectRatio:
         assert _aspect_ratio(Rect((0, 0), (100, 10))) == 10.0
         assert _aspect_ratio(Rect((0, 0), (10, 100))) == 10.0
 
-    def test_degenerate(self):
-        assert _aspect_ratio(segment(0, 10, 5)) == float("inf")
+    def test_degenerate_clamped_finite(self):
+        # A zero-extent side used to yield inf, which poisoned
+        # mean_aspect_ratio and broke JSON export; it now clamps.
+        assert _aspect_ratio(segment(0, 10, 5)) == ASPECT_RATIO_CAP
         assert _aspect_ratio(point(1, 2)) == 1.0
         assert _aspect_ratio(Rect((0,), (10,))) == 1.0  # 1-D has no aspect
+
+    def test_extreme_but_finite_ratio_clamped(self):
+        rect = Rect((0, 0), (1e12, 1e-6))
+        assert _aspect_ratio(rect) == ASPECT_RATIO_CAP
+
+    def test_mean_aspect_ratio_stays_finite_and_json_safe(self):
+        import json
+        import math
+
+        tree = RTree()
+        tree.insert(segment(0, 10, 5))  # degenerate: zero height
+        tree.insert(Rect((0, 0), (4, 4)))
+        metrics = measure_index(tree)
+        for level in metrics.levels:
+            assert math.isfinite(level.mean_aspect_ratio)
+        json.dumps(metrics.to_dict())  # must not emit Infinity
 
 
 class TestPairwiseOverlap:

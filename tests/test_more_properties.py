@@ -1,7 +1,6 @@
 """Additional property-based tests: serialization round-trips, coverage
 geometry, histogram boundaries, skeleton plans, and the R+ family."""
 
-import math
 
 import pytest
 from hypothesis import HealthCheck, given, settings

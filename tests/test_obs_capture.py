@@ -1,0 +1,112 @@
+"""Per-query trace capture, and the trace/stats reconciliation the
+observability layer guarantees (ISSUE acceptance criteria)."""
+
+import json
+
+from repro import NULL_TRACER, Rect, SRTree, Tracer, segment, trace_search
+from repro.obs import JsonlSink, read_jsonl
+from repro.storage import StorageManager
+
+
+def build_srtree(n=2000):
+    tree = SRTree()
+    for i in range(n):
+        tree.insert(segment(i % 97, i % 97 + 1.0, float(i)))
+    return tree
+
+
+class TestTraceSearch:
+    def test_path_is_root_to_leaf(self):
+        tree = build_srtree()
+        qt = trace_search(tree, Rect((10.0, 100.0), (11.0, 120.0)))
+        assert qt.path, "a search must visit at least the root"
+        first_node, first_level = qt.path[0]
+        assert first_node == tree.root.node_id
+        assert first_level == tree.height - 1  # root is the top level
+
+    def test_counts_reconcile_with_access_stats(self):
+        tree = build_srtree()
+        before = tree.stats.search_node_accesses
+        qt = trace_search(tree, Rect((10.0, 100.0), (11.0, 120.0)))
+        delta = tree.stats.search_node_accesses - before
+        assert qt.nodes_accessed == delta == len(qt.path)
+
+    def test_spanning_hit_explains_long_interval_win(self):
+        """The paper's SR-Tree claim, made visible: a record spanning the
+        whole domain is intercepted high in the tree, not at a leaf."""
+        tree = build_srtree()
+        long_id = tree.insert(segment(0.0, 100.0, 1000.0))
+        qt = trace_search(tree, Rect((50.0, 999.0), (51.0, 1001.0)))
+        assert long_id in {rid for rid, _ in qt.results}
+        hit_levels = [h["level"] for h in qt.spanning_hits if h["record_id"] == long_id]
+        assert hit_levels and min(hit_levels) >= 1  # found above the leaves
+
+    def test_restores_previous_tracer(self):
+        tree = build_srtree(200)
+        assert tree.tracer is NULL_TRACER
+        trace_search(tree, Rect((0.0, 0.0), (1.0, 1.0)))
+        assert tree.tracer is NULL_TRACER
+
+    def test_to_dict_is_json_ready(self):
+        tree = build_srtree(200)
+        qt = trace_search(tree, Rect((0.0, 0.0), (5.0, 50.0)))
+        doc = json.loads(json.dumps(qt.to_dict()))
+        assert doc["nodes_accessed"] == qt.nodes_accessed
+        assert len(doc["path"]) == len(qt.path)
+        assert doc["records_found"] == len(qt.results)
+        assert sum(doc["accesses_by_level"].values()) == qt.nodes_accessed
+
+
+class TestJsonlReconciliation:
+    """Acceptance: with tracing enabled, a search over a built SR-Tree
+    yields a JSONL trace whose page_fetch / node_access events exactly
+    reconcile with AccessStats.search_node_accesses."""
+
+    def test_jsonl_trace_reconciles_with_stats(self, tmp_path):
+        tree = build_srtree()
+        manager = StorageManager(tree, buffer_bytes=8 * 1024)
+        path = tmp_path / "trace.jsonl"
+        with JsonlSink(path) as sink:
+            manager.set_tracer(Tracer(sink))
+            before = tree.stats.search_node_accesses
+            queries = [
+                Rect((q, 100.0 * q), (q + 2.0, 100.0 * q + 50.0))
+                for q in (3.0, 17.0, 42.0, 80.0)
+            ]
+            for query in queries:
+                tree.search(query)
+            delta = tree.stats.search_node_accesses - before
+            manager.set_tracer(NULL_TRACER)
+
+        rows = list(read_jsonl(path))
+        node_accesses = [r for r in rows if r["type"] == "node_access"]
+        page_fetches = [r for r in rows if r["type"] == "page_fetch"]
+        span_ends = [
+            r for r in rows if r["type"] == "span_end" and r["op"] == "search"
+        ]
+        assert len(node_accesses) == delta
+        assert len(page_fetches) == delta  # one page touch per node access
+        assert len(span_ends) == len(queries)
+        assert sum(r["nodes_accessed"] for r in span_ends) == delta
+        # Every event sits inside a search span.
+        assert all(r["op"] == "search" for r in node_accesses + page_fetches)
+
+    def test_build_trace_carries_structural_events(self):
+        """Tracing an insert workload records splits (with node id, level
+        and page size) and SR-Tree spanning placements."""
+        tree = SRTree()
+        tree.tracer = tracer = Tracer()
+        for i in range(1500):
+            tree.insert(segment(i % 53, i % 53 + 1.0, float(i)))
+        tree.insert(segment(0.0, 60.0, 750.0))
+        tree.tracer = NULL_TRACER
+        by_type = {}
+        for event in tracer.events:
+            by_type.setdefault(event.etype, []).append(event)
+        assert len(by_type["split"]) == tree.stats.splits
+        split = by_type["split"][0]
+        assert {"node_id", "sibling_id", "level", "page_bytes"} <= set(split.fields)
+        assert split.fields["page_bytes"] == tree.config.node_bytes(
+            split.fields["level"]
+        )
+        assert len(by_type["spanning_place"]) == tree.stats.spanning_placements

@@ -2,7 +2,6 @@
 
 import random
 
-import pytest
 
 from repro import (
     IndexConfig,
@@ -12,7 +11,6 @@ from repro import (
     SRStarTree,
     check_index,
     point,
-    segment,
 )
 from repro.core.split import rstar_split
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import IndexConfig, Rect, RTree, check_index, point, segment
+from repro import IndexConfig, Rect, RTree, check_index, point
 
 from .conftest import brute_force_ids, random_boxes, random_segments
 

@@ -8,7 +8,7 @@ from repro import IndexConfig, Rect, RTree, SRTree, check_index, segment
 from repro.exceptions import StorageError
 from repro.storage import StorageManager, deserialize_node, entry_physical_bytes, serialize_node
 
-from .conftest import brute_force_ids, random_segments
+from .conftest import random_segments
 
 
 class TestEntryLayout:

@@ -4,7 +4,7 @@ import random
 
 import pytest
 
-from repro import IndexConfig, Rect, SRTree, check_index, point, segment
+from repro import IndexConfig, Rect, SRTree, check_index, segment
 
 from .conftest import brute_force_ids, random_boxes, random_segments
 

@@ -42,6 +42,20 @@ class TestAccessStats:
         snap["inserts"] = 0
         assert stats.inserts == 7  # snapshot detached
 
+    def test_snapshot_includes_accesses_by_level(self):
+        stats = AccessStats()
+        stats.record_access(0)
+        stats.record_access(0)
+        stats.record_access(2)
+        snap = stats.snapshot()
+        assert snap["accesses_by_level"] == {0: 2, 2: 1}
+        # detached from the live counter
+        snap["accesses_by_level"][0] = 99
+        assert stats.accesses_by_level[0] == 2
+
+    def test_snapshot_accesses_by_level_empty_when_untouched(self):
+        assert AccessStats().snapshot()["accesses_by_level"] == {}
+
 
 class TestSearchStats:
     def test_fields(self):

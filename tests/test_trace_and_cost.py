@@ -4,7 +4,7 @@ import math
 
 import pytest
 
-from repro import IndexConfig, Rect, RTree, SkeletonSRTree, SRTree, point
+from repro import Rect, RTree, SkeletonSRTree, SRTree, point
 from repro.bench import expected_node_accesses, predict_qar_series
 from repro.bench.experiment import build_index
 from repro.exceptions import WorkloadError

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import IndexConfig, Rect, RTree, SRTree, check_index, point, segment
+from repro import Rect, RTree, SRTree, check_index, segment
 from repro.core.entry import DataEntry
 from repro.exceptions import IndexStructureError
 
