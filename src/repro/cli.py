@@ -9,7 +9,10 @@ Commands:
 * ``graphs``    — reproduce one or more of the paper's Graphs 1-6;
 * ``trace``     — run a search workload with tracing on and dump the
   JSONL event stream;
-* ``stats``     — pretty-print a machine-readable ``BENCH_*.json`` report.
+* ``stats``     — pretty-print a machine-readable ``BENCH_*.json`` report;
+* ``fsck``      — verify a checkpointed page store: recover the page
+  table, CRC-check every page, rebuild the tree and run the structural
+  invariant checker.
 """
 
 from __future__ import annotations
@@ -195,6 +198,65 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_fsck(args) -> int:
+    """Verify a checkpointed FileDisk store end to end."""
+    from .core.validation import check_index
+    from .exceptions import IndexStructureError, PageCorruptionError, StorageError
+    from .storage import FileDisk, load_tree_from_disk, verify_page
+
+    try:
+        disk = FileDisk(args.path)
+    except StorageError as exc:
+        print(f"fsck {args.path}: unrecoverable: {exc}")
+        return 1
+    status = 0
+    try:
+        print(
+            f"fsck {args.path}: recovered generation {disk.generation} "
+            f"from .{'meta' if disk.recovered_from == 'meta' else 'meta.prev'}"
+        )
+        blank = 0
+        violations: list[str] = []
+        page_ids = disk.page_ids()
+        for page_id in page_ids:
+            data = disk.read_page(page_id)
+            if data.count(0) == len(data):
+                blank += 1  # allocated but never checkpointed
+                continue
+            try:
+                verify_page(data, page_id)
+            except (PageCorruptionError, StorageError) as exc:
+                violations.append(str(exc))
+        print(
+            f"  pages: {len(page_ids)} scanned, {blank} blank, "
+            f"{len(violations)} checksum violation(s)"
+        )
+        for message in violations:
+            print(f"    {message}")
+        if violations:
+            status = 1
+        info = disk.checkpoint_info or {}
+        if info.get("root_page") is None:
+            print("  tree: no checkpoint metadata recorded; skipping structural check")
+        elif not violations:
+            try:
+                tree = load_tree_from_disk(disk)
+                check_index(tree)
+                print(
+                    f"  tree: loaded {len(tree)} records "
+                    f"(height {tree.height}); structural invariants OK"
+                )
+            except (StorageError, IndexStructureError) as exc:
+                print(f"  tree: FAILED: {exc}")
+                status = 1
+        else:
+            print("  tree: skipped structural check (corrupt pages present)")
+    finally:
+        disk.close(sync=False)  # fsck is read-only: never commit a generation
+    print("fsck: " + ("clean" if status == 0 else "PROBLEMS FOUND"))
+    return status
+
+
 def _cmd_stats(args) -> int:
     """Pretty-print one or more BENCH_*.json run reports."""
     for i, path in enumerate(args.report):
@@ -286,6 +348,12 @@ def _parser() -> argparse.ArgumentParser:
     sta = sub.add_parser("stats", help="pretty-print BENCH_*.json run reports")
     sta.add_argument("report", nargs="+", help="report file(s) to print")
     sta.set_defaults(func=_cmd_stats)
+
+    fsck = sub.add_parser(
+        "fsck", help="verify a checkpointed page store (checksums + structure)"
+    )
+    fsck.add_argument("path", help="FileDisk data file (with its .meta sidecar)")
+    fsck.set_defaults(func=_cmd_fsck)
 
     return parser
 

@@ -13,11 +13,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["IndexConfig", "NODE_HEADER_BYTES"]
+__all__ = ["IndexConfig", "NODE_HEADER_BYTES", "PAGE_HEADER_BYTES"]
 
-#: Bytes of per-page header (level, dims, entry count) — see
+#: Bytes of per-node header (level, dims, entry count) — see
 #: repro.storage.serializer for the physical layout.
 NODE_HEADER_BYTES = 4
+
+#: Bytes of per-page integrity header (magic, generation, CRC32) that the
+#: serializer prepends to every page image so bit-flips and torn writes are
+#: detected on read instead of silently deserialized.
+PAGE_HEADER_BYTES = 12
 
 
 @dataclass(frozen=True)
@@ -96,8 +101,10 @@ class IndexConfig:
 
     def capacity(self, level: int) -> int:
         """Total entry slots available on a node at ``level`` (the page
-        minus its header, divided by the entry footprint)."""
-        return (self.node_bytes(level) - NODE_HEADER_BYTES) // self.entry_bytes
+        minus its integrity and node headers, divided by the entry
+        footprint)."""
+        usable = self.node_bytes(level) - NODE_HEADER_BYTES - PAGE_HEADER_BYTES
+        return usable // self.entry_bytes
 
     def branch_capacity(self, level: int, segment_index: bool) -> int:
         """Planned branch fanout of a non-leaf node.

@@ -5,6 +5,9 @@ __all__ = [
     "IndexStructureError",
     "CapacityError",
     "StorageError",
+    "PageCorruptionError",
+    "TransientDiskError",
+    "SimulatedCrashError",
     "WorkloadError",
 ]
 
@@ -23,6 +26,34 @@ class CapacityError(ReproError):
 
 class StorageError(ReproError):
     """A simulated-storage operation failed (bad page id, size mismatch...)."""
+
+
+class PageCorruptionError(StorageError):
+    """A page image failed its integrity check (bad magic or CRC mismatch).
+
+    Raised instead of silently deserializing garbage; carries the page id
+    when the caller knows it.
+    """
+
+    def __init__(self, message: str, page_id: int | None = None):
+        super().__init__(message)
+        self.page_id = page_id
+
+
+class TransientDiskError(StorageError):
+    """A disk operation failed in a way that may succeed on retry.
+
+    The storage manager retries these with bounded exponential backoff;
+    anything else propagates immediately.
+    """
+
+
+class SimulatedCrashError(StorageError):
+    """An injected crash point fired: the simulated process died here.
+
+    After this is raised the faulty disk refuses all further operations,
+    mirroring a real crash — recovery happens by reopening the store.
+    """
 
 
 class WorkloadError(ReproError):

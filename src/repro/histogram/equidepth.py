@@ -91,18 +91,23 @@ def _strictly_increasing(cuts: list[float], low: float, high: float) -> list[flo
     """Repair duplicate/non-increasing cut points while preserving order."""
     k = len(cuts) - 1
     min_width = (high - low) / max(k * 1000, 1)
+    # Forward pass: push each interior cut at least min_width above its
+    # predecessor.  Cuts crowded near the domain top may now overflow it.
     repaired = [low]
     for value in cuts[1:-1]:
         floor = repaired[-1] + min_width
         repaired.append(value if value > floor else floor)
     repaired.append(high)
-    # If the tail overflowed the domain, fall back to even spacing for the
-    # offending suffix.
-    if repaired[-2] >= high:
-        over = next(i for i, v in enumerate(repaired) if v >= high and i < k)
-        span = high - repaired[over - 1]
-        tail = len(repaired) - over
-        for j in range(tail - 1):
-            repaired[over + j] = repaired[over - 1] + span * (j + 1) / tail
-        repaired[-1] = high
+    # Backward pass: cap each interior cut at least min_width below its
+    # successor, pulling any overflowed suffix back inside the domain.
+    # (Quantiles at the very top of the domain would otherwise leave the
+    # suffix so tight that redistribution collapses to equal floats.)
+    for i in range(k - 1, 0, -1):
+        cap = repaired[i + 1] - min_width
+        if repaired[i] > cap:
+            repaired[i] = cap
+    if any(b >= c for b, c in zip(repaired, repaired[1:])):
+        # Degenerate domain (min_width below float resolution): the only
+        # strictly increasing choice left is even spacing.
+        repaired = list(np.linspace(low, high, k + 1))
     return repaired

@@ -40,6 +40,11 @@ EVENT_TYPES = frozenset(
         "reinsert",
         "page_fetch",
         "eviction",
+        # Durability / fault-tolerance events (storage layer):
+        "fault_injected",   # FaultInjectingDisk fired a fault
+        "disk_retry",       # StorageManager retrying a transient error
+        "page_corruption",  # a page failed its CRC/magic check on read
+        "meta_recovery",    # FileDisk recovered from a fallback generation
     }
 )
 

@@ -1,32 +1,49 @@
-"""Simulated paged storage: pages, disk, LRU buffer pool, serialization."""
+"""Paged storage: pages, disks, LRU buffer pool, serialization, faults.
+
+The durability stack, bottom to top: :class:`FileDisk` (crash-safe paged
+file with atomic generational checkpoints), optionally wrapped in a
+:class:`FaultInjectingDisk` (deterministic fault injection), under a
+:class:`BufferPool`, driven by a :class:`StorageManager` (CRC-verified
+page images, transient-error retries, checkpoint/load).
+"""
 
 from .buffer import BufferPool, BufferStats
 from .disk import DiskStats, SimulatedDisk
+from .faults import Fault, FaultInjectingDisk, FaultStats
 from .filedisk import FileDisk
 from .page import Page, PageId
-from .pager import StorageManager
+from .pager import RetryPolicy, StorageManager, load_tree_from_disk
 from .serializer import (
     BranchImage,
     NodeImage,
+    PAGE_MAGIC,
     RecordImage,
     deserialize_node,
     entry_physical_bytes,
     serialize_node,
+    verify_page,
 )
 
 __all__ = [
     "BufferPool",
     "BufferStats",
     "DiskStats",
+    "Fault",
+    "FaultInjectingDisk",
+    "FaultStats",
     "FileDisk",
     "SimulatedDisk",
     "Page",
     "PageId",
+    "PAGE_MAGIC",
+    "RetryPolicy",
     "StorageManager",
+    "load_tree_from_disk",
     "BranchImage",
     "NodeImage",
     "RecordImage",
     "deserialize_node",
     "entry_physical_bytes",
     "serialize_node",
+    "verify_page",
 ]

@@ -22,6 +22,12 @@ class DiskStats:
     writes: int = 0
     bytes_read: int = 0
     bytes_written: int = 0
+    #: Transient I/O errors observed (injected or real) across all ops.
+    transient_errors: int = 0
+    #: Retry attempts the storage manager made after transient errors.
+    retries: int = 0
+    #: Operations that failed permanently after exhausting retries.
+    failed_ops: int = 0
 
     def snapshot(self) -> dict:
         """A plain-dict copy for reports and the metrics registry."""
@@ -30,6 +36,9 @@ class DiskStats:
             "writes": self.writes,
             "bytes_read": self.bytes_read,
             "bytes_written": self.bytes_written,
+            "transient_errors": self.transient_errors,
+            "retries": self.retries,
+            "failed_ops": self.failed_ops,
         }
 
 
@@ -83,6 +92,10 @@ class SimulatedDisk:
         self._pages[page_id] = bytes(data)
         self.stats.writes += 1
         self.stats.bytes_written += size
+
+    def page_ids(self) -> list[PageId]:
+        """Currently allocated page ids, sorted (for scans like fsck)."""
+        return sorted(self._sizes)
 
     @property
     def allocated_pages(self) -> int:

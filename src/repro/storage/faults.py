@@ -1,0 +1,290 @@
+"""Deterministic fault injection for the storage layer.
+
+:class:`FaultInjectingDisk` decorates any page store with the
+``SimulatedDisk`` interface (:class:`~repro.storage.disk.SimulatedDisk`,
+:class:`~repro.storage.filedisk.FileDisk`) and injects faults from a
+declarative, seeded :class:`Fault` list:
+
+* ``transient``  — the operation raises
+  :class:`~repro.exceptions.TransientDiskError` and is not performed; a
+  retry goes through to the real disk (the storage manager retries these
+  with bounded exponential backoff);
+* ``bit_flip``   — one seeded pseudo-random bit of the page image is
+  flipped, silently, on its way to or from the disk (detected later by
+  the per-page CRC as :class:`~repro.exceptions.PageCorruptionError`);
+* ``torn_write`` — a seeded prefix of the page is written, the tail is
+  lost, and the simulated process dies (power loss mid-write);
+* ``crash``      — the process dies at this operation boundary
+  (:class:`~repro.exceptions.SimulatedCrashError`); every subsequent
+  operation on the wrapper fails, and a wrapped ``FileDisk`` is aborted
+  without syncing, so recovery is exercised by reopening the path.
+
+Faults trigger at exact operation counts (``at``) or with a seeded
+per-operation probability — both fully deterministic for a given seed, so
+any injected failure reproduces from ``(faults, seed)`` alone.  Every
+injection emits a ``fault_injected`` event through the attached tracer
+and increments :class:`FaultStats`.
+
+>>> from repro.exceptions import TransientDiskError
+>>> from repro.storage import SimulatedDisk
+>>> disk = FaultInjectingDisk(
+...     SimulatedDisk(), [Fault("transient", op="read", at=2)], seed=7
+... )
+>>> disk.allocate(1, 64)
+>>> disk.write_page(1, b"x" * 64)
+>>> _ = disk.read_page(1)                     # read #1: fine
+>>> try:
+...     disk.read_page(1)                     # read #2: injected failure
+... except TransientDiskError as exc:
+...     print("injected:", disk.fault_stats.injected)
+injected: 1
+>>> disk.read_page(1) == b"x" * 64            # read #3: fine again
+True
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..exceptions import SimulatedCrashError, TransientDiskError
+from ..obs.tracer import NULL_TRACER, Tracer
+from .page import PageId
+
+__all__ = ["Fault", "FaultStats", "FaultInjectingDisk", "FAULT_KINDS", "FAULT_OPS"]
+
+FAULT_KINDS = ("transient", "bit_flip", "torn_write", "crash")
+FAULT_OPS = ("read", "write", "allocate", "sync", "any")
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One fault rule.
+
+    Args:
+        kind: One of :data:`FAULT_KINDS`.
+        op: Which operations the rule applies to (:data:`FAULT_OPS`);
+            ``"any"`` matches every counted operation.
+        at: Trigger on the N-th matching operation (1-based); ``None``
+            disables count triggering.
+        probability: Trigger each matching operation with this seeded
+            probability (0 disables).
+    """
+
+    kind: str
+    op: str = "any"
+    at: int | None = None
+    probability: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; known: {FAULT_KINDS}")
+        if self.op not in FAULT_OPS:
+            raise ValueError(f"unknown fault op {self.op!r}; known: {FAULT_OPS}")
+        if self.at is not None and self.at < 1:
+            raise ValueError("fault trigger count `at` is 1-based")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError("fault probability must be in [0, 1]")
+
+
+@dataclass
+class FaultStats:
+    """Counts of injected faults, total and per kind."""
+
+    injected: int = 0
+    by_kind: dict = field(default_factory=dict)
+
+    def record(self, kind: str) -> None:
+        self.injected += 1
+        self.by_kind[kind] = self.by_kind.get(kind, 0) + 1
+
+    def snapshot(self) -> dict:
+        return {"injected": self.injected, **{f"{k}": v for k, v in sorted(self.by_kind.items())}}
+
+
+class FaultInjectingDisk:
+    """Fault-injecting decorator around a page store.
+
+    All state (operation counters, RNG) is deterministic from the
+    constructor arguments; replaying the same operations injects the same
+    faults.  Unknown attributes are delegated to the wrapped disk, so the
+    wrapper is interface-transparent (``stats``, ``checkpoint_info``,
+    ``path``...).
+    """
+
+    def __init__(
+        self,
+        inner,
+        faults: list[Fault] | tuple[Fault, ...] = (),
+        *,
+        seed: int = 0,
+        tracer: Tracer | None = None,
+    ):
+        self.inner = inner
+        self.faults = list(faults)
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self.tracer: Tracer = tracer if tracer is not None else NULL_TRACER
+        self.fault_stats = FaultStats()
+        self.crashed = False
+        #: Operations seen so far, per op label plus the "any" total.
+        self.op_counts: dict[str, int] = {op: 0 for op in FAULT_OPS}
+
+    # ------------------------------------------------------------------
+    # Fault machinery
+    # ------------------------------------------------------------------
+    def _select(self, op: str, page_id: PageId | None):
+        """Count the operation and return the first triggered fault."""
+        if self.crashed:
+            raise SimulatedCrashError("disk crashed earlier in this run")
+        self.op_counts[op] += 1
+        self.op_counts["any"] += 1
+        for fault in self.faults:
+            if fault.op not in (op, "any"):
+                continue
+            count = self.op_counts[fault.op]
+            if fault.at is not None and count == fault.at:
+                return fault
+            if fault.probability and self.rng.random() < fault.probability:
+                return fault
+        return None
+
+    def _inject(self, fault: Fault, op: str, page_id: PageId | None) -> None:
+        self.fault_stats.record(fault.kind)
+        if self.tracer.enabled:
+            self.tracer.event(
+                "fault_injected",
+                kind=fault.kind,
+                op=op,
+                page_id=page_id,
+                op_index=self.op_counts["any"],
+            )
+
+    def _raise_transient(self, fault: Fault, op: str, page_id: PageId | None) -> None:
+        self._inject(fault, op, page_id)
+        stats = getattr(self.inner, "stats", None)
+        if stats is not None:
+            stats.transient_errors += 1
+        raise TransientDiskError(
+            f"injected transient {op} error"
+            + (f" on page {page_id}" if page_id is not None else "")
+        )
+
+    def _crash(self, fault: Fault, op: str, page_id: PageId | None) -> None:
+        self._inject(fault, op, page_id)
+        self.crashed = True
+        abort = getattr(self.inner, "abort", None)
+        if abort is not None:
+            abort()
+        raise SimulatedCrashError(
+            f"injected crash at {op} #{self.op_counts[op]} "
+            f"(operation #{self.op_counts['any']})"
+        )
+
+    def _flip_bit(self, data: bytes) -> bytes:
+        bit = self.rng.randrange(len(data) * 8)
+        corrupted = bytearray(data)
+        corrupted[bit // 8] ^= 1 << (bit % 8)
+        return bytes(corrupted)
+
+    # ------------------------------------------------------------------
+    # Disk interface
+    # ------------------------------------------------------------------
+    @property
+    def stats(self):
+        return self.inner.stats
+
+    def allocate(self, page_id: PageId, size: int) -> None:
+        fault = self._select("allocate", page_id)
+        if fault is not None:
+            if fault.kind == "transient":
+                self._raise_transient(fault, "allocate", page_id)
+            if fault.kind in ("crash", "torn_write"):
+                self._crash(fault, "allocate", page_id)
+            # bit_flip is meaningless for an all-zero fresh page; ignore.
+        self.inner.allocate(page_id, size)
+
+    def deallocate(self, page_id: PageId) -> None:
+        if self.crashed:
+            raise SimulatedCrashError("disk crashed earlier in this run")
+        self.inner.deallocate(page_id)
+
+    def page_size(self, page_id: PageId) -> int:
+        return self.inner.page_size(page_id)
+
+    def page_ids(self) -> list[PageId]:
+        return self.inner.page_ids()
+
+    def read_page(self, page_id: PageId) -> bytes:
+        fault = self._select("read", page_id)
+        if fault is not None:
+            if fault.kind == "transient":
+                self._raise_transient(fault, "read", page_id)
+            if fault.kind in ("crash", "torn_write"):
+                self._crash(fault, "read", page_id)
+        data = self.inner.read_page(page_id)
+        if fault is not None and fault.kind == "bit_flip":
+            self._inject(fault, "read", page_id)
+            data = self._flip_bit(data)
+        return data
+
+    def write_page(self, page_id: PageId, data: bytes) -> None:
+        fault = self._select("write", page_id)
+        if fault is not None:
+            if fault.kind == "transient":
+                self._raise_transient(fault, "write", page_id)
+            if fault.kind == "crash":
+                self._crash(fault, "write", page_id)
+            if fault.kind == "torn_write":
+                cut = self.rng.randrange(1, len(data)) if len(data) > 1 else 0
+                torn = data[:cut] + bytes(len(data) - cut)
+                self.inner.write_page(page_id, torn)
+                self._crash(fault, "write", page_id)
+            if fault.kind == "bit_flip":
+                self._inject(fault, "write", page_id)
+                data = self._flip_bit(data)
+        self.inner.write_page(page_id, data)
+
+    def sync(self) -> None:
+        inner_sync = getattr(self.inner, "sync", None)
+        if inner_sync is None:
+            return  # purely in-memory disks have no durability boundary
+        fault = self._select("sync", None)
+        if fault is not None:
+            if fault.kind == "transient":
+                self._raise_transient(fault, "sync", None)
+            if fault.kind in ("crash", "torn_write", "bit_flip"):
+                self._crash(fault, "sync", None)
+        inner_sync()
+
+    @property
+    def allocated_pages(self) -> int:
+        return self.inner.allocated_pages
+
+    @property
+    def allocated_bytes(self) -> int:
+        return self.inner.allocated_bytes
+
+    def close(self, *args, **kwargs) -> None:
+        if self.crashed:
+            return  # already aborted by the crash
+        close = getattr(self.inner, "close", None)
+        if close is not None:
+            close(*args, **kwargs)
+
+    def __enter__(self) -> "FaultInjectingDisk":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self.crashed:
+            return  # the crash already aborted the wrapped disk
+        inner_exit = getattr(self.inner, "__exit__", None)
+        if inner_exit is not None:
+            inner_exit(exc_type, exc, tb)  # exception-aware close
+        else:
+            self.close()
+
+    def __getattr__(self, name: str):
+        # Interface transparency for anything not intercepted above
+        # (checkpoint_info, generation, path, abort...).
+        return getattr(self.inner, name)

@@ -3,8 +3,16 @@
 Attaching a :class:`StorageManager` to an index makes every node access go
 through a byte-budgeted LRU buffer pool, turning the paper's node-access
 counts into simulated page I/O (hits, misses, evictions).  ``checkpoint``
-serializes every node onto its page; ``load_tree`` rebuilds an equivalent
-index from the disk image.
+serializes every node onto its page (stamped with a checkpoint generation
+and per-page CRC) and — when the disk supports durability — commits the
+result atomically; ``load_tree`` rebuilds an equivalent index from the
+disk image, verifying every page's integrity header on the way.
+
+Transient disk errors (:class:`~repro.exceptions.TransientDiskError`, e.g.
+from :class:`~repro.storage.faults.FaultInjectingDisk`) are retried with
+bounded exponential backoff; the backoff clock is injectable so tests
+never sleep.  Retries and permanent failures are recorded in the disk's
+:class:`~repro.storage.disk.DiskStats` and surfaced by :meth:`io_summary`.
 
 Page sizes follow the node levels (1 KB leaves doubling upward by default),
 so buffer-pool experiments see exactly the paged structure the paper
@@ -13,19 +21,174 @@ assumes.
 
 from __future__ import annotations
 
-from typing import Any, Type
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Any, Callable, Type
 
+from ..core.config import IndexConfig
 from ..core.entry import BranchEntry, DataEntry
 from ..core.geometry import Rect
 from ..core.node import Node
 from ..core.rtree import RTree
 from ..core.srtree import SRTree
-from ..exceptions import StorageError
+from ..exceptions import PageCorruptionError, StorageError, TransientDiskError
 from .buffer import BufferPool
 from .disk import SimulatedDisk
 from .serializer import NodeImage, deserialize_node, serialize_node
 
-__all__ = ["StorageManager"]
+__all__ = ["RetryPolicy", "StorageManager", "load_tree_from_disk"]
+
+
+@dataclass
+class RetryPolicy:
+    """Bounded exponential backoff for transient disk errors.
+
+    ``sleep`` is injectable (tests pass a recording stub) so retry logic
+    is exercised without wall-clock delays.
+    """
+
+    max_attempts: int = 4
+    backoff_base: float = 0.005
+    backoff_factor: float = 2.0
+    sleep: Callable[[float], None] = field(default=time.sleep, repr=False)
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (1-based)."""
+        return self.backoff_base * self.backoff_factor ** (attempt - 1)
+
+
+class _PageReader:
+    """Shared read path: fetch via a pool, verify, decode.
+
+    Used by :class:`StorageManager` and by manager-less loads
+    (:func:`load_tree_from_disk`, ``repro fsck``).
+    """
+
+    def __init__(self, pool: BufferPool, retry: RetryPolicy, tracer=None):
+        self.pool = pool
+        self.retry = retry
+        self.tracer = tracer
+        self.corrupt_pages = 0
+
+    def _retrying(self, what: str, fn: Callable[[], Any]) -> Any:
+        stats = getattr(self.pool.disk, "stats", None)
+        attempt = 0
+        while True:
+            try:
+                return fn()
+            except TransientDiskError:
+                attempt += 1
+                if attempt >= self.retry.max_attempts:
+                    if stats is not None:
+                        stats.failed_ops += 1
+                    raise
+                if stats is not None:
+                    stats.retries += 1
+                if self.tracer is not None and self.tracer.enabled:
+                    self.tracer.event(
+                        "disk_retry", op=what, attempt=attempt,
+                        delay=self.retry.delay(attempt),
+                    )
+                self.retry.sleep(self.retry.delay(attempt))
+
+    def read_image(self, page_id: int) -> NodeImage:
+        frame = self._retrying(f"fetch page {page_id}", lambda: self.pool.fetch(page_id))
+        data = frame.read()
+        self.pool.release(page_id)
+        try:
+            return deserialize_node(data, page_id)
+        except PageCorruptionError:
+            self.corrupt_pages += 1
+            if self.tracer is not None and self.tracer.enabled:
+                self.tracer.event("page_corruption", page_id=page_id)
+            raise
+
+
+def _build_node(image: NodeImage, read_image, payloads: dict) -> Node:
+    """Recursively rebuild a node (and its subtree) from page images."""
+    node = Node(level=image.level)
+    if image.level == 0:
+        for r in image.records:
+            node.data_entries.append(
+                DataEntry(
+                    Rect(r.lows, r.highs),
+                    r.record_id,
+                    payloads.get(r.record_id),
+                    r.is_remnant,
+                )
+            )
+        return node
+    for b in image.branches:
+        child = _build_node(read_image(b.child_page), read_image, payloads)
+        child.parent = node
+        branch = BranchEntry(Rect(b.lows, b.highs), child)
+        for r in b.spanning:
+            branch.spanning.append(
+                DataEntry(
+                    Rect(r.lows, r.highs),
+                    r.record_id,
+                    payloads.get(r.record_id),
+                    r.is_remnant,
+                )
+            )
+        node.branches.append(branch)
+    return node
+
+
+def _finish_tree(tree: RTree, root: Node) -> RTree:
+    """Install ``root`` and recompute the derived bookkeeping."""
+    tree.root = root
+    tree._height = root.level + 1
+    counts: dict[int, int] = {}
+    for rid, _, _ in tree.items():
+        counts[rid] = counts.get(rid, 0) + 1
+    tree._fragment_counts = counts
+    tree._size = len(counts)
+    tree._next_record_id = max(counts, default=0) + 1
+    return tree
+
+
+def load_tree_from_disk(
+    disk,
+    root_page: int | None = None,
+    config: IndexConfig | None = None,
+    *,
+    index_cls: Type[RTree] | None = None,
+    payloads: dict | None = None,
+    buffer_bytes: int = 256 * 1024,
+    retry_policy: RetryPolicy | None = None,
+    tracer=None,
+) -> RTree:
+    """Rebuild an index straight from a disk, without a live manager.
+
+    ``root_page`` and ``config`` default to the disk's recovered
+    ``checkpoint_info`` (written by :meth:`StorageManager.checkpoint` on
+    stores that support it, e.g. :class:`~repro.storage.FileDisk`), which
+    makes a checkpointed file self-describing::
+
+        disk = FileDisk(path)          # recovery happens here
+        tree = load_tree_from_disk(disk)
+
+    Payloads live outside the index pages; without a payload mapping the
+    reloaded entries carry ``None`` payloads (record ids are preserved).
+    """
+    info = getattr(disk, "checkpoint_info", None) or {}
+    if root_page is None:
+        root_page = info.get("root_page")
+        if root_page is None:
+            raise StorageError("no checkpoint to load (root page unknown)")
+    if config is None:
+        cfg_doc = info.get("index_config")
+        config = IndexConfig(**cfg_doc) if cfg_doc else IndexConfig()
+    if index_cls is None:
+        index_cls = SRTree if info.get("segment_index", True) else RTree
+    reader = _PageReader(
+        BufferPool(disk, buffer_bytes), retry_policy or RetryPolicy(), tracer
+    )
+    tree = index_cls.__new__(index_cls)
+    RTree.__init__(tree, config)
+    root = _build_node(reader.read_image(root_page), reader.read_image, payloads or {})
+    return _finish_tree(tree, root)
 
 
 class StorageManager:
@@ -41,11 +204,25 @@ class StorageManager:
     True
     """
 
-    def __init__(self, tree: RTree, buffer_bytes: int = 64 * 1024, disk=None, tracer=None):
+    # Class-level defaults keep manually-assembled managers
+    # (``StorageManager.__new__`` + attribute injection in tests) working.
+    generation = 0
+
+    def __init__(
+        self,
+        tree: RTree,
+        buffer_bytes: int = 64 * 1024,
+        disk=None,
+        tracer=None,
+        retry_policy: RetryPolicy | None = None,
+    ):
         self.tree = tree
         #: Any page store with the SimulatedDisk interface works; pass a
-        #: repro.storage.FileDisk for real on-disk persistence.
+        #: repro.storage.FileDisk for real on-disk persistence, or wrap
+        #: either in a repro.storage.faults.FaultInjectingDisk for
+        #: failure testing.
         self.disk = disk if disk is not None else SimulatedDisk()
+        self.retry = retry_policy if retry_policy is not None else RetryPolicy()
         # Default to the tree's tracer so node accesses and the page
         # fetches they cause land in one event stream.
         self.pool = BufferPool(
@@ -55,16 +232,34 @@ class StorageManager:
         self._page_of: dict[int, int] = {}
         self._next_page = 1
         self._payloads: dict[int, Any] = {}
+        #: Number of checkpoints completed; stamped into page headers.
+        self.generation = 0
         for node in tree.iter_nodes():
             self._ensure_page(node)
         tree._storage_hook = self._on_access
+
+    # ------------------------------------------------------------------
+    # Retry plumbing
+    # ------------------------------------------------------------------
+    @property
+    def _reader(self) -> _PageReader:
+        reader = self.__dict__.get("_reader_cache")
+        if reader is None or reader.pool is not self.pool:
+            reader = _PageReader(
+                self.pool, getattr(self, "retry", RetryPolicy()), self.pool.tracer
+            )
+            self.__dict__["_reader_cache"] = reader
+        return reader
+
+    def _retrying(self, what: str, fn: Callable[[], Any]) -> Any:
+        return self._reader._retrying(what, fn)
 
     # ------------------------------------------------------------------
     # Access path
     # ------------------------------------------------------------------
     def _on_access(self, node: Node) -> None:
         page_id = self._ensure_page(node)
-        self.pool.touch(page_id)
+        self._retrying(f"touch page {page_id}", lambda: self.pool.touch(page_id))
 
     def _ensure_page(self, node: Node) -> int:
         page_id = self._page_of.get(node.node_id)
@@ -72,7 +267,10 @@ class StorageManager:
             page_id = self._next_page
             self._next_page += 1
             self._page_of[node.node_id] = page_id
-            self.disk.allocate(page_id, self.tree.config.node_bytes(node.level))
+            size = self.tree.config.node_bytes(node.level)
+            self._retrying(
+                f"allocate page {page_id}", lambda: self.disk.allocate(page_id, size)
+            )
         return page_id
 
     # ------------------------------------------------------------------
@@ -81,17 +279,28 @@ class StorageManager:
     def checkpoint(self) -> int:
         """Serialize every node to its page; returns the root's page id.
 
+        Pages carry the new checkpoint generation and a CRC32.  On disks
+        with a durability boundary (``sync``), the checkpoint is committed
+        atomically: the page table only advances once every page write
+        succeeded, so a crash mid-checkpoint leaves the previous
+        generation intact and recoverable.
+
         Payloads are kept in a sidecar heap (a real system would store
         tuple identifiers in the index and the tuples in a heap file).
         """
+        generation = self.generation + 1
         self._payloads = {}
         page_of = {}
         for node in self.tree.iter_nodes():
             page_of[node.node_id] = self._ensure_page(node)
         for node in self.tree.iter_nodes():
             page_id = page_of[node.node_id]
-            image = serialize_node(node, self.disk.page_size(page_id), page_of)
-            frame = self.pool.fetch(page_id)
+            image = serialize_node(
+                node, self.disk.page_size(page_id), page_of, generation
+            )
+            frame = self._retrying(
+                f"fetch page {page_id}", lambda pid=page_id: self.pool.fetch(pid)
+            )
             frame.write(image)
             self.pool.release(page_id, dirty=True)
             if node.is_leaf:
@@ -100,8 +309,19 @@ class StorageManager:
             else:
                 for _, r in node.iter_spanning():
                     self._payloads.setdefault(r.record_id, r.payload)
-        self.pool.flush()
+        self._retrying("flush buffer pool", self.pool.flush)
         self.root_page = page_of[self.tree.root.node_id]
+        if hasattr(self.disk, "set_checkpoint_info"):
+            self.disk.set_checkpoint_info(
+                root_page=self.root_page,
+                index_config=asdict(self.tree.config),
+                segment_index=bool(getattr(self.tree, "segment_index", False)),
+                generation=generation,
+            )
+        sync = getattr(self.disk, "sync", None)
+        if sync is not None:
+            self._retrying("sync", sync)
+        self.generation = generation
         return self.root_page
 
     def load_tree(self, index_cls: Type[RTree] | None = None) -> RTree:
@@ -114,56 +334,17 @@ class StorageManager:
         """
         if self.root_page is None:
             raise StorageError("no checkpoint to load")
-        root_image = self._read_image(self.root_page)
         if index_cls is None:
             index_cls = SRTree if self.tree.segment_index else RTree
         tree = index_cls.__new__(index_cls)
         RTree.__init__(tree, self.tree.config)
-        root = self._build_node(root_image)
-        tree.root = root
-        tree._height = root.level + 1
-        counts: dict[int, int] = {}
-        for rid, _, _ in tree.items():
-            counts[rid] = counts.get(rid, 0) + 1
-        tree._fragment_counts = counts
-        tree._size = len(counts)
-        tree._next_record_id = max(counts, default=0) + 1
-        return tree
+        root = _build_node(
+            self._read_image(self.root_page), self._read_image, self._payloads
+        )
+        return _finish_tree(tree, root)
 
     def _read_image(self, page_id: int) -> NodeImage:
-        frame = self.pool.fetch(page_id)
-        data = frame.read()
-        self.pool.release(page_id)
-        return deserialize_node(data)
-
-    def _build_node(self, image: NodeImage) -> Node:
-        node = Node(level=image.level)
-        if image.level == 0:
-            for r in image.records:
-                node.data_entries.append(
-                    DataEntry(
-                        Rect(r.lows, r.highs),
-                        r.record_id,
-                        self._payloads.get(r.record_id),
-                        r.is_remnant,
-                    )
-                )
-            return node
-        for b in image.branches:
-            child = self._build_node(self._read_image(b.child_page))
-            child.parent = node
-            branch = BranchEntry(Rect(b.lows, b.highs), child)
-            for r in b.spanning:
-                branch.spanning.append(
-                    DataEntry(
-                        Rect(r.lows, r.highs),
-                        r.record_id,
-                        self._payloads.get(r.record_id),
-                        r.is_remnant,
-                    )
-                )
-            node.branches.append(branch)
-        return node
+        return self._reader.read_image(page_id)
 
     def detach(self) -> None:
         """Stop instrumenting the index (keeps disk contents)."""
@@ -173,18 +354,25 @@ class StorageManager:
         """Point the index and the buffer pool at one tracer."""
         self.tree.tracer = tracer
         self.pool.tracer = tracer
+        self.__dict__.pop("_reader_cache", None)
 
     # ------------------------------------------------------------------
     # Reporting
     # ------------------------------------------------------------------
     def io_summary(self) -> dict:
+        stats = self.disk.stats
         return {
             "buffer_hits": self.pool.stats.hits,
             "buffer_misses": self.pool.stats.misses,
             "hit_ratio": self.pool.stats.hit_ratio,
             "evictions": self.pool.stats.evictions,
-            "disk_reads": self.disk.stats.reads,
-            "disk_writes": self.disk.stats.writes,
+            "disk_reads": stats.reads,
+            "disk_writes": stats.writes,
             "allocated_pages": self.disk.allocated_pages,
             "allocated_bytes": self.disk.allocated_bytes,
+            "transient_errors": stats.transient_errors,
+            "retries": stats.retries,
+            "failed_ops": stats.failed_ops,
+            "corrupt_pages": self._reader.corrupt_pages,
+            "checkpoint_generation": self.generation,
         }

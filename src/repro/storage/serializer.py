@@ -9,7 +9,11 @@ storage layer can persist and reload indexes and so the capacity accounting
 * branch entry — child page id (8 bytes, bits 48..62 = spanning count)
   followed by the branch rectangle, then the branch's spanning records
   encoded as data entries;
-* header — level (1), dims (1), entry count (2).
+* node header — level (1), dims (1), entry count (2);
+* page header — every page image is prefixed with magic (4), checkpoint
+  generation (4) and CRC32 of the rest of the page (4), so bit-flips and
+  torn writes surface as :class:`~repro.exceptions.PageCorruptionError`
+  on read instead of being silently deserialized.
 
 Payloads are *not* stored in index pages (a real system stores tuple
 references; see :class:`repro.storage.pager.StorageManager` for the sidecar
@@ -19,13 +23,30 @@ payload heap).
 from __future__ import annotations
 
 import struct
+import zlib
 from dataclasses import dataclass, field
 
+from ..core.config import PAGE_HEADER_BYTES
 from ..core.entry import DataEntry
 from ..core.node import Node
-from ..exceptions import StorageError
+from ..exceptions import PageCorruptionError, StorageError
 
-__all__ = ["NodeImage", "BranchImage", "RecordImage", "serialize_node", "deserialize_node", "entry_physical_bytes"]
+__all__ = [
+    "NodeImage",
+    "BranchImage",
+    "RecordImage",
+    "PAGE_MAGIC",
+    "serialize_node",
+    "deserialize_node",
+    "verify_page",
+    "entry_physical_bytes",
+]
+
+#: First bytes of every page image ("segment-index page, layout 1").
+PAGE_MAGIC = b"SPG1"
+
+_PAGE_HEADER = struct.Struct("<4sII")  # magic, generation, crc32
+assert _PAGE_HEADER.size == PAGE_HEADER_BYTES
 
 _HEADER = struct.Struct("<BBH")
 _WORD = struct.Struct("<Q")
@@ -57,6 +78,9 @@ class NodeImage:
     dims: int
     records: list[RecordImage] = field(default_factory=list)
     branches: list[BranchImage] = field(default_factory=list)
+    #: Checkpoint generation stamped into the page header that held this
+    #: image (0 for images that never went through a checkpoint).
+    generation: int = 0
 
 
 def entry_physical_bytes(dims: int) -> int:
@@ -64,11 +88,21 @@ def entry_physical_bytes(dims: int) -> int:
     return 8 + 16 * dims
 
 
-def serialize_node(node: Node, page_size: int, page_of: dict[int, int]) -> bytes:
+def serialize_node(
+    node: Node, page_size: int, page_of: dict[int, int], generation: int = 0
+) -> bytes:
     """Encode ``node`` into exactly ``page_size`` bytes.
 
-    ``page_of`` maps node ids to page ids (for branch child pointers).
+    ``page_of`` maps node ids to page ids (for branch child pointers);
+    ``generation`` is stamped into the page's integrity header.  The CRC32
+    in the header covers everything after it (body *and* padding), so any
+    single flipped bit in the page is detected on read.
     """
+    if page_size <= PAGE_HEADER_BYTES:
+        raise StorageError(
+            f"page size {page_size} cannot hold the {PAGE_HEADER_BYTES}-byte "
+            f"integrity header"
+        )
     dims = _node_dims(node)
     out = bytearray()
     if node.is_leaf:
@@ -88,23 +122,51 @@ def serialize_node(node: Node, page_size: int, page_of: dict[int, int]) -> bytes
             out += _pack_rect(b.rect.lows, b.rect.highs)
             for r in b.spanning:
                 out += _pack_record(r, dims)
-    if len(out) > page_size:
+    if len(out) + PAGE_HEADER_BYTES > page_size:
         raise StorageError(
-            f"node {node.node_id} needs {len(out)} bytes > page size {page_size}"
+            f"node {node.node_id} needs {len(out) + PAGE_HEADER_BYTES} bytes "
+            f"> page size {page_size}"
         )
-    out += bytes(page_size - len(out))
-    return bytes(out)
+    out += bytes(page_size - PAGE_HEADER_BYTES - len(out))
+    # The CRC covers the magic and generation too, so a flipped bit
+    # anywhere in the page (header included) is caught on read.
+    prefix = struct.pack("<4sI", PAGE_MAGIC, generation & 0xFFFFFFFF)
+    crc = zlib.crc32(out, zlib.crc32(prefix))
+    return _PAGE_HEADER.pack(PAGE_MAGIC, generation & 0xFFFFFFFF, crc) + bytes(out)
 
 
-def deserialize_node(data: bytes) -> NodeImage:
-    """Decode a page image produced by :func:`serialize_node`."""
-    if len(data) < _HEADER.size:
-        raise StorageError("page too small for a node header")
-    level, dims, count = _HEADER.unpack_from(data, 0)
+def verify_page(data: bytes, page_id: int | None = None) -> int:
+    """Check a page image's integrity header; returns its generation.
+
+    Raises :class:`~repro.exceptions.PageCorruptionError` on a bad magic
+    or CRC mismatch, plain :class:`~repro.exceptions.StorageError` when the
+    buffer is too small to even hold the header.
+    """
+    where = "page" if page_id is None else f"page {page_id}"
+    if len(data) < PAGE_HEADER_BYTES + _HEADER.size:
+        raise StorageError(f"{where} too small for a node header")
+    magic, generation, crc = _PAGE_HEADER.unpack_from(data, 0)
+    if magic != PAGE_MAGIC:
+        raise PageCorruptionError(
+            f"{where}: bad magic {magic!r} (expected {PAGE_MAGIC!r})", page_id
+        )
+    actual = zlib.crc32(data[PAGE_HEADER_BYTES:], zlib.crc32(data[:8]))
+    if actual != crc:
+        raise PageCorruptionError(
+            f"{where}: CRC mismatch (header {crc:#010x}, computed {actual:#010x}) "
+            f"— the page was corrupted on disk", page_id
+        )
+    return generation
+
+
+def deserialize_node(data: bytes, page_id: int | None = None) -> NodeImage:
+    """Decode (and integrity-check) a page image from :func:`serialize_node`."""
+    generation = verify_page(data, page_id)
+    level, dims, count = _HEADER.unpack_from(data, PAGE_HEADER_BYTES)
     if dims < 1:
         raise StorageError(f"corrupt node header: dims={dims}")
-    image = NodeImage(level=level, dims=dims)
-    offset = _HEADER.size
+    image = NodeImage(level=level, dims=dims, generation=generation)
+    offset = PAGE_HEADER_BYTES + _HEADER.size
     if level == 0:
         for _ in range(count):
             record, offset = _unpack_record(data, offset, dims)

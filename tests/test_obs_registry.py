@@ -103,7 +103,10 @@ class TestIndexRegistry:
         tree.search(segment(5.0, 6.0, 10.0))
         snap = reg.snapshot()
         assert snap["buffer"]["accesses"] == snap["access"]["search_node_accesses"]
-        assert set(snap["disk"]) == {"reads", "writes", "bytes_read", "bytes_written"}
+        assert set(snap["disk"]) == {
+            "reads", "writes", "bytes_read", "bytes_written",
+            "transient_errors", "retries", "failed_ops",
+        }
 
     def test_structure_source_and_json(self, tree):
         reg = index_registry(tree, structure=True)
