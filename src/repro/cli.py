@@ -204,6 +204,11 @@ def _cmd_fsck(args) -> int:
     from .exceptions import IndexStructureError, PageCorruptionError, StorageError
     from .storage import FileDisk, load_tree_from_disk, verify_page
 
+    if not os.path.exists(args.path):
+        # FileDisk would create an empty store at a missing path; a
+        # typo'd path must not masquerade as a healthy (new) store.
+        print(f"fsck {args.path}: no such file")
+        return 1
     try:
         disk = FileDisk(args.path)
     except StorageError as exc:
@@ -213,7 +218,7 @@ def _cmd_fsck(args) -> int:
     try:
         print(
             f"fsck {args.path}: recovered generation {disk.generation} "
-            f"from .{'meta' if disk.recovered_from == 'meta' else 'meta.prev'}"
+            f"from {disk.recovered_from!r} sidecar state"
         )
         blank = 0
         violations: list[str] = []

@@ -144,17 +144,24 @@ class BufferPool:
             )
         while self._resident_bytes + needed > self.capacity_bytes:
             victim_id = self._pick_victim()
-            victim = self._frames.pop(victim_id)
+            victim = self._frames[victim_id]
+            was_dirty = victim.dirty
+            if victim.dirty:
+                # Write back while the frame is still resident: if the
+                # write raises (e.g. an injected transient fault) the
+                # dirty page survives in the pool and a retried fetch
+                # re-attempts the writeback instead of losing the data.
+                self.disk.write_page(victim.page_id, bytes(victim.data))
+                victim.dirty = False
+                self.stats.dirty_writebacks += 1
             if self.tracer.enabled:
                 self.tracer.event(
                     "eviction",
                     page_id=victim.page_id,
-                    dirty=victim.dirty,
+                    dirty=was_dirty,
                     page_bytes=victim.size,
                 )
-            if victim.dirty:
-                self.disk.write_page(victim.page_id, bytes(victim.data))
-                self.stats.dirty_writebacks += 1
+            del self._frames[victim_id]
             self._resident_bytes -= victim.size
             self.stats.evictions += 1
 

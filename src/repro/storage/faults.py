@@ -253,8 +253,10 @@ class FaultInjectingDisk:
         if fault is not None:
             if fault.kind == "transient":
                 self._raise_transient(fault, "sync", None)
-            if fault.kind in ("crash", "torn_write", "bit_flip"):
+            if fault.kind in ("crash", "torn_write"):
                 self._crash(fault, "sync", None)
+            # bit_flip carries no payload at a sync boundary; ignore
+            # (matching allocate) rather than escalating to a crash.
         inner_sync()
 
     @property

@@ -21,6 +21,7 @@ from repro.exceptions import (
     TransientDiskError,
 )
 from repro.storage import (
+    BufferPool,
     Fault,
     FaultInjectingDisk,
     FileDisk,
@@ -193,6 +194,74 @@ class TestRetries:
             mgr.checkpoint()
         assert faulty.stats.failed_ops == 1
         assert faulty.stats.retries == mgr.retry.max_attempts - 1
+
+    def test_eviction_writeback_failure_keeps_dirty_page(self):
+        # Regression: _make_room used to pop the victim frame *before*
+        # writing it back, so a transient write fault during eviction
+        # discarded the dirty data and leaked resident_bytes forever.
+        faulty = FaultInjectingDisk(
+            SimulatedDisk(), [Fault("transient", op="write", at=1)], seed=BASE_SEED
+        )
+        faulty.allocate(1, 512)
+        faulty.allocate(2, 512)
+        pool = BufferPool(faulty, capacity_bytes=512)
+        page = pool.fetch(1)
+        page.write(b"dirty!")
+        pool.release(1, dirty=True)
+        with pytest.raises(TransientDiskError):
+            pool.fetch(2)  # evicting page 1 hits the injected write fault
+        # The dirty victim must survive the failed writeback, and the
+        # byte accounting must still match what is actually resident.
+        assert pool.resident_pages == 1
+        assert pool.resident_bytes == 512
+        assert pool._frames[1].dirty
+        pool.fetch(2)  # retry: writeback succeeds, eviction completes
+        pool.release(2)
+        assert faulty.read_page(1)[:6] == b"dirty!"
+        assert 1 not in pool._frames
+        assert pool.resident_bytes == 512
+
+    def test_checkpoint_survives_transient_write_faults_under_eviction(self, tmp_path):
+        # End-to-end regression for the same bug: with a buffer small
+        # enough to force eviction during checkpoint, a transient write
+        # fault used to silently drop the evicted page, so flush() never
+        # rewrote it and sync() committed a checkpoint with a stale or
+        # blank page.  The recovered store must round-trip exactly.
+        path = str(tmp_path / "evict.db")
+        tree = build_tree(120)
+        policy = no_sleep_policy()
+        policy.max_attempts = 10
+        faulty = FaultInjectingDisk(
+            FileDisk(path),
+            [Fault("transient", op="write", probability=0.2)],
+            seed=BASE_SEED,
+        )
+        mgr = StorageManager(
+            tree, buffer_bytes=2 * 1024, disk=faulty, retry_policy=policy
+        )
+        mgr.checkpoint()
+        summary = mgr.io_summary()
+        assert summary["evictions"] > 0  # the buffer really was under pressure
+        assert summary["transient_errors"] > 0
+        assert summary["failed_ops"] == 0
+        assert mgr.pool.resident_bytes == sum(
+            f.size for f in mgr.pool._frames.values()
+        )  # no capacity leak
+        expected = {i: tree.search_ids(q) for i, q in enumerate(sample_queries())}
+        faulty.close()
+        recovered = FileDisk(path)
+        try:
+            for page_id in recovered.page_ids():
+                data = recovered.read_page(page_id)
+                if data.count(0) != len(data):
+                    verify_page(data, page_id)  # no stale/blank committed pages
+            clone = load_tree_from_disk(recovered)
+            check_index(clone)
+            assert len(clone) == len(tree)
+            for i, q in enumerate(sample_queries()):
+                assert clone.search_ids(q) == expected[i]
+        finally:
+            recovered.close(sync=False)
 
     def test_retry_events_traced(self):
         tracer = Tracer()
@@ -545,6 +614,15 @@ class TestFsckCLI:
         out = capsys.readouterr().out
         assert "1 checksum violation(s)" in out
         assert "PROBLEMS FOUND" in out
+
+    def test_fsck_missing_path_is_an_error(self, tmp_path, capsys):
+        from repro.cli import main
+
+        missing = tmp_path / "typo.db"
+        assert main(["fsck", str(missing)]) == 1
+        assert "no such file" in capsys.readouterr().out
+        # Must not create an empty store as a side effect of the check.
+        assert not missing.exists()
 
     def test_fsck_unrecoverable_store(self, tmp_path, capsys):
         from repro.cli import main
