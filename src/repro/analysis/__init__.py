@@ -1,0 +1,39 @@
+"""Static analysis for the repro codebase: a repo-specific AST lint engine.
+
+The paper's correctness rests on discipline that used to be checked only
+at runtime — spanning/containment invariants, typed trace events, exact
+float boundaries.  ``repro lint`` (backed by this package) enforces the
+statically-checkable part of that discipline in CI:
+
+>>> from repro.analysis import lint_source
+>>> bad = 'tracer.event("spliit", node_id=1)'
+>>> [d.rule for d in lint_source(bad, "src/repro/core/x.py")]
+['R1']
+
+See :mod:`repro.analysis.rules` for the rule catalogue and
+``README.md#static-analysis`` for CLI usage.
+"""
+
+from .diagnostics import Diagnostic
+from .engine import (
+    FileContext,
+    Rule,
+    all_rules,
+    iter_python_files,
+    lint_paths,
+    lint_source,
+    register,
+    rule_ids,
+)
+
+__all__ = [
+    "Diagnostic",
+    "FileContext",
+    "Rule",
+    "register",
+    "all_rules",
+    "rule_ids",
+    "lint_source",
+    "lint_paths",
+    "iter_python_files",
+]

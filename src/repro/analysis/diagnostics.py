@@ -1,0 +1,39 @@
+"""Diagnostic records produced by the lint engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["Diagnostic"]
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One lint finding, anchored to a source location.
+
+    Ordered by (path, line, col, rule) so reports are stable across runs
+    regardless of rule execution order.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    name: str
+    message: str
+
+    def format(self) -> str:
+        """The one-line human-readable form (``path:line:col: Rn[name] msg``)."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule}[{self.name}] {self.message}"
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form (the shape ``repro lint --format json`` emits)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "name": self.name,
+            "message": self.message,
+        }

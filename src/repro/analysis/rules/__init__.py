@@ -1,0 +1,24 @@
+"""Built-in lint rules.  Importing this package registers them all.
+
+* R1 ``trace-event-schema`` — tracer call sites match repro.obs.events.
+* R2 ``float-equality`` — no ==/!= on floats in core/, histogram/, bench/.
+* R3 ``exception-hygiene`` — raise only repro.exceptions; storage/ never
+  swallows broad exceptions.
+* R4 ``frozen-rect`` — no mutation of Rect's frozen attributes.
+
+To add a rule: subclass :class:`repro.analysis.engine.Rule`, decorate it
+with :func:`repro.analysis.engine.register`, give it the next free id,
+and import its module here.
+"""
+
+from .exception_hygiene import ExceptionHygieneRule
+from .float_equality import FloatEqualityRule
+from .frozen_rect import FrozenRectRule
+from .trace_schema import TraceSchemaRule
+
+__all__ = [
+    "TraceSchemaRule",
+    "FloatEqualityRule",
+    "ExceptionHygieneRule",
+    "FrozenRectRule",
+]

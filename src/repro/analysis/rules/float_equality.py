@@ -1,0 +1,166 @@
+"""R2 — no ``==``/``!=`` on float-typed expressions in numeric code.
+
+The equidepth ``_strictly_increasing`` precision bug (fixed in PR 2) is
+the canonical failure: boundary arithmetic that is *almost* exact drifts
+by an ulp and an exact comparison silently flips.  In ``core/``,
+``histogram/`` and ``bench/`` every float comparison must go through the
+tolerant comparators in :mod:`repro.core.floatcmp` (``feq``/``fne``/
+``is_zero``) so the tolerance is explicit and auditable.
+
+Float-ness is established statically, without type inference, from:
+
+* float literals (``x == 0.0``);
+* ``float(...)`` conversions;
+* true division (``/`` is float-valued in Python 3) and ``math``-style
+  float producers (``math.sqrt`` etc. via the ``math.`` prefix);
+* names annotated ``float`` in the enclosing function's signature or in
+  an annotated assignment;
+* the repo's known float-valued geometry accessors: ``.area``,
+  ``.margin``, ``.extent(...)``, ``.enlargement(...)``.
+
+Comparing identical int literals, ids, counters and the like is out of
+scope — the rule only fires when one side is provably float-flavoured.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..diagnostics import Diagnostic
+from ..engine import FileContext, Rule, register
+
+__all__ = ["FloatEqualityRule"]
+
+#: Package-relative directories where the rule applies.
+SCOPES = ("core/", "histogram/", "bench/")
+
+#: Attribute accesses on Rect (and friends) that produce floats.
+_FLOAT_ATTRS = {"area", "margin"}
+_FLOAT_METHODS = {"extent", "enlargement", "hit_ratio", "delay"}
+
+
+class _FloatNames(ast.NodeVisitor):
+    """Collect names annotated ``float`` within one function body."""
+
+    def __init__(self) -> None:
+        self.names: set[str] = set()
+
+    @staticmethod
+    def _is_float_annotation(annotation: ast.expr | None) -> bool:
+        return (
+            isinstance(annotation, ast.Name) and annotation.id == "float"
+        )
+
+    def visit_arguments(self, args: ast.arguments) -> None:
+        for arg in (
+            list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+        ):
+            if self._is_float_annotation(arg.annotation):
+                self.names.add(arg.arg)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if self._is_float_annotation(node.annotation) and isinstance(
+            node.target, ast.Name
+        ):
+            self.names.add(node.target.id)
+
+
+def _is_floatish(node: ast.expr, float_names: set[str]) -> bool:
+    """True when the expression is statically known to be float-valued."""
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if isinstance(node, ast.UnaryOp):
+        return _is_floatish(node.operand, float_names)
+    if isinstance(node, ast.Name):
+        return node.id in float_names
+    if isinstance(node, ast.Attribute):
+        return node.attr in _FLOAT_ATTRS
+    if isinstance(node, ast.BinOp):
+        if isinstance(node.op, ast.Div):
+            return True
+        return _is_floatish(node.left, float_names) or _is_floatish(
+            node.right, float_names
+        )
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "float":
+            return True
+        if isinstance(func, ast.Attribute):
+            if func.attr in _FLOAT_METHODS:
+                return True
+            if isinstance(func.value, ast.Name) and func.value.id == "math":
+                return True
+    return False
+
+
+@register
+class FloatEqualityRule(Rule):
+    id = "R2"
+    name = "float-equality"
+    description = (
+        "no ==/!= on float-typed expressions in core/, histogram/, bench/; "
+        "use repro.core.floatcmp (feq/fne/is_zero)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        if not ctx.in_scope(*SCOPES):
+            return
+        # floatcmp itself defines the comparators and may compare exactly.
+        if ctx.package_path == "core/floatcmp.py":
+            return
+        for func_names, compare in self._compares(ctx.tree):
+            for op, left, right in self._eq_pairs(compare):
+                if _is_floatish(left, func_names) or _is_floatish(right, func_names):
+                    opname = "==" if isinstance(op, ast.Eq) else "!="
+                    yield self.diagnostic(
+                        ctx,
+                        compare,
+                        f"float `{opname}` comparison; use "
+                        f"repro.core.floatcmp.{'feq' if opname == '==' else 'fne'} "
+                        "(or is_zero) so the tolerance is explicit",
+                    )
+                    break  # one finding per comparison expression
+
+    @staticmethod
+    def _compares(
+        tree: ast.Module,
+    ) -> Iterator[tuple[set[str], ast.Compare]]:
+        """Yield (float-annotated-names-in-scope, compare-node) pairs."""
+        module_collector = _FloatNames()
+        for stmt in tree.body:
+            if isinstance(stmt, ast.AnnAssign):
+                module_collector.visit_AnnAssign(stmt)
+        functions = [
+            n
+            for n in ast.walk(tree)
+            if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        seen: set[int] = set()
+        # Innermost functions first so a compare inside a nested function
+        # is attributed to the scope whose annotations are closest to it
+        # (ast.walk is breadth-first: outer functions come earlier).
+        for func in reversed(functions):
+            collector = _FloatNames()
+            collector.names |= module_collector.names
+            collector.visit_arguments(func.args)
+            for node in ast.walk(func):
+                if isinstance(node, ast.AnnAssign):
+                    collector.visit_AnnAssign(node)
+            for node in ast.walk(func):
+                if isinstance(node, ast.Compare) and id(node) not in seen:
+                    seen.add(id(node))
+                    yield collector.names, node
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Compare) and id(node) not in seen:
+                yield module_collector.names, node
+
+    @staticmethod
+    def _eq_pairs(
+        compare: ast.Compare,
+    ) -> Iterator[tuple[ast.cmpop, ast.expr, ast.expr]]:
+        left = compare.left
+        for op, right in zip(compare.ops, compare.comparators):
+            if isinstance(op, (ast.Eq, ast.NotEq)):
+                yield op, left, right
+            left = right

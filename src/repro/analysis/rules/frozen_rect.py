@@ -1,0 +1,108 @@
+"""R4 — no attribute mutation on the frozen geometry type ``Rect``.
+
+``Rect`` is the value type the whole index family shares: node regions,
+entry rectangles and query boxes are assumed immutable, and the runtime
+guard (``Rect.__setattr__`` raises) only fires when the bad path actually
+executes.  This rule rejects the mutation statically:
+
+* any assignment (plain, augmented, annotated) to a ``.lows`` / ``.highs``
+  attribute — those slot names belong to ``Rect`` alone in this codebase —
+  outside ``Rect.__init__`` itself;
+* any ``object.__setattr__(x, "lows"/"highs", ...)`` outside
+  ``Rect.__init__`` (the one place the frozen-init idiom is legal);
+* ``del x.lows`` / ``del x.highs``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..diagnostics import Diagnostic
+from ..engine import FileContext, Rule, register
+
+__all__ = ["FrozenRectRule"]
+
+_FROZEN_ATTRS = frozenset({"lows", "highs"})
+
+
+def _flatten_targets(targets: list[ast.expr]) -> Iterator[ast.expr]:
+    """Expand unpacking targets: ``(a.lows, b) = ...`` assigns both elements."""
+    for target in targets:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            yield from _flatten_targets(list(target.elts))
+        elif isinstance(target, ast.Starred):
+            yield from _flatten_targets([target.value])
+        else:
+            yield target
+
+
+def _inside_rect_init(stack: tuple[str, ...]) -> bool:
+    """True when the enclosing scope chain is ``class Rect`` -> ``__init__``."""
+    for outer, inner in zip(stack, stack[1:]):
+        if outer == "class:Rect" and inner == "def:__init__":
+            return True
+    return False
+
+
+@register
+class FrozenRectRule(Rule):
+    id = "R4"
+    name = "frozen-rect"
+    description = (
+        "Rect is immutable: no assignment to .lows/.highs (or "
+        "object.__setattr__ on them) outside Rect.__init__"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        yield from self._visit(ctx, ctx.tree, ())
+
+    def _visit(
+        self, ctx: FileContext, node: ast.AST, stack: tuple[str, ...]
+    ) -> Iterator[Diagnostic]:
+        if isinstance(node, ast.ClassDef):
+            stack = stack + (f"class:{node.name}",)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            stack = stack + (f"def:{node.name}",)
+
+        in_init = _inside_rect_init(stack)
+        if not in_init:
+            yield from self._check_node(ctx, node)
+
+        for child in ast.iter_child_nodes(node):
+            yield from self._visit(ctx, child, stack)
+
+    def _check_node(self, ctx: FileContext, node: ast.AST) -> Iterator[Diagnostic]:
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        elif isinstance(node, ast.Delete):
+            targets = list(node.targets)
+        for target in _flatten_targets(targets):
+            if isinstance(target, ast.Attribute) and target.attr in _FROZEN_ATTRS:
+                yield self.diagnostic(
+                    ctx,
+                    node,
+                    f"mutation of frozen Rect attribute .{target.attr}; "
+                    "build a new Rect instead",
+                )
+
+        if isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr == "__setattr__"
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "object"
+                and len(node.args) >= 2
+                and isinstance(node.args[1], ast.Constant)
+                and node.args[1].value in _FROZEN_ATTRS
+            ):
+                yield self.diagnostic(
+                    ctx,
+                    node,
+                    "object.__setattr__ on a frozen Rect attribute outside "
+                    "Rect.__init__",
+                )

@@ -1,5 +1,6 @@
 """Experiment harness: Section 5's protocol, figures, and reports."""
 
+from .cost_model import expected_node_accesses, predict_qar_series
 from .experiment import (
     INDEX_TYPES,
     PREDICTION_FRACTION,
@@ -8,7 +9,6 @@ from .experiment import (
     default_scale,
     run_experiment,
 )
-from .cost_model import expected_node_accesses, predict_qar_series
 from .figures import FIGURES, FigureSpec, hqar_mean, vqar_mean
 from .plot import ascii_plot
 from .report import (

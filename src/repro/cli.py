@@ -12,7 +12,10 @@ Commands:
 * ``stats``     — pretty-print a machine-readable ``BENCH_*.json`` report;
 * ``fsck``      — verify a checkpointed page store: recover the page
   table, CRC-check every page, rebuild the tree and run the structural
-  invariant checker.
+  invariant checker;
+* ``lint``      — run the repository's AST lint rules (R1-R4, see
+  ``repro.analysis``) over Python sources; exit 0 clean, 1 findings,
+  2 usage error.
 """
 
 from __future__ import annotations
@@ -33,6 +36,7 @@ from .bench import (
     write_experiment_report,
 )
 from .core import Rect, measure_index
+from .exceptions import InputFormatError
 from .obs import JsonlSink, NULL_TRACER, RingBufferSink, TeeSink, Tracer
 from .obs.report import format_report, load_report
 from .workloads import DATASETS, qar_sweep
@@ -61,7 +65,7 @@ def _load_csv(path: Path) -> list[Rect]:
     try:
         fh = path.open()
     except OSError as exc:
-        raise ValueError(f"cannot read {path}: {exc}") from exc
+        raise InputFormatError(f"cannot read {path}: {exc}") from exc
     with fh:
         for line_no, line in enumerate(fh, start=1):
             line = line.strip()
@@ -69,22 +73,22 @@ def _load_csv(path: Path) -> list[Rect]:
                 continue
             parts = line.split(",")
             if len(parts) != 4:
-                raise ValueError(
+                raise InputFormatError(
                     f"{path}:{line_no}: expected 4 comma-separated values "
                     f"(x_low,y_low,x_high,y_high), got {len(parts)}"
                 )
             try:
                 x_lo, y_lo, x_hi, y_hi = map(float, parts)
             except ValueError:
-                raise ValueError(
+                raise InputFormatError(
                     f"{path}:{line_no}: non-numeric value in row {line!r}"
                 ) from None
             try:
                 rects.append(Rect((x_lo, y_lo), (x_hi, y_hi)))
             except Exception as exc:
-                raise ValueError(f"{path}:{line_no}: {exc}") from None
+                raise InputFormatError(f"{path}:{line_no}: {exc}") from None
     if not rects:
-        raise ValueError(f"{path}: no rectangles found")
+        raise InputFormatError(f"{path}: no rectangles found")
     return rects
 
 
@@ -262,6 +266,42 @@ def _cmd_fsck(args) -> int:
     return status
 
 
+def _cmd_lint(args) -> int:
+    """Run the repository's AST lint rules (R1-R4) over Python sources."""
+    import json
+
+    from .analysis import all_rules, lint_paths
+    from .exceptions import ConfigError
+
+    select = None
+    if args.select:
+        select = [rule_id.strip() for rule_id in args.select.split(",") if rule_id.strip()]
+    paths = args.paths or ["src/repro"]
+    try:
+        diagnostics = lint_paths(paths, select=select)
+    except (ConfigError, InputFormatError) as exc:
+        print(f"lint: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        payload = {
+            "version": 1,
+            "rules": [
+                {"id": rule.id, "name": rule.name, "description": rule.description}
+                for rule in all_rules()
+                if select is None or rule.id in select
+            ],
+            "count": len(diagnostics),
+            "findings": [diagnostic.to_dict() for diagnostic in diagnostics],
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        for diagnostic in diagnostics:
+            print(diagnostic.format())
+        noun = "finding" if len(diagnostics) == 1 else "findings"
+        print(f"lint: {len(diagnostics)} {noun}")
+    return 1 if diagnostics else 0
+
+
 def _cmd_stats(args) -> int:
     """Pretty-print one or more BENCH_*.json run reports."""
     for i, path in enumerate(args.report):
@@ -359,6 +399,26 @@ def _parser() -> argparse.ArgumentParser:
     )
     fsck.add_argument("path", help="FileDisk data file (with its .meta sidecar)")
     fsck.set_defaults(func=_cmd_fsck)
+
+    lint = sub.add_parser(
+        "lint", help="run the repository's AST lint rules (R1-R4)"
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: src/repro)",
+    )
+    lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    lint.add_argument(
+        "--select",
+        help="comma-separated rule ids to run (e.g. R1,R3); default: all",
+    )
+    lint.set_defaults(func=_cmd_lint)
 
     return parser
 

@@ -13,6 +13,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..exceptions import ConfigError
+
 __all__ = ["IndexConfig", "NODE_HEADER_BYTES", "PAGE_HEADER_BYTES"]
 
 #: Bytes of per-node header (level, dims, entry count) — see
@@ -74,21 +76,21 @@ class IndexConfig:
 
     def __post_init__(self) -> None:
         if self.dims < 1:
-            raise ValueError("dims must be >= 1")
+            raise ConfigError("dims must be >= 1")
         if self.leaf_node_bytes < 2 * self.entry_bytes:
-            raise ValueError("leaf nodes must hold at least two entries")
+            raise ConfigError("leaf nodes must hold at least two entries")
         if not 0.0 < self.branch_fraction <= 1.0:
-            raise ValueError("branch_fraction must be in (0, 1]")
+            raise ConfigError("branch_fraction must be in (0, 1]")
         if not 0.0 < self.min_fill <= 0.5:
-            raise ValueError("min_fill must be in (0, 0.5]")
+            raise ConfigError("min_fill must be in (0, 0.5]")
         if self.split_algorithm not in ("quadratic", "linear", "rstar"):
-            raise ValueError(f"unknown split algorithm {self.split_algorithm!r}")
+            raise ConfigError(f"unknown split algorithm {self.split_algorithm!r}")
         if self.coalesce_interval < 0:
-            raise ValueError("coalesce_interval must be >= 0")
+            raise ConfigError("coalesce_interval must be >= 0")
         if self.coalesce_candidates < 1:
-            raise ValueError("coalesce_candidates must be >= 1")
+            raise ConfigError("coalesce_candidates must be >= 1")
         if self.spanning_overflow_policy not in ("split", "descend"):
-            raise ValueError(
+            raise ConfigError(
                 f"unknown spanning overflow policy {self.spanning_overflow_policy!r}"
             )
 

@@ -32,7 +32,7 @@ class DataEntry:
 
     __slots__ = ("rect", "record_id", "payload", "is_remnant")
 
-    def __init__(self, rect: Rect, record_id: int, payload: Any, is_remnant: bool = False):
+    def __init__(self, rect: Rect, record_id: int, payload: Any, is_remnant: bool = False) -> None:
         self.rect = rect
         self.record_id = record_id
         self.payload = payload
@@ -54,7 +54,7 @@ class BranchEntry:
 
     __slots__ = ("rect", "child", "spanning")
 
-    def __init__(self, rect: Rect, child: "Node"):
+    def __init__(self, rect: Rect, child: "Node") -> None:
         self.rect = rect
         self.child = child
         self.spanning: list[DataEntry] = []

@@ -1,0 +1,65 @@
+"""Tolerant float comparators: the only sanctioned way to compare floats.
+
+Interval indexes fail subtly at float boundaries: a cut coordinate or an
+equidepth partition edge that is *almost* exact drifts by an ulp, and an
+exact ``==`` silently flips a spanning/containment decision (that is how
+the ``equidepth._strictly_increasing`` bug slipped in).  Lint rule R2
+rejects ``==``/``!=`` on float-typed expressions in ``core/``,
+``histogram/`` and ``bench/``; these helpers are the replacement, so
+every tolerance in the codebase is explicit and greppable.
+
+Semantics follow ``math.isclose``: relative tolerance for values away
+from zero, plus an absolute floor so comparisons against (near-)zero
+extents behave.  Exact zeros still compare equal — degenerate interval
+dimensions are constructed exactly (``hi - lo`` is exactly ``0.0`` when
+``hi == lo``), so the tolerant forms are a strict widening of the old
+exact checks, never a narrowing.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["REL_TOL", "ABS_TOL", "feq", "fne", "is_zero", "exact_zero"]
+
+#: Default relative tolerance (about a billionth — far above accumulated
+#: rounding in K-dimensional box arithmetic, far below any real extent).
+REL_TOL = 1e-9
+
+#: Default absolute tolerance, for comparisons against (near-)zero.
+ABS_TOL = 1e-12
+
+
+def feq(a: float, b: float, *, rel: float = REL_TOL, abs_: float = ABS_TOL) -> bool:
+    """Tolerantly equal: ``|a - b|`` within ``rel`` of the magnitudes or
+    within ``abs_`` outright."""
+    return math.isclose(a, b, rel_tol=rel, abs_tol=abs_)
+
+
+def fne(a: float, b: float, *, rel: float = REL_TOL, abs_: float = ABS_TOL) -> bool:
+    """Tolerantly unequal: the negation of :func:`feq`."""
+    return not math.isclose(a, b, rel_tol=rel, abs_tol=abs_)
+
+
+def is_zero(x: float, *, abs_: float = ABS_TOL) -> bool:
+    """True when ``x`` is within ``abs_`` of zero.
+
+    The idiom for degenerate-extent checks (``rect.extent(d) == 0.0``
+    before R2): extents are non-negative, so only the absolute floor
+    matters.
+    """
+    return abs(x) <= abs_
+
+
+def exact_zero(x: float) -> bool:
+    """True only for IEEE zero (``±0.0``) — a *topological* test, not a
+    numeric one.
+
+    Boundary-slice detection must use this, not :func:`is_zero`: clipping
+    a rectangle at a shared boundary yields an extent of exactly ``0.0``
+    (both bounds are the same float), while a record that is genuinely
+    tiny — even a denormal ``5e-324`` extent — has positive measure and
+    must not be mistaken for a boundary slice, or R+-style clipping drops
+    it.  This module is the one place sanctioned to spell ``== 0.0``.
+    """
+    return x == 0.0

@@ -21,6 +21,8 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator, Sequence
 
+from ..exceptions import GeometryError
+
 __all__ = [
     "Rect",
     "GeometryError",
@@ -30,10 +32,6 @@ __all__ = [
     "interval",
     "segment",
 ]
-
-
-class GeometryError(ValueError):
-    """Raised for malformed geometric arguments (e.g. inverted bounds)."""
 
 
 class Rect:
@@ -51,7 +49,7 @@ class Rect:
 
     __slots__ = ("lows", "highs")
 
-    def __init__(self, lows: Sequence[float], highs: Sequence[float]):
+    def __init__(self, lows: Sequence[float], highs: Sequence[float]) -> None:
         lows = tuple(float(v) for v in lows)
         highs = tuple(float(v) for v in highs)
         if len(lows) != len(highs):
@@ -254,19 +252,20 @@ def pieces_cover(target: Rect, pieces: Iterable[Rect]) -> bool:
     live_dims = [d for d in range(target.dims) if target.extent(d) > 0.0]
     if not live_dims:
         return any(p.contains(target) for p in pieces)
-    goal = 1.0
-    for d in live_dims:
-        goal *= target.extent(d)
+    # Accumulate each piece's *fraction* of the target's measure, one
+    # normalised ratio per dimension.  Multiplying absolute extents would
+    # underflow to 0.0 for tiny targets (two 1e-265 extents make a 1e-530
+    # volume), which silently declared everything covered.
     total = 0.0
     for piece in pieces:
         clipped = piece.intersection(target)
         if clipped is None:
             continue
-        volume = 1.0
+        fraction = 1.0
         for d in live_dims:
-            volume *= clipped.extent(d)
-        total += volume
-    return total >= goal * (1.0 - 1e-9)
+            fraction *= clipped.extent(d) / target.extent(d)
+        total += fraction
+    return total >= 1.0 - 1e-9
 
 
 def point(*coords: float) -> Rect:

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..exceptions import NotFoundError
+from .floatcmp import is_zero
 from .geometry import Rect
 from .node import Node
 from .rtree import RTree
@@ -84,7 +86,7 @@ class IndexMetrics:
         for lv in self.levels:
             if lv.level == level:
                 return lv
-        raise KeyError(f"no level {level} in this index")
+        raise NotFoundError(f"no level {level} in this index")
 
     def to_dict(self) -> dict:
         """JSON-ready whole-index summary (feeds the metrics registry)."""
@@ -173,9 +175,9 @@ def _aspect_ratio(rect: Rect) -> float:
         return 1.0
     w = rect.extent(0)
     h = rect.extent(1)
-    if w == 0.0 and h == 0.0:
+    if is_zero(w) and is_zero(h):
         return 1.0
-    if min(w, h) == 0.0:
+    if is_zero(min(w, h)):
         return ASPECT_RATIO_CAP
     return min(max(w, h) / min(w, h), ASPECT_RATIO_CAP)
 

@@ -15,6 +15,7 @@ from __future__ import annotations
 import itertools
 from typing import Iterator, Optional
 
+from ..exceptions import NotFoundError
 from .entry import BranchEntry, DataEntry
 from .geometry import Rect, union_all
 
@@ -58,7 +59,7 @@ class Node:
         level: int,
         parent: Optional["Node"] = None,
         assigned_region: Optional[Rect] = None,
-    ):
+    ) -> None:
         self.node_id: int = next(_node_ids)
         self.level = level
         self.data_entries: list[DataEntry] = []
@@ -95,7 +96,7 @@ class Node:
         for branch in self.branches:
             if branch.child is child:
                 return branch
-        raise KeyError(f"node {child.node_id} is not a child of node {self.node_id}")
+        raise NotFoundError(f"node {child.node_id} is not a child of node {self.node_id}")
 
     # ------------------------------------------------------------------
     # Geometry helpers

@@ -27,10 +27,11 @@ from __future__ import annotations
 
 from typing import Any, Iterator, Sequence
 
-from ..exceptions import IndexStructureError, WorkloadError
+from ..exceptions import ConfigError, IndexStructureError, WorkloadError
 from ..obs.tracer import NULL_TRACER, Tracer
 from .config import IndexConfig
 from .entry import BranchEntry, DataEntry
+from .floatcmp import exact_zero
 from .geometry import Rect
 from .node import Node
 from .stats import AccessStats, SearchStats
@@ -57,7 +58,7 @@ class RPlusTree:
         self,
         config: IndexConfig | None = None,
         domain: Sequence[tuple[float, float]] | None = None,
-    ):
+    ) -> None:
         self.config = config or IndexConfig()
         if domain is None:
             domain = [_DEFAULT_DOMAIN] * self.config.dims
@@ -91,7 +92,7 @@ class RPlusTree:
 
     def insert(self, rect: Rect, payload: Any = None) -> int:
         if rect.dims != self.config.dims:
-            raise ValueError(
+            raise ConfigError(
                 f"rect has {rect.dims} dimensions, index expects {self.config.dims}"
             )
         if not self.domain.contains(rect):
@@ -219,7 +220,7 @@ class RPlusTree:
         if portion is None:
             return None
         for d in range(rect.dims):
-            if rect.extent(d) > 0.0 and portion.extent(d) == 0.0:
+            if rect.extent(d) > 0.0 and exact_zero(portion.extent(d)):
                 return None
         return portion
 

@@ -19,7 +19,8 @@ from __future__ import annotations
 from dataclasses import replace
 
 from .config import IndexConfig
-from .entry import DataEntry
+from .entry import BranchEntry, DataEntry
+from .geometry import Rect
 from .node import Node
 from .rtree import RTree
 from .srtree import SRTree
@@ -45,7 +46,7 @@ class _RStarChooseMixin:
     #: candidates are scored by overlap on big nodes.
     _OVERLAP_CANDIDATES = 8
 
-    def _choose_branch(self, node: Node, rect):
+    def _choose_branch(self, node: Node, rect: Rect) -> BranchEntry:
         # For nodes whose children are leaves the R*-Tree minimises
         # *overlap* enlargement; higher up it keeps Guttman's area rule.
         if node.level != 1 or len(node.branches) == 1:
@@ -92,7 +93,7 @@ class RStarTree(_RStarChooseMixin, RTree):
     500
     """
 
-    def __init__(self, config: IndexConfig | None = None):
+    def __init__(self, config: IndexConfig | None = None) -> None:
         super().__init__(_rstar_config(config))
         self._reinserted_levels: set[int] = set()
 
@@ -144,5 +145,5 @@ class SRStarTree(_RStarChooseMixin, SRTree):
     :class:`SRTree`; ChooseSubtree and node splitting come from the R*.
     """
 
-    def __init__(self, config: IndexConfig | None = None):
+    def __init__(self, config: IndexConfig | None = None) -> None:
         super().__init__(_rstar_config(config))

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Iterator, Optional
 
-from ..exceptions import IndexStructureError
+from ..exceptions import ConfigError, IndexStructureError, NotFoundError
 from ..obs.tracer import NULL_TRACER, Tracer
 from .config import IndexConfig
 from .entry import BranchEntry, DataEntry
@@ -46,7 +46,7 @@ class RTree:
     #: Class-level flag: SR-Trees flip this to reserve spanning slots.
     segment_index: bool = False
 
-    def __init__(self, config: IndexConfig | None = None):
+    def __init__(self, config: IndexConfig | None = None) -> None:
         self.config = config or IndexConfig()
         self.root: Node = Node(level=0)
         self.stats = AccessStats()
@@ -172,7 +172,7 @@ class RTree:
         try:
             return self._fragment_counts[record_id]
         except KeyError:
-            raise KeyError(f"unknown record id {record_id}") from None
+            raise NotFoundError(f"unknown record id {record_id}") from None
 
     def _collect_fragments(self, rect: Rect) -> dict[int, tuple[Any, list[Rect]]]:
         """Fragments intersecting ``rect``, grouped by record (counted as
@@ -559,6 +559,11 @@ class RTree:
             self.root = self.root.branches[0].child
             self.root.parent = None
             self._height -= 1
+        if not self.root.is_leaf and not self.root.branches:
+            # Every subtree emptied out (the last records were spanning
+            # records on the root): collapse to a fresh empty leaf root.
+            self.root = Node(level=0)
+            self._height = 1
 
     # ------------------------------------------------------------------
     # Hooks and helpers
@@ -573,7 +578,7 @@ class RTree:
 
     def _check_rect(self, rect: Rect) -> None:
         if rect.dims != self.config.dims:
-            raise ValueError(
+            raise ConfigError(
                 f"rect has {rect.dims} dimensions, index expects {self.config.dims}"
             )
 

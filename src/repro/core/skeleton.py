@@ -183,7 +183,7 @@ class SkeletonMixin:
         histograms: Sequence[EquiDepthHistogram] | None = None,
         domain: Sequence[tuple[float, float]] | None = None,
         prediction_fraction: float | None = None,
-    ):
+    ) -> None:
         super().__init__(config)
         self.expected_tuples = expected_tuples
         self._inserts_since_coalesce = 0

@@ -9,6 +9,8 @@ branches (Section 3.1.2, Figure 4).
 
 from __future__ import annotations
 
+from ..exceptions import ConfigError
+from .floatcmp import fne
 from .geometry import Rect
 
 __all__ = ["split_rects", "quadratic_split", "linear_split", "rstar_split"]
@@ -26,7 +28,7 @@ def split_rects(rects: list[Rect], min_entries: int, algorithm: str) -> tuple[li
         Two disjoint index lists covering ``range(len(rects))``.
     """
     if len(rects) < 2:
-        raise ValueError("cannot split fewer than two entries")
+        raise ConfigError("cannot split fewer than two entries")
     min_entries = min(min_entries, len(rects) // 2)
     if algorithm == "linear":
         return linear_split(rects, min_entries)
@@ -85,7 +87,7 @@ def quadratic_split(rects: list[Rect], min_entries: int) -> tuple[list[int], lis
             choose_a = True
         elif enl_b < enl_a:
             choose_a = False
-        elif cover_a.area != cover_b.area:
+        elif fne(cover_a.area, cover_b.area):
             choose_a = cover_a.area < cover_b.area
         else:
             choose_a = len(group_a) <= len(group_b)

@@ -25,6 +25,8 @@ double per level (Section 2.1.2) so the reservation does not destroy fanout.
 from __future__ import annotations
 
 from .entry import BranchEntry, DataEntry
+from .floatcmp import exact_zero
+from .geometry import Rect
 from .node import Node
 from .rtree import RTree
 
@@ -54,7 +56,7 @@ class SRTree(RTree):
     # ------------------------------------------------------------------
     # Spanning placement (insertion descent hook)
     # ------------------------------------------------------------------
-    def _node_region(self, node: Node):
+    def _node_region(self, node: Node) -> Rect | None:
         """The region covered by ``node``: its branch rectangle in the
         parent, or None for the root (which has no enclosing region)."""
         if node.parent is None:
@@ -76,7 +78,7 @@ class SRTree(RTree):
             # slice duplicating a remnant's edge.  Skip spanning placement
             # and let the record descend whole.
             for d in range(portion.dims):
-                if portion.extent(d) == 0.0 and entry.rect.extent(d) > 0.0:
+                if exact_zero(portion.extent(d)) and entry.rect.extent(d) > 0.0:
                     return False
 
         target: BranchEntry | None = None

@@ -10,6 +10,7 @@ from __future__ import annotations
 from collections import defaultdict
 
 from ..exceptions import IndexStructureError
+from .floatcmp import exact_zero
 from .geometry import Rect
 from .node import Node
 from .rtree import RTree
@@ -84,7 +85,7 @@ def _fragments_overlap(a: Rect, b: Rect) -> bool:
     if inter is None:
         return False
     for d in range(inter.dims):
-        if inter.extent(d) == 0.0 and (a.extent(d) > 0.0 or b.extent(d) > 0.0):
+        if exact_zero(inter.extent(d)) and (a.extent(d) > 0.0 or b.extent(d) > 0.0):
             return False  # they only touch on a boundary face
     return True
 

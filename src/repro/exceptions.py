@@ -1,7 +1,20 @@
-"""Exception hierarchy for the repro package."""
+"""Exception hierarchy for the repro package.
+
+Library code under ``src/repro`` only raises exceptions from this
+hierarchy (enforced statically by lint rule R3).  Classes that replaced
+historical builtin raises inherit from *both* :class:`ReproError` and the
+builtin they replaced (``ValueError``/``KeyError``), so callers that
+caught the builtin keep working while ``except ReproError`` now catches
+everything the library signals.
+"""
 
 __all__ = [
     "ReproError",
+    "ConfigError",
+    "GeometryError",
+    "NotFoundError",
+    "InputFormatError",
+    "TraceSchemaError",
     "IndexStructureError",
     "CapacityError",
     "StorageError",
@@ -14,6 +27,37 @@ __all__ = [
 
 class ReproError(Exception):
     """Base class for all repro-specific errors."""
+
+
+class ConfigError(ReproError, ValueError):
+    """A parameter or configuration value is invalid.
+
+    Also a ``ValueError`` for backward compatibility with callers that
+    predate the unified hierarchy.
+    """
+
+
+class GeometryError(ConfigError):
+    """Raised for malformed geometric arguments (e.g. inverted bounds)."""
+
+
+class NotFoundError(ReproError, KeyError):
+    """A lookup by id (record, child, level) found nothing.
+
+    Also a ``KeyError`` for backward compatibility.
+    """
+
+    def __str__(self) -> str:
+        # KeyError.__str__ reprs its argument; keep plain messages.
+        return Exception.__str__(self)
+
+
+class InputFormatError(ReproError, ValueError):
+    """External input (CSV rows, report documents) failed validation."""
+
+
+class TraceSchemaError(ConfigError):
+    """A trace emission violated the declared event schema (obs.events)."""
 
 
 class IndexStructureError(ReproError):

@@ -13,7 +13,7 @@ from typing import Sequence
 
 import numpy as np
 
-from ..exceptions import WorkloadError
+from ..exceptions import ConfigError, WorkloadError
 
 __all__ = ["EquiDepthHistogram", "uniform_histogram"]
 
@@ -32,7 +32,7 @@ class EquiDepthHistogram:
     [0.0, 4.5, 10.0]
     """
 
-    def __init__(self, values: Sequence[float], domain: tuple[float, float]):
+    def __init__(self, values: Sequence[float], domain: tuple[float, float]) -> None:
         low, high = float(domain[0]), float(domain[1])
         if low >= high:
             raise WorkloadError(f"empty domain [{low}, {high}]")
@@ -49,7 +49,7 @@ class EquiDepthHistogram:
     def quantile(self, q: float) -> float:
         """Value at cumulative fraction ``q`` in [0, 1]."""
         if not 0.0 <= q <= 1.0:
-            raise ValueError(f"quantile fraction {q} outside [0, 1]")
+            raise ConfigError(f"quantile fraction {q} outside [0, 1]")
         return float(np.quantile(self._sorted, q))
 
     def boundaries(self, partitions: int) -> list[float]:
@@ -62,7 +62,7 @@ class EquiDepthHistogram:
         non-degenerate cells.
         """
         if partitions < 1:
-            raise ValueError("need at least one partition")
+            raise ConfigError("need at least one partition")
         low, high = self.domain
         qs = np.linspace(0.0, 1.0, partitions + 1)
         cuts = np.quantile(self._sorted, qs).astype(float)

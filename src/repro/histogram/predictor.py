@@ -11,8 +11,8 @@ from __future__ import annotations
 
 from typing import Any
 
-from ..exceptions import WorkloadError
 from ..core.geometry import Rect
+from ..exceptions import WorkloadError
 from .equidepth import EquiDepthHistogram
 
 __all__ = ["DistributionPredictor"]
@@ -37,7 +37,7 @@ class DistributionPredictor:
         expected_tuples: int,
         fraction: float,
         domain: list[tuple[float, float]],
-    ):
+    ) -> None:
         if expected_tuples < 1:
             raise WorkloadError("expected_tuples must be positive")
         if not 0.0 < fraction <= 1.0:

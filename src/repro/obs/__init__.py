@@ -18,6 +18,16 @@ capture a single query's root-to-leaf path with
 """
 
 from .capture import QueryTrace, trace_search
+from .events import (
+    EVENT_SCHEMA,
+    EVENT_NAMES,
+    SPAN_OPS,
+    SPAN_SCHEMA,
+    EventSpec,
+    SpanSpec,
+    check_event_fields,
+    check_span_fields,
+)
 from .registry import (
     BYTES_READ_BUCKETS,
     NODES_PER_SEARCH_BUCKETS,
@@ -40,6 +50,14 @@ from .sinks import JsonlSink, NullSink, RingBufferSink, TeeSink, read_jsonl
 from .tracer import EVENT_TYPES, NULL_TRACER, NullTracer, TraceEvent, Tracer
 
 __all__ = [
+    "EVENT_SCHEMA",
+    "EVENT_NAMES",
+    "SPAN_SCHEMA",
+    "SPAN_OPS",
+    "EventSpec",
+    "SpanSpec",
+    "check_event_fields",
+    "check_span_fields",
     "EVENT_TYPES",
     "NULL_TRACER",
     "NullTracer",

@@ -15,7 +15,13 @@ interest (nodes accessed per search, bytes read).
 from __future__ import annotations
 
 import json
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
+
+from ..exceptions import ConfigError
+
+if TYPE_CHECKING:
+    from ..core.rtree import RTree
+    from ..storage.pager import StorageManager
 
 __all__ = [
     "Counter",
@@ -44,13 +50,13 @@ class Counter:
 
     __slots__ = ("name", "value")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str) -> None:
         self.name = name
         self.value = 0
 
     def inc(self, n: int = 1) -> None:
         if n < 0:
-            raise ValueError("counters only go up; use a gauge")
+            raise ConfigError("counters only go up; use a gauge")
         self.value += n
 
 
@@ -59,7 +65,7 @@ class Gauge:
 
     __slots__ = ("name", "_value", "_fn")
 
-    def __init__(self, name: str, fn: Callable[[], float] | None = None):
+    def __init__(self, name: str, fn: Callable[[], float] | None = None) -> None:
         self.name = name
         self._value: float = 0.0
         self._fn = fn
@@ -91,12 +97,12 @@ class Histogram:
 
     __slots__ = ("name", "buckets", "counts", "count", "total", "_min", "_max")
 
-    def __init__(self, name: str, buckets: Sequence[float]):
+    def __init__(self, name: str, buckets: Sequence[float]) -> None:
         if not buckets:
-            raise ValueError("histogram needs at least one bucket bound")
+            raise ConfigError("histogram needs at least one bucket bound")
         bounds = tuple(float(b) for b in buckets)
         if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
-            raise ValueError(f"bucket bounds must be strictly increasing: {bounds}")
+            raise ConfigError(f"bucket bounds must be strictly increasing: {bounds}")
         self.name = name
         self.buckets = bounds
         self.counts = [0] * (len(bounds) + 1)  # +1 overflow bin
@@ -143,7 +149,7 @@ class MetricsRegistry:
     time, so a registry can be built once and sampled repeatedly.
     """
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
@@ -192,7 +198,9 @@ class MetricsRegistry:
         return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
 
 
-def index_registry(tree, storage=None, structure: bool = False) -> MetricsRegistry:
+def index_registry(
+    tree: RTree, storage: StorageManager | None = None, structure: bool = False
+) -> MetricsRegistry:
     """A registry covering one index (and optionally its storage stack).
 
     Registers the tree's access stats, basic shape gauges, the storage

@@ -27,6 +27,8 @@ import re
 from numbers import Number
 from pathlib import Path
 
+from ..exceptions import InputFormatError
+
 __all__ = [
     "SCHEMA",
     "build_report",
@@ -94,7 +96,7 @@ def validate_report(doc: object) -> None:
     """Raise ``ValueError`` listing every schema problem found."""
     problems: list[str] = []
     if not isinstance(doc, dict):
-        raise ValueError(f"report must be a JSON object, got {type(doc).__name__}")
+        raise InputFormatError(f"report must be a JSON object, got {type(doc).__name__}")
     for key in _REQUIRED:
         if key not in doc:
             problems.append(f"missing required key {key!r}")
@@ -129,10 +131,10 @@ def validate_report(doc: object) -> None:
                     f"count says {hist['count']}"
                 )
     if problems:
-        raise ValueError("invalid bench report: " + "; ".join(problems))
+        raise InputFormatError("invalid bench report: " + "; ".join(problems))
 
 
-def _flatten(prefix: str, value, out: list[tuple[str, object]]) -> None:
+def _flatten(prefix: str, value: object, out: list[tuple[str, object]]) -> None:
     if isinstance(value, dict):
         for key, sub in value.items():
             _flatten(f"{prefix}.{key}" if prefix else str(key), sub, out)

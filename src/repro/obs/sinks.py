@@ -18,12 +18,20 @@ from __future__ import annotations
 import json
 from collections import deque
 from pathlib import Path
-from typing import IO, TYPE_CHECKING, Iterable
+from typing import IO, TYPE_CHECKING, Iterable, Iterator, Protocol
 
 if TYPE_CHECKING:  # pragma: no cover
     from .tracer import TraceEvent
 
-__all__ = ["NullSink", "RingBufferSink", "JsonlSink", "TeeSink"]
+__all__ = ["Sink", "NullSink", "RingBufferSink", "JsonlSink", "TeeSink"]
+
+
+class Sink(Protocol):
+    """What a tracer needs from a sink: ``write`` one event, ``close``."""
+
+    def write(self, event: "TraceEvent") -> None: ...
+
+    def close(self) -> None: ...
 
 
 class NullSink:
@@ -39,8 +47,8 @@ class NullSink:
 class RingBufferSink:
     """Keeps the most recent ``capacity`` events in memory."""
 
-    def __init__(self, capacity: int = 65536):
-        self._buffer: deque = deque(maxlen=capacity)
+    def __init__(self, capacity: int = 65536) -> None:
+        self._buffer: deque["TraceEvent"] = deque(maxlen=capacity)
 
     def write(self, event: "TraceEvent") -> None:
         self._buffer.append(event)
@@ -51,11 +59,11 @@ class RingBufferSink:
     def __len__(self) -> int:
         return len(self._buffer)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator["TraceEvent"]:
         return iter(self._buffer)
 
     @property
-    def events(self) -> list:
+    def events(self) -> list["TraceEvent"]:
         """The buffered events, oldest first."""
         return list(self._buffer)
 
@@ -71,7 +79,7 @@ class JsonlSink:
     manager.
     """
 
-    def __init__(self, target: str | Path | IO[str]):
+    def __init__(self, target: str | Path | IO[str]) -> None:
         if isinstance(target, (str, Path)):
             self.path: Path | None = Path(target)
             self._fh: IO[str] = self.path.open("w")
@@ -96,15 +104,15 @@ class JsonlSink:
     def __enter__(self) -> "JsonlSink":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()
 
 
 class TeeSink:
     """Duplicates every event to each of the given sinks."""
 
-    def __init__(self, *sinks):
-        self.sinks = tuple(sinks)
+    def __init__(self, *sinks: Sink) -> None:
+        self.sinks: tuple[Sink, ...] = tuple(sinks)
 
     def write(self, event: "TraceEvent") -> None:
         for sink in self.sinks:

@@ -7,6 +7,10 @@ manager is attached, to the buffer pool).  Events carry the node id,
 level and page size where applicable, and are tagged with the operation
 span they happened inside, so a JSONL trace can be sliced per query.
 
+Event names (and, in strict mode, their field sets) are validated against
+the central schema in :mod:`repro.obs.events` — the same declarations the
+``repro lint`` R1 rule enforces statically at every call site.
+
 The default tracer on every index is :data:`NULL_TRACER`, whose
 ``enabled`` flag is ``False``; hot paths guard their instrumentation on
 that single attribute, so tracing costs one attribute check per node
@@ -18,35 +22,20 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
-from .sinks import RingBufferSink
+from ..exceptions import ConfigError, TraceSchemaError
+from .events import (
+    EVENT_NAMES,
+    require_valid_event,
+    require_valid_span,
+)
+from .sinks import RingBufferSink, Sink
 
 __all__ = ["EVENT_TYPES", "TraceEvent", "Tracer", "NullTracer", "NULL_TRACER"]
 
-#: The typed event vocabulary.  ``span_begin``/``span_end`` delimit
-#: operations (insert/search/delete); the rest are point events emitted
-#: inside them.
-EVENT_TYPES = frozenset(
-    {
-        "span_begin",
-        "span_end",
-        "node_access",
-        "spanning_hit",
-        "spanning_place",
-        "split",
-        "cut",
-        "demote",
-        "promote",
-        "coalesce",
-        "reinsert",
-        "page_fetch",
-        "eviction",
-        # Durability / fault-tolerance events (storage layer):
-        "fault_injected",   # FaultInjectingDisk fired a fault
-        "disk_retry",       # StorageManager retrying a transient error
-        "page_corruption",  # a page failed its CRC/magic check on read
-        "meta_recovery",    # FileDisk recovered from a fallback generation
-    }
-)
+#: The full record-type vocabulary: every declared point event plus the
+#: two structural record types the tracer emits to delimit operations.
+#: Point-event declarations live in :data:`repro.obs.events.EVENT_SCHEMA`.
+EVENT_TYPES: frozenset[str] = EVENT_NAMES | {"span_begin", "span_end"}
 
 
 @dataclass(frozen=True)
@@ -62,9 +51,9 @@ class TraceEvent:
     etype: str
     span: int
     op: str
-    fields: dict = field(default_factory=dict)
+    fields: dict[str, Any] = field(default_factory=dict)
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         doc: dict[str, Any] = {
             "seq": self.seq,
             "type": self.etype,
@@ -84,19 +73,19 @@ class _SpanHandle:
 
     __slots__ = ("_tracer", "span_id", "op", "end_fields")
 
-    def __init__(self, tracer: "Tracer", span_id: int, op: str):
+    def __init__(self, tracer: "Tracer", span_id: int, op: str) -> None:
         self._tracer = tracer
         self.span_id = span_id
         self.op = op
-        self.end_fields: dict = {}
+        self.end_fields: dict[str, Any] = {}
 
-    def set(self, **fields) -> None:
+    def set(self, **fields: Any) -> None:
         self.end_fields.update(fields)
 
     def __enter__(self) -> "_SpanHandle":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self._tracer._end_span(self)
 
 
@@ -105,13 +94,13 @@ class _NullSpan:
 
     __slots__ = ()
 
-    def set(self, **fields) -> None:
+    def set(self, **fields: Any) -> None:
         pass
 
     def __enter__(self) -> "_NullSpan":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         pass
 
 
@@ -120,6 +109,11 @@ _NULL_SPAN = _NullSpan()
 
 class Tracer:
     """Emits :class:`TraceEvent` records to a sink.
+
+    A ``strict`` tracer additionally validates every emission's *fields*
+    against the declared schema (:mod:`repro.obs.events`) and raises
+    :class:`~repro.exceptions.TraceSchemaError` on drift; the default
+    tracer only rejects unknown event names, keeping hot paths cheap.
 
     >>> tracer = Tracer()
     >>> with tracer.span("search") as sp:
@@ -131,23 +125,28 @@ class Tracer:
 
     enabled = True
 
-    def __init__(self, sink=None):
-        self.sink = sink if sink is not None else RingBufferSink()
+    def __init__(self, sink: Sink | None = None, *, strict: bool = False) -> None:
+        self.sink: Sink = sink if sink is not None else RingBufferSink()
+        self.strict = strict
         self._seq = 0
         self._next_span = 1
         self._stack: list[_SpanHandle] = []
 
     # -- emission ------------------------------------------------------
-    def event(self, etype: str, **fields) -> None:
+    def event(self, etype: str, **fields: Any) -> None:
         """Emit one point event inside the current span (if any)."""
-        if etype not in EVENT_TYPES:
-            raise ValueError(
-                f"unknown trace event type {etype!r}; known: {sorted(EVENT_TYPES)}"
+        if self.strict:
+            require_valid_event(etype, fields)
+        elif etype not in EVENT_NAMES:
+            raise TraceSchemaError(
+                f"unknown trace event type {etype!r}; known: {sorted(EVENT_NAMES)}"
             )
         self._emit(etype, fields)
 
-    def span(self, op: str, **fields) -> _SpanHandle:
+    def span(self, op: str, **fields: Any) -> _SpanHandle:
         """Open an operation span; use as a context manager."""
+        if self.strict:
+            require_valid_span(op, fields)
         handle = _SpanHandle(self, self._next_span, op)
         self._next_span += 1
         self._stack.append(handle)
@@ -162,10 +161,18 @@ class Tracer:
                 self._stack.remove(handle)
             except ValueError:
                 pass
+        if self.strict:
+            require_valid_span(handle.op, handle.end_fields, closing=True)
         self._emit("span_end", handle.end_fields, span=handle.span_id, op=handle.op)
 
-    def _emit(self, etype: str, fields: dict, span=None, op=None) -> None:
-        if span is None:
+    def _emit(
+        self,
+        etype: str,
+        fields: dict[str, Any],
+        span: int | None = None,
+        op: str | None = None,
+    ) -> None:
+        if span is None or op is None:
             if self._stack:
                 top = self._stack[-1]
                 span, op = top.span_id, top.op
@@ -176,12 +183,14 @@ class Tracer:
 
     # -- convenience ---------------------------------------------------
     @property
-    def events(self) -> list:
+    def events(self) -> list[TraceEvent]:
         """Buffered events when the sink is a :class:`RingBufferSink`."""
         events = getattr(self.sink, "events", None)
         if events is None:
-            raise TypeError(f"sink {type(self.sink).__name__} does not buffer events")
-        return events
+            raise ConfigError(
+                f"sink {type(self.sink).__name__} does not buffer events"
+            )
+        return list(events)
 
     def close(self) -> None:
         self.sink.close()
@@ -196,13 +205,13 @@ class NullTracer(Tracer):
 
     enabled = False
 
-    def __init__(self):
+    def __init__(self) -> None:
         pass
 
-    def event(self, etype: str, **fields) -> None:
+    def event(self, etype: str, **fields: Any) -> None:
         pass
 
-    def span(self, op: str, **fields) -> _NullSpan:  # type: ignore[override]
+    def span(self, op: str, **fields: Any) -> _NullSpan:  # type: ignore[override]
         return _NULL_SPAN
 
     def close(self) -> None:

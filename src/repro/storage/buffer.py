@@ -63,7 +63,7 @@ class BufferPool:
         disk: SimulatedDisk,
         capacity_bytes: int,
         tracer: Tracer | None = None,
-    ):
+    ) -> None:
         if capacity_bytes <= 0:
             raise StorageError("buffer pool capacity must be positive")
         self.disk = disk

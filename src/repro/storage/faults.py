@@ -46,8 +46,9 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
+from typing import Any
 
-from ..exceptions import SimulatedCrashError, TransientDiskError
+from ..exceptions import ConfigError, SimulatedCrashError, TransientDiskError
 from ..obs.tracer import NULL_TRACER, Tracer
 from .page import PageId
 
@@ -78,13 +79,13 @@ class Fault:
 
     def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
-            raise ValueError(f"unknown fault kind {self.kind!r}; known: {FAULT_KINDS}")
+            raise ConfigError(f"unknown fault kind {self.kind!r}; known: {FAULT_KINDS}")
         if self.op not in FAULT_OPS:
-            raise ValueError(f"unknown fault op {self.op!r}; known: {FAULT_OPS}")
+            raise ConfigError(f"unknown fault op {self.op!r}; known: {FAULT_OPS}")
         if self.at is not None and self.at < 1:
-            raise ValueError("fault trigger count `at` is 1-based")
+            raise ConfigError("fault trigger count `at` is 1-based")
         if not 0.0 <= self.probability <= 1.0:
-            raise ValueError("fault probability must be in [0, 1]")
+            raise ConfigError("fault probability must be in [0, 1]")
 
 
 @dataclass
@@ -114,12 +115,12 @@ class FaultInjectingDisk:
 
     def __init__(
         self,
-        inner,
+        inner: Any,
         faults: list[Fault] | tuple[Fault, ...] = (),
         *,
         seed: int = 0,
         tracer: Tracer | None = None,
-    ):
+    ) -> None:
         self.inner = inner
         self.faults = list(faults)
         self.seed = seed
@@ -133,7 +134,7 @@ class FaultInjectingDisk:
     # ------------------------------------------------------------------
     # Fault machinery
     # ------------------------------------------------------------------
-    def _select(self, op: str, page_id: PageId | None):
+    def _select(self, op: str, page_id: PageId | None) -> Fault | None:
         """Count the operation and return the first triggered fault."""
         if self.crashed:
             raise SimulatedCrashError("disk crashed earlier in this run")
@@ -191,7 +192,7 @@ class FaultInjectingDisk:
     # Disk interface
     # ------------------------------------------------------------------
     @property
-    def stats(self):
+    def stats(self) -> Any:
         return self.inner.stats
 
     def allocate(self, page_id: PageId, size: int) -> None:
@@ -267,7 +268,7 @@ class FaultInjectingDisk:
     def allocated_bytes(self) -> int:
         return self.inner.allocated_bytes
 
-    def close(self, *args, **kwargs) -> None:
+    def close(self, *args: Any, **kwargs: Any) -> None:
         if self.crashed:
             return  # already aborted by the crash
         close = getattr(self.inner, "close", None)
@@ -277,7 +278,7 @@ class FaultInjectingDisk:
     def __enter__(self) -> "FaultInjectingDisk":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
         if self.crashed:
             return  # the crash already aborted the wrapped disk
         inner_exit = getattr(self.inner, "__exit__", None)
@@ -286,7 +287,7 @@ class FaultInjectingDisk:
         else:
             self.close()
 
-    def __getattr__(self, name: str):
+    def __getattr__(self, name: str) -> Any:
         # Interface transparency for anything not intercepted above
         # (checkpoint_info, generation, path, abort...).
         return getattr(self.inner, name)

@@ -45,6 +45,7 @@ import json
 import os
 import zlib
 from pathlib import Path
+from typing import Any
 
 from ..exceptions import StorageError
 from ..obs.tracer import NULL_TRACER, Tracer
@@ -73,7 +74,7 @@ class FileDisk:
             damaged sidecar emits a ``meta_recovery`` event.
     """
 
-    def __init__(self, path: str | os.PathLike, tracer: Tracer | None = None):
+    def __init__(self, path: str | os.PathLike, tracer: Tracer | None = None) -> None:
         self.path = Path(path)
         self.meta_path = Path(str(path) + ".meta")
         self.prev_meta_path = Path(str(path) + ".meta.prev")
@@ -272,7 +273,7 @@ class FileDisk:
     # ------------------------------------------------------------------
     # Durability
     # ------------------------------------------------------------------
-    def set_checkpoint_info(self, **info) -> None:
+    def set_checkpoint_info(self, **info: Any) -> None:
         """Attach checkpoint metadata (root page, index config...) to be
         committed with the next :meth:`sync`; ``repro fsck`` and
         :func:`~repro.storage.pager.load_tree_from_disk` consume it."""
@@ -381,7 +382,7 @@ class FileDisk:
     def __enter__(self) -> "FileDisk":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
         # With an exception in flight, never sync: a failed sync would mask
         # the original error, and the in-memory state may be inconsistent.
         self.close(sync=False if exc_type is not None else None)

@@ -32,6 +32,7 @@ from ..core.node import Node
 from ..core.rtree import RTree
 from ..core.srtree import SRTree
 from ..exceptions import PageCorruptionError, StorageError, TransientDiskError
+from ..obs.tracer import Tracer
 from .buffer import BufferPool
 from .disk import SimulatedDisk
 from .serializer import NodeImage, deserialize_node, serialize_node
@@ -64,7 +65,9 @@ class _PageReader:
     (:func:`load_tree_from_disk`, ``repro fsck``).
     """
 
-    def __init__(self, pool: BufferPool, retry: RetryPolicy, tracer=None):
+    def __init__(
+        self, pool: BufferPool, retry: RetryPolicy, tracer: Tracer | None = None
+    ) -> None:
         self.pool = pool
         self.retry = retry
         self.tracer = tracer
@@ -104,7 +107,11 @@ class _PageReader:
             raise
 
 
-def _build_node(image: NodeImage, read_image, payloads: dict) -> Node:
+def _build_node(
+    image: NodeImage,
+    read_image: Callable[[int], NodeImage],
+    payloads: dict[int, Any],
+) -> Node:
     """Recursively rebuild a node (and its subtree) from page images."""
     node = Node(level=image.level)
     if image.level == 0:
@@ -149,15 +156,15 @@ def _finish_tree(tree: RTree, root: Node) -> RTree:
 
 
 def load_tree_from_disk(
-    disk,
+    disk: Any,
     root_page: int | None = None,
     config: IndexConfig | None = None,
     *,
     index_cls: Type[RTree] | None = None,
-    payloads: dict | None = None,
+    payloads: dict[int, Any] | None = None,
     buffer_bytes: int = 256 * 1024,
     retry_policy: RetryPolicy | None = None,
-    tracer=None,
+    tracer: Tracer | None = None,
 ) -> RTree:
     """Rebuild an index straight from a disk, without a live manager.
 
@@ -212,10 +219,10 @@ class StorageManager:
         self,
         tree: RTree,
         buffer_bytes: int = 64 * 1024,
-        disk=None,
-        tracer=None,
+        disk: Any = None,
+        tracer: Tracer | None = None,
         retry_policy: RetryPolicy | None = None,
-    ):
+    ) -> None:
         self.tree = tree
         #: Any page store with the SimulatedDisk interface works; pass a
         #: repro.storage.FileDisk for real on-disk persistence, or wrap
@@ -289,8 +296,14 @@ class StorageManager:
         tuple identifiers in the index and the tuples in a heap file).
         """
         generation = self.generation + 1
+        with self.pool.tracer.span("checkpoint") as span:
+            root_page = self._checkpoint(generation)
+            span.set(pages=len(self._page_of), generation=generation)
+        return root_page
+
+    def _checkpoint(self, generation: int) -> int:
         self._payloads = {}
-        page_of = {}
+        page_of: dict[int, int] = {}
         for node in self.tree.iter_nodes():
             page_of[node.node_id] = self._ensure_page(node)
         for node in self.tree.iter_nodes():
@@ -310,7 +323,8 @@ class StorageManager:
                 for _, r in node.iter_spanning():
                     self._payloads.setdefault(r.record_id, r.payload)
         self._retrying("flush buffer pool", self.pool.flush)
-        self.root_page = page_of[self.tree.root.node_id]
+        root_page = page_of[self.tree.root.node_id]
+        self.root_page = root_page
         if hasattr(self.disk, "set_checkpoint_info"):
             self.disk.set_checkpoint_info(
                 root_page=self.root_page,
@@ -322,7 +336,7 @@ class StorageManager:
         if sync is not None:
             self._retrying("sync", sync)
         self.generation = generation
-        return self.root_page
+        return root_page
 
     def load_tree(self, index_cls: Type[RTree] | None = None) -> RTree:
         """Rebuild an index object from the last checkpoint.
@@ -350,7 +364,7 @@ class StorageManager:
         """Stop instrumenting the index (keeps disk contents)."""
         self.tree._storage_hook = None
 
-    def set_tracer(self, tracer) -> None:
+    def set_tracer(self, tracer: Tracer) -> None:
         """Point the index and the buffer pool at one tracer."""
         self.tree.tracer = tracer
         self.pool.tracer = tracer

@@ -1,0 +1,302 @@
+"""Fixture tests for the repo's AST lint engine (``repro.analysis``).
+
+Each rule gets at least one positive fixture (the rule fires) and one
+negative fixture (the rule stays silent), per the PR's acceptance
+criteria.  Fixtures are linted in memory via :func:`lint_source` with a
+fake package-shaped path (``src/repro/core/x.py``), which is how the
+engine scopes path-restricted rules.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis import lint_source, rule_ids
+from repro.cli import main
+from repro.exceptions import ConfigError, InputFormatError
+
+CORE = "src/repro/core/fixture.py"
+STORAGE = "src/repro/storage/fixture.py"
+OBS = "src/repro/obs/fixture.py"
+
+
+def rules_fired(source, path=CORE, select=None):
+    return [d.rule for d in lint_source(source, path=path, select=select)]
+
+
+# ----------------------------------------------------------------------
+# R1: trace-event schema conformance
+# ----------------------------------------------------------------------
+def test_r1_fires_on_unknown_event_name():
+    src = "self.tracer.event('node_acess', node_id=1, level=0)\n"
+    assert rules_fired(src, select=["R1"]) == ["R1"]
+
+
+def test_r1_fires_on_undeclared_field():
+    src = "self.tracer.event('node_access', node_id=1, level=0, colour='red')\n"
+    assert rules_fired(src, select=["R1"]) == ["R1"]
+
+
+def test_r1_fires_on_missing_required_field():
+    src = "tracer.event('node_access', node_id=1)\n"  # level missing
+    assert rules_fired(src, select=["R1"]) == ["R1"]
+
+
+def test_r1_fires_on_non_literal_event_name():
+    src = "name = 'node_access'\nself.tracer.event(name, node_id=1, level=0)\n"
+    assert rules_fired(src, select=["R1"]) == ["R1"]
+
+
+def test_r1_fires_on_kwargs_splat():
+    src = "self.tracer.event('node_access', **fields)\n"
+    assert rules_fired(src, select=["R1"]) == ["R1"]
+
+
+def test_r1_fires_on_unknown_span_op():
+    src = "with self.tracer.span('serach') as sp:\n    pass\n"
+    assert rules_fired(src, select=["R1"]) == ["R1"]
+
+
+def test_r1_silent_on_declared_event_and_span():
+    src = (
+        "with self.tracer.span('search', mode='fragments') as sp:\n"
+        "    self.tracer.event('node_access', node_id=1, level=0)\n"
+        "    self.tracer.event('cut', record_id=2, node_id=1, level=0, remnants=2)\n"
+    )
+    assert rules_fired(src, select=["R1"]) == []
+
+
+def test_r1_silent_on_non_tracer_receiver():
+    src = "self.bus.event('totally-made-up', anything='goes')\n"
+    assert rules_fired(src, select=["R1"]) == []
+
+
+# ----------------------------------------------------------------------
+# R2: no exact float equality in core/, histogram/, bench/
+# ----------------------------------------------------------------------
+def test_r2_fires_on_float_literal_compare():
+    src = "def f(x):\n    return x == 0.0\n"
+    assert rules_fired(src, select=["R2"]) == ["R2"]
+
+
+def test_r2_fires_on_float_annotated_name():
+    src = "def f(area: float, other: float):\n    return area != other\n"
+    assert rules_fired(src, select=["R2"]) == ["R2"]
+
+
+def test_r2_fires_on_known_float_accessor():
+    src = "def f(a, b):\n    if a.area == b.area:\n        return 1\n"
+    assert rules_fired(src, select=["R2"]) == ["R2"]
+
+
+def test_r2_fires_on_true_division_result():
+    src = "def f(a, b):\n    return (a / b) == 1\n"
+    assert rules_fired(src, select=["R2"]) == ["R2"]
+
+
+def test_r2_silent_on_int_compare():
+    src = "def f(n: int):\n    return n == 0\n"
+    assert rules_fired(src, select=["R2"]) == []
+
+
+def test_r2_silent_outside_scoped_dirs():
+    src = "def f(x: float):\n    return x == 0.0\n"
+    assert rules_fired(src, path="src/repro/workloads/fixture.py", select=["R2"]) == []
+
+
+def test_r2_silent_in_floatcmp_module():
+    src = "def feq(a: float, b: float):\n    return a == b\n"
+    assert rules_fired(src, path="src/repro/core/floatcmp.py", select=["R2"]) == []
+
+
+def test_r2_suppression_comment():
+    src = "def f(x: float):\n    return x == 0.0  # lint: ignore[R2]\n"
+    assert rules_fired(src, select=["R2"]) == []
+
+
+def test_star_suppression_comment():
+    src = "def f(x: float):\n    return x == 0.0  # lint: ignore[*]\n"
+    assert rules_fired(src, select=["R2"]) == []
+
+
+# ----------------------------------------------------------------------
+# R3: exception hygiene
+# ----------------------------------------------------------------------
+def test_r3_fires_on_bare_valueerror():
+    src = "def f():\n    raise ValueError('nope')\n"
+    assert rules_fired(src, select=["R3"]) == ["R3"]
+
+
+def test_r3_fires_on_swallowed_exception_in_storage():
+    src = (
+        "def f():\n"
+        "    try:\n"
+        "        g()\n"
+        "    except Exception:\n"
+        "        pass\n"
+    )
+    assert rules_fired(src, path=STORAGE, select=["R3"]) == ["R3"]
+
+
+def test_r3_silent_on_repro_hierarchy():
+    src = "from repro.exceptions import ConfigError\ndef f():\n    raise ConfigError('x')\n"
+    assert rules_fired(src, select=["R3"]) == []
+
+
+def test_r3_silent_on_reraise_in_storage():
+    src = (
+        "def f():\n"
+        "    try:\n"
+        "        g()\n"
+        "    except Exception:\n"
+        "        cleanup()\n"
+        "        raise\n"
+    )
+    assert rules_fired(src, path=STORAGE, select=["R3"]) == []
+
+
+def test_r3_silent_on_local_reproerror_subclass():
+    src = (
+        "from repro.exceptions import ReproError\n"
+        "class LocalError(ReproError):\n"
+        "    pass\n"
+        "def f():\n"
+        "    raise LocalError('x')\n"
+    )
+    assert rules_fired(src, select=["R3"]) == []
+
+
+def test_r3_silent_on_notimplementederror():
+    src = "def f():\n    raise NotImplementedError\n"
+    assert rules_fired(src, select=["R3"]) == []
+
+
+def test_r3_systemexit_only_in_cli():
+    src = "def f():\n    raise SystemExit(2)\n"
+    assert rules_fired(src, path="src/repro/cli.py", select=["R3"]) == []
+    assert rules_fired(src, path=CORE, select=["R3"]) == ["R3"]
+
+
+def test_r3_attributeerror_only_in_setattr():
+    src = "class C:\n    def __setattr__(self, name, value):\n        raise AttributeError(name)\n"
+    assert rules_fired(src, select=["R3"]) == []
+    src = "def f():\n    raise AttributeError('x')\n"
+    assert rules_fired(src, select=["R3"]) == ["R3"]
+
+
+# ----------------------------------------------------------------------
+# R4: frozen Rect
+# ----------------------------------------------------------------------
+def test_r4_fires_on_attribute_assignment():
+    src = "def f(rect, v):\n    rect.lows = v\n"
+    assert rules_fired(src, select=["R4"]) == ["R4"]
+
+
+def test_r4_fires_on_object_setattr_outside_init():
+    src = "def f(rect, v):\n    object.__setattr__(rect, 'highs', v)\n"
+    assert rules_fired(src, select=["R4"]) == ["R4"]
+
+
+def test_r4_fires_on_augmented_assignment():
+    src = "def f(rect):\n    rect.lows += (1.0,)\n"
+    assert rules_fired(src, select=["R4"]) == ["R4"]
+
+
+def test_r4_silent_inside_rect_init():
+    src = (
+        "class Rect:\n"
+        "    def __init__(self, lows, highs):\n"
+        "        object.__setattr__(self, 'lows', lows)\n"
+        "        object.__setattr__(self, 'highs', highs)\n"
+    )
+    assert rules_fired(src, select=["R4"]) == []
+
+
+def test_r4_silent_on_reads_and_other_attributes():
+    src = "def f(rect, node):\n    x = rect.lows[0]\n    node.level = 3\n"
+    assert rules_fired(src, select=["R4"]) == []
+
+
+# ----------------------------------------------------------------------
+# Engine behaviour
+# ----------------------------------------------------------------------
+def test_registry_exposes_all_four_rules():
+    assert rule_ids() == ["R1", "R2", "R3", "R4"]
+
+
+def test_unknown_rule_id_rejected():
+    with pytest.raises(ConfigError, match="unknown rule id"):
+        lint_source("x = 1\n", select=["R99"])
+
+
+def test_syntax_error_reported_as_input_error():
+    with pytest.raises(InputFormatError, match="cannot parse"):
+        lint_source("def broken(:\n")
+
+
+def test_diagnostics_sorted_and_formatted():
+    src = "def f(x: float):\n    b = x == 2.0\n    a = x == 1.0\n"
+    diags = lint_source(src, path=CORE, select=["R2"])
+    assert [d.line for d in diags] == [2, 3]
+    assert diags[0].format().startswith(f"{CORE}:2:")
+    assert "R2[" in diags[0].format()
+
+
+def test_src_repro_tree_is_clean():
+    from repro.analysis import lint_paths
+
+    assert lint_paths(["src/repro"]) == []
+
+
+# ----------------------------------------------------------------------
+# CLI: exit codes and JSON shape
+# ----------------------------------------------------------------------
+def test_cli_lint_clean_file_exits_zero(tmp_path, capsys):
+    f = tmp_path / "clean.py"
+    f.write_text("x = 1\n")
+    assert main(["lint", str(f)]) == 0
+    assert "0 findings" in capsys.readouterr().out
+
+
+def test_cli_lint_findings_exit_one(tmp_path, capsys):
+    f = tmp_path / "repro" / "core" / "bad.py"
+    f.parent.mkdir(parents=True)
+    f.write_text("def f(x: float):\n    return x == 0.0\n")
+    assert main(["lint", str(f)]) == 1
+    out = capsys.readouterr().out
+    assert "R2[" in out and "1 finding" in out
+
+
+def test_cli_lint_unknown_rule_exits_two(tmp_path, capsys):
+    f = tmp_path / "clean.py"
+    f.write_text("x = 1\n")
+    assert main(["lint", "--select", "R99", str(f)]) == 2
+    assert "unknown rule id" in capsys.readouterr().err
+
+
+def test_cli_lint_missing_path_exits_two(tmp_path, capsys):
+    assert main(["lint", str(tmp_path / "nope")]) == 2
+    assert "no such file" in capsys.readouterr().err
+
+
+def test_cli_lint_json_shape(tmp_path, capsys):
+    f = tmp_path / "repro" / "core" / "bad.py"
+    f.parent.mkdir(parents=True)
+    f.write_text("def f(x: float):\n    return x == 0.0\n")
+    assert main(["lint", "--format", "json", str(f)]) == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["version"] == 1
+    assert doc["count"] == 1 and len(doc["findings"]) == 1
+    finding = doc["findings"][0]
+    assert set(finding) == {"path", "line", "col", "rule", "name", "message"}
+    assert finding["rule"] == "R2"
+    assert {r["id"] for r in doc["rules"]} == {"R1", "R2", "R3", "R4"}
+
+
+def test_cli_lint_select_filters_rules(tmp_path, capsys):
+    f = tmp_path / "repro" / "core" / "bad.py"
+    f.parent.mkdir(parents=True)
+    f.write_text("def f(x: float):\n    raise ValueError(x == 0.0)\n")
+    assert main(["lint", "--select", "R3", str(f)]) == 1
+    out = capsys.readouterr().out
+    assert "R3[" in out and "R2[" not in out

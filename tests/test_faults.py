@@ -20,6 +20,7 @@ from repro.exceptions import (
     StorageError,
     TransientDiskError,
 )
+from repro.obs import Tracer
 from repro.storage import (
     BufferPool,
     Fault,
@@ -31,7 +32,6 @@ from repro.storage import (
     load_tree_from_disk,
     verify_page,
 )
-from repro.obs import Tracer
 
 from .conftest import random_segments
 
