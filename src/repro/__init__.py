@@ -19,6 +19,8 @@ Quickstart::
 
 from .core import (
     AccessStats,
+    BatchInsertStats,
+    BatchSearchStats,
     IndexConfig,
     IndexMetrics,
     Rect,
@@ -31,6 +33,8 @@ from .core import (
     SRPlusTree,
     SRStarTree,
     SRTree,
+    batch_insert,
+    batch_search,
     check_index,
     check_rplus,
     interval,
@@ -64,6 +68,10 @@ __version__ = "1.1.0"
 
 __all__ = [
     "AccessStats",
+    "BatchInsertStats",
+    "BatchSearchStats",
+    "batch_insert",
+    "batch_search",
     "IndexConfig",
     "IndexMetrics",
     "Rect",

@@ -1,5 +1,6 @@
 """Experiment harness: Section 5's protocol, figures, and reports."""
 
+from .batchbench import BATCH_INDEX_TYPES, format_batch_report, run_batch_bench
 from .cost_model import expected_node_accesses, predict_qar_series
 from .experiment import (
     INDEX_TYPES,
@@ -20,6 +21,9 @@ from .report import (
 )
 
 __all__ = [
+    "BATCH_INDEX_TYPES",
+    "format_batch_report",
+    "run_batch_bench",
     "INDEX_TYPES",
     "PREDICTION_FRACTION",
     "ExperimentResult",

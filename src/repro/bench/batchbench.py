@@ -1,0 +1,284 @@
+"""Batched vs. one-at-a-time execution benchmark (``repro bench-batch``).
+
+For each index type the bench builds the 20k uniform-rectangle workload
+(R1), attaches a deliberately small buffer pool, and answers the same
+query batch twice:
+
+* **sequential** — ``tree.search`` per query, each descent re-faulting
+  the upper levels through the pool;
+* **batched** — one :func:`repro.core.batch.batch_search` shared
+  traversal, each node faulted at most once for the whole batch.
+
+Both modes start from a cold pool, so the buffer-miss counts compare the
+traversal shapes, not cache warm-up luck.  The bench also compares insert
+throughput (one-at-a-time vs. :func:`repro.core.batch.batch_insert` in
+batch-sized groups) and verifies — query by query — that both execution
+modes return identical result sets.
+
+The result is written as ``BENCH_batch.json`` through the standard run
+report schema (:mod:`repro.obs.report`).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import time
+from typing import Any, Sequence
+
+from ..core.batch import batch_insert, batch_search
+from ..core.config import IndexConfig
+from ..core.geometry import Rect
+from ..core.packed import pack_tree
+from ..core.rtree import RTree
+from ..core.skeleton import SkeletonRTree, SkeletonSRTree
+from ..core.srtree import SRTree
+from ..exceptions import WorkloadError
+from ..obs.report import build_report, write_report
+from ..storage.pager import StorageManager
+from ..workloads.generators import DOMAIN, dataset_R1
+from .experiment import PREDICTION_FRACTION
+
+__all__ = ["BATCH_INDEX_TYPES", "run_batch_bench", "format_batch_report"]
+
+#: The four dynamic paper indexes plus the packed (bulk-loaded) tree —
+#: the five variants the batch engine must treat uniformly.
+BATCH_INDEX_TYPES: tuple[str, ...] = (
+    "R-Tree",
+    "SR-Tree",
+    "Skeleton R-Tree",
+    "Skeleton SR-Tree",
+    "Packed SR-Tree",
+)
+
+#: Fraction of the dataset bulk-loaded up front for the packed variant's
+#: insert comparison (the rest arrives dynamically, like any packed index
+#: that keeps serving writes after its initial load).
+_PACKED_PRELOAD = 0.5
+
+
+def _uniform_queries(
+    n: int, area_fraction: float, seed: int, domain: Sequence[tuple[float, float]]
+) -> list[Rect]:
+    """Square queries with uniform centers covering ``area_fraction`` of
+    the domain each (clamped to the domain)."""
+    rng = random.Random(seed)
+    sides = [math.sqrt(area_fraction) * (hi - lo) for lo, hi in domain]
+    queries = []
+    for _ in range(n):
+        lows = []
+        highs = []
+        for (lo, hi), side in zip(domain, sides):
+            c = rng.uniform(lo, hi)
+            lows.append(max(lo, c - side / 2.0))
+            highs.append(min(hi, c + side / 2.0))
+        queries.append(Rect(tuple(lows), tuple(highs)))
+    return queries
+
+
+def _fresh_index(kind: str, config: IndexConfig, expected_tuples: int) -> RTree:
+    if kind == "R-Tree":
+        return RTree(config)
+    if kind == "SR-Tree":
+        return SRTree(config)
+    if kind == "Skeleton R-Tree":
+        return SkeletonRTree(
+            config,
+            expected_tuples=expected_tuples,
+            domain=DOMAIN,
+            prediction_fraction=PREDICTION_FRACTION,
+        )
+    if kind == "Skeleton SR-Tree":
+        return SkeletonSRTree(
+            config,
+            expected_tuples=expected_tuples,
+            domain=DOMAIN,
+            prediction_fraction=PREDICTION_FRACTION,
+        )
+    raise WorkloadError(f"unknown index type {kind!r}; pick from {BATCH_INDEX_TYPES}")
+
+
+def _build_for_search(kind: str, dataset: list[Rect], config: IndexConfig) -> RTree:
+    """Populate one index of ``kind`` with ``dataset`` (batched build —
+    the search comparison only needs the finished tree)."""
+    if kind == "Packed SR-Tree":
+        return pack_tree([(r, i) for i, r in enumerate(dataset)], config, SRTree)
+    tree = _fresh_index(kind, config, expected_tuples=len(dataset))
+    batch_insert(tree, [(r, i) for i, r in enumerate(dataset)])
+    if hasattr(tree, "flush"):
+        tree.flush()
+    return tree
+
+
+def _search_phase(
+    tree: RTree, queries: list[Rect], buffer_bytes: int
+) -> dict[str, Any]:
+    """Run the cold-pool sequential vs. batched search comparison."""
+    # Sequential: one descent per query through a cold pool.
+    before_accesses = tree.stats.search_node_accesses
+    manager = StorageManager(tree, buffer_bytes=buffer_bytes)
+    start = time.perf_counter()
+    sequential_results = [tree.search(q) for q in queries]
+    sequential_wall = time.perf_counter() - start
+    sequential_faults = manager.pool.stats.misses
+    sequential_accesses = tree.stats.search_node_accesses - before_accesses
+    manager.detach()
+
+    # Batched: one shared traversal, again from a cold pool.
+    before_accesses = tree.stats.search_node_accesses
+    manager = StorageManager(tree, buffer_bytes=buffer_bytes)  # fresh, cold pool
+    start = time.perf_counter()
+    batched_results = batch_search(tree, queries)
+    batched_wall = time.perf_counter() - start
+    batched_faults = manager.pool.stats.misses
+    batched_accesses = tree.stats.search_node_accesses - before_accesses
+    manager.detach()
+
+    divergences = sum(
+        1
+        for seq, bat in zip(sequential_results, batched_results)
+        if {rid for rid, _ in seq} != {rid for rid, _ in bat}
+    )
+    reduction = (
+        sequential_faults / batched_faults if batched_faults else float(sequential_faults)
+    )
+    return {
+        "sequential_faults": sequential_faults,
+        "batched_faults": batched_faults,
+        "fault_reduction": reduction,
+        "sequential_wall_seconds": sequential_wall,
+        "batched_wall_seconds": batched_wall,
+        "sequential_node_accesses": sequential_accesses,
+        "batched_node_accesses": batched_accesses,
+        "result_divergences": divergences,
+    }
+
+
+def _insert_phase(
+    kind: str, dataset: list[Rect], config: IndexConfig, batch_size: int
+) -> dict[str, Any]:
+    """Compare one-at-a-time inserts against batch-sized grouped inserts."""
+    if kind == "Packed SR-Tree":
+        preload = max(1, int(len(dataset) * _PACKED_PRELOAD))
+        head = [(r, i) for i, r in enumerate(dataset[:preload])]
+        tail = dataset[preload:]
+        sequential_tree: RTree = pack_tree(head, config, SRTree)
+        batched_tree: RTree = pack_tree(head, config, SRTree)
+    else:
+        tail = dataset
+        sequential_tree = _fresh_index(kind, config, expected_tuples=len(dataset))
+        batched_tree = _fresh_index(kind, config, expected_tuples=len(dataset))
+
+    start = time.perf_counter()
+    for rect in tail:
+        sequential_tree.insert(rect)
+    sequential_wall = time.perf_counter() - start
+    sequential_splits = sequential_tree.stats.splits
+
+    start = time.perf_counter()
+    for i in range(0, len(tail), batch_size):
+        batch_insert(batched_tree, [(r, None) for r in tail[i : i + batch_size]])
+    batched_wall = time.perf_counter() - start
+    batched_splits = batched_tree.stats.splits
+
+    # Bulk: the whole tail as one batch (exercises the STR bulk-split
+    # path — the regime where deferred propagation pays most).
+    if kind == "Packed SR-Tree":
+        bulk_tree: RTree = pack_tree(head, config, SRTree)
+    else:
+        bulk_tree = _fresh_index(kind, config, expected_tuples=len(dataset))
+    start = time.perf_counter()
+    batch_insert(bulk_tree, [(r, None) for r in tail])
+    bulk_wall = time.perf_counter() - start
+
+    return {
+        "sequential_wall_seconds": sequential_wall,
+        "batched_wall_seconds": batched_wall,
+        "bulk_wall_seconds": bulk_wall,
+        "speedup": sequential_wall / batched_wall if batched_wall else 0.0,
+        "bulk_speedup": sequential_wall / bulk_wall if bulk_wall else 0.0,
+        "sequential_splits": sequential_splits,
+        "batched_splits": batched_splits,
+        "sequential_size": len(sequential_tree),
+        "batched_size": len(batched_tree),
+    }
+
+
+def run_batch_bench(
+    records: int = 20_000,
+    batch_size: int = 64,
+    buffer_bytes: int = 32 * 1024,
+    seed: int = 1991,
+    area_fraction: float = 0.05,
+    index_types: Sequence[str] = BATCH_INDEX_TYPES,
+    config: IndexConfig | None = None,
+    report_dir: str | None = None,
+) -> dict:
+    """Run the batched-execution benchmark; returns the report document.
+
+    The headline metric is ``fault_reduction`` per index type: cold-pool
+    buffer misses for ``batch_size`` sequential searches divided by the
+    misses of one batched traversal over the same queries (the ISSUE's
+    acceptance bar is >= 2x on the 20k uniform workload).
+    """
+    config = config or IndexConfig()
+    dataset = dataset_R1(records, seed=seed)
+    queries = _uniform_queries(batch_size, area_fraction, seed + 1, DOMAIN)
+
+    search_metrics: dict[str, dict] = {}
+    insert_metrics: dict[str, dict] = {}
+    wall_start = time.perf_counter()
+    for kind in index_types:
+        tree = _build_for_search(kind, dataset, config)
+        search_metrics[kind] = _search_phase(tree, queries, buffer_bytes)
+        insert_metrics[kind] = _insert_phase(kind, dataset, config, batch_size)
+    wall_seconds = time.perf_counter() - wall_start
+
+    reductions = [m["fault_reduction"] for m in search_metrics.values()]
+    divergences = sum(m["result_divergences"] for m in search_metrics.values())
+    doc = build_report(
+        "batch",
+        config={
+            "records": records,
+            "batch_size": batch_size,
+            "buffer_bytes": buffer_bytes,
+            "seed": seed,
+            "area_fraction": area_fraction,
+            "dataset": "R1",
+            "index_types": list(index_types),
+        },
+        wall_seconds=wall_seconds,
+        metrics={
+            "search": search_metrics,
+            "insert": insert_metrics,
+            "min_fault_reduction": min(reductions) if reductions else 0.0,
+            "result_divergences": divergences,
+        },
+    )
+    if report_dir:
+        write_report(doc, report_dir)
+    return doc
+
+
+def format_batch_report(doc: dict) -> str:
+    """Fixed-width summary of a ``BENCH_batch.json`` document."""
+    cfg = doc["config"]
+    metrics = doc["metrics"]
+    lines = [
+        f"batch bench  (n={cfg['records']}, batch={cfg['batch_size']}, "
+        f"pool={cfg['buffer_bytes'] // 1024}KB, dataset={cfg['dataset']})",
+        f"{'index type':<20}{'seq faults':>12}{'batch faults':>14}"
+        f"{'reduction':>11}{'ins speedup':>13}{'bulk speedup':>14}",
+    ]
+    for kind, m in metrics["search"].items():
+        ins = metrics["insert"][kind]
+        lines.append(
+            f"{kind:<20}{m['sequential_faults']:>12}{m['batched_faults']:>14}"
+            f"{m['fault_reduction']:>10.2f}x{ins['speedup']:>12.2f}x"
+            f"{ins['bulk_speedup']:>13.2f}x"
+        )
+    lines.append(
+        f"min fault reduction: {metrics['min_fault_reduction']:.2f}x, "
+        f"result divergences: {metrics['result_divergences']}"
+    )
+    return "\n".join(lines)

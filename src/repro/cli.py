@@ -9,6 +9,8 @@ Commands:
 * ``graphs``    — reproduce one or more of the paper's Graphs 1-6;
 * ``trace``     — run a search workload with tracing on and dump the
   JSONL event stream;
+* ``bench-batch`` — compare batched (shared-traversal) execution against
+  one-at-a-time queries and inserts, emitting ``BENCH_batch.json``;
 * ``stats``     — pretty-print a machine-readable ``BENCH_*.json`` report;
 * ``fsck``      — verify a checkpointed page store: recover the page
   table, CRC-check every page, rebuild the tree and run the structural
@@ -302,6 +304,26 @@ def _cmd_lint(args) -> int:
     return 1 if diagnostics else 0
 
 
+def _cmd_bench_batch(args) -> int:
+    """Run the batched-vs-sequential execution benchmark."""
+    from .bench.batchbench import format_batch_report, run_batch_bench
+    from .obs.report import write_report
+
+    doc = run_batch_bench(
+        records=args.records,
+        batch_size=args.batch_size,
+        buffer_bytes=args.buffer_bytes,
+        seed=args.seed,
+        area_fraction=args.area_fraction,
+    )
+    print(format_batch_report(doc))
+    report_dir = _report_dir(args)
+    if report_dir:
+        path = write_report(doc, report_dir)
+        print(f"report written to {path}")
+    return 0
+
+
 def _cmd_stats(args) -> int:
     """Pretty-print one or more BENCH_*.json run reports."""
     for i, path in enumerate(args.report):
@@ -389,6 +411,24 @@ def _parser() -> argparse.ArgumentParser:
     )
     tra.add_argument("-o", "--output", required=True, help="JSONL output file")
     tra.set_defaults(func=_cmd_trace)
+
+    bb = sub.add_parser(
+        "bench-batch",
+        help="compare batched vs one-at-a-time execution (buffer faults, wall)",
+    )
+    bb.add_argument("--records", type=int, default=20_000)
+    bb.add_argument("--batch-size", type=int, default=64)
+    bb.add_argument("--buffer-bytes", type=int, default=32 * 1024)
+    bb.add_argument("--seed", type=int, default=1991)
+    bb.add_argument(
+        "--area-fraction",
+        type=float,
+        default=0.05,
+        help="query area as a fraction of the domain area",
+    )
+    bb.add_argument("--report-dir", default=None)
+    bb.add_argument("--no-report", action="store_true")
+    bb.set_defaults(func=_cmd_bench_batch)
 
     sta = sub.add_parser("stats", help="pretty-print BENCH_*.json run reports")
     sta.add_argument("report", nargs="+", help="report file(s) to print")

@@ -1,6 +1,17 @@
 """Core index family: geometry, R-Tree, SR-Tree, skeleton, and the cited
 variant structures (R*, R+, packed)."""
 
+from .batch import (
+    BatchInsertStats,
+    BatchSearchStats,
+    batch_insert,
+    batch_insert_with_stats,
+    batch_order,
+    batch_search,
+    batch_search_with_stats,
+    cluster_batch,
+    hilbert_index,
+)
 from .config import IndexConfig
 from .entry import BranchEntry, DataEntry
 from .geometry import GeometryError, Rect, interval, point, segment, union_all
@@ -16,6 +27,15 @@ from .stats import AccessStats, SearchStats
 from .validation import check_index, collect_fragments
 
 __all__ = [
+    "BatchInsertStats",
+    "BatchSearchStats",
+    "batch_insert",
+    "batch_insert_with_stats",
+    "batch_order",
+    "batch_search",
+    "batch_search_with_stats",
+    "cluster_batch",
+    "hilbert_index",
     "IndexConfig",
     "BranchEntry",
     "DataEntry",

@@ -216,6 +216,11 @@ class RTree:
         """
         with self.tracer.span("delete", record_id=record_id) as sp:
             removed = self._remove_fragments(self.root, record_id, hint)
+            if not removed and hint is not None and record_id in self._fragment_counts:
+                # A bad hint (one that misses the record's actual fragments)
+                # must degrade to the full-index scan the paper describes,
+                # not silently delete nothing.
+                removed = self._remove_fragments(self.root, record_id, None)
             if removed:
                 self._size -= 1
                 self.stats.deletes += 1
@@ -335,6 +340,11 @@ class RTree:
         extra work).
         """
         self._demote_counts = {}
+        self._drain_insertion(pending)
+
+    def _drain_insertion(self, pending: list[DataEntry]) -> None:
+        """Drain ``pending`` without resetting the per-operation demotion
+        counts (the batch engine accumulates them across a whole batch)."""
         guard = 0
         while pending:
             guard += 1
@@ -570,6 +580,10 @@ class RTree:
     # ------------------------------------------------------------------
     def _after_insert(self) -> None:
         """Post-insert hook (skeleton indexes run coalescing here)."""
+
+    def _after_batch_insert(self, count: int) -> None:
+        """Post-batch hook: deferred maintenance paid once per batch
+        (skeleton indexes run at most one coalescing pass here)."""
 
     def _reinsert_entries(self, entries: list[DataEntry]) -> None:
         """Reinsert fragments that lost their home (demotion, coalescing)."""

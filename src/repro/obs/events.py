@@ -199,6 +199,18 @@ _SPAN_SPECS: tuple[SpanSpec, ...] = (
         end=("pages", "generation"),
         doc="One StorageManager checkpoint (serialize + flush + sync).",
     ),
+    _s(
+        "batch_search",
+        begin=("queries",),
+        end=("nodes_accessed", "records_found", "clusters"),
+        doc="One shared traversal answering a whole batch of queries.",
+    ),
+    _s(
+        "batch_insert",
+        begin=("records",),
+        end=("leaves_touched", "splits", "reinserted"),
+        doc="One grouped insertion with deferred split propagation.",
+    ),
 )
 
 #: Event name -> spec.  The tracer and lint rule R1 both consume this.
