@@ -44,8 +44,10 @@ from .core import (
     segment,
     union_all,
 )
+from .concurrency import ConcurrentIndex, ConcurrentRuleLockIndex, RWLatch
 from .exceptions import (
     CapacityError,
+    ConcurrencyError,
     IndexStructureError,
     ReproError,
     StorageError,
@@ -93,6 +95,10 @@ __all__ = [
     "segment",
     "union_all",
     "CapacityError",
+    "ConcurrencyError",
+    "ConcurrentIndex",
+    "ConcurrentRuleLockIndex",
+    "RWLatch",
     "IndexStructureError",
     "ReproError",
     "StorageError",

@@ -3,7 +3,8 @@
 The equidepth ``_strictly_increasing`` precision bug (fixed in PR 2) is
 the canonical failure: boundary arithmetic that is *almost* exact drifts
 by an ulp and an exact comparison silently flips.  In ``core/``,
-``histogram/`` and ``bench/`` every float comparison must go through the
+``histogram/``, ``bench/`` and ``rules/`` every float comparison must go
+through the
 tolerant comparators in :mod:`repro.core.floatcmp` (``feq``/``fne``/
 ``is_zero``) so the tolerance is explicit and auditable.
 
@@ -33,7 +34,7 @@ from ..engine import FileContext, Rule, register
 __all__ = ["FloatEqualityRule"]
 
 #: Package-relative directories where the rule applies.
-SCOPES = ("core/", "histogram/", "bench/")
+SCOPES = ("core/", "histogram/", "bench/", "rules/")
 
 #: Attribute accesses on Rect (and friends) that produce floats.
 _FLOAT_ATTRS = {"area", "margin"}
@@ -99,8 +100,8 @@ class FloatEqualityRule(Rule):
     id = "R2"
     name = "float-equality"
     description = (
-        "no ==/!= on float-typed expressions in core/, histogram/, bench/; "
-        "use repro.core.floatcmp (feq/fne/is_zero)"
+        "no ==/!= on float-typed expressions in core/, histogram/, bench/, "
+        "rules/; use repro.core.floatcmp (feq/fne/is_zero)"
     )
 
     def check(self, ctx: FileContext) -> Iterator[Diagnostic]:

@@ -1,6 +1,12 @@
 """Experiment harness: Section 5's protocol, figures, and reports."""
 
-from .batchbench import BATCH_INDEX_TYPES, format_batch_report, run_batch_bench
+from .batchbench import (
+    BATCH_INDEX_TYPES,
+    format_batch_report,
+    run_batch_bench,
+    uniform_queries,
+)
+from .concurrentbench import format_concurrent_report, run_concurrent_bench
 from .cost_model import expected_node_accesses, predict_qar_series
 from .experiment import (
     INDEX_TYPES,
@@ -23,7 +29,10 @@ from .report import (
 __all__ = [
     "BATCH_INDEX_TYPES",
     "format_batch_report",
+    "format_concurrent_report",
     "run_batch_bench",
+    "run_concurrent_bench",
+    "uniform_queries",
     "INDEX_TYPES",
     "PREDICTION_FRACTION",
     "ExperimentResult",

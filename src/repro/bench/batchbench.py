@@ -39,7 +39,12 @@ from ..storage.pager import StorageManager
 from ..workloads.generators import DOMAIN, dataset_R1
 from .experiment import PREDICTION_FRACTION
 
-__all__ = ["BATCH_INDEX_TYPES", "run_batch_bench", "format_batch_report"]
+__all__ = [
+    "BATCH_INDEX_TYPES",
+    "run_batch_bench",
+    "format_batch_report",
+    "uniform_queries",
+]
 
 #: The four dynamic paper indexes plus the packed (bulk-loaded) tree —
 #: the five variants the batch engine must treat uniformly.
@@ -57,7 +62,7 @@ BATCH_INDEX_TYPES: tuple[str, ...] = (
 _PACKED_PRELOAD = 0.5
 
 
-def _uniform_queries(
+def uniform_queries(
     n: int, area_fraction: float, seed: int, domain: Sequence[tuple[float, float]]
 ) -> list[Rect]:
     """Square queries with uniform centers covering ``area_fraction`` of
@@ -223,7 +228,7 @@ def run_batch_bench(
     """
     config = config or IndexConfig()
     dataset = dataset_R1(records, seed=seed)
-    queries = _uniform_queries(batch_size, area_fraction, seed + 1, DOMAIN)
+    queries = uniform_queries(batch_size, area_fraction, seed + 1, DOMAIN)
 
     search_metrics: dict[str, dict] = {}
     insert_metrics: dict[str, dict] = {}

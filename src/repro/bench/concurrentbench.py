@@ -1,0 +1,196 @@
+"""Concurrent read-throughput benchmark (``repro bench-concurrent``).
+
+For each index type the bench builds the 20k uniform-rectangle workload
+(R1), attaches a small buffer pool over a :class:`LatencyDisk` (every
+page fault costs a fixed simulated I/O stall), wraps the tree in a
+:class:`~repro.concurrency.ConcurrentIndex`, and answers the same query
+set at 1, 2, and 4 reader threads from a cold pool each time.
+
+Because page-fault stalls release the interpreter lock, reader threads
+overlap their I/O waits — exactly the effect a buffer manager serves
+concurrent transactions for.  The headline metric is ``speedup`` at the
+highest thread count (wall-clock throughput vs. the single-thread run);
+the ISSUE's acceptance bar is >= 2x at 4 threads with **zero** result
+divergences against a sequential, unlatched baseline.
+
+The result is written as ``BENCH_concurrent.json`` through the standard
+run report schema (:mod:`repro.obs.report`).
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Sequence
+
+from ..concurrency.engine import ConcurrentIndex
+from ..core.config import IndexConfig
+from ..core.geometry import Rect
+from ..core.rtree import RTree
+from ..obs.report import build_report, write_report
+from ..storage.disk import LatencyDisk
+from ..storage.pager import StorageManager
+from ..workloads.generators import DOMAIN, dataset_R1
+from .batchbench import BATCH_INDEX_TYPES, _build_for_search, uniform_queries
+
+__all__ = ["run_concurrent_bench", "format_concurrent_report"]
+
+
+def _timed_read_run(
+    engine: ConcurrentIndex, queries: list[Rect], threads: int
+) -> tuple[list[set[int]], float]:
+    """Answer ``queries`` split across ``threads`` workers; returns the
+    per-query id sets (in query order) and the wall-clock seconds."""
+    results: list[set[int] | None] = [None] * len(queries)
+
+    def worker(indices: list[int]) -> None:
+        for i in indices:
+            results[i] = {rid for rid, _ in engine.search(queries[i])}
+
+    # Strided assignment so every worker sees the same mix of cheap and
+    # expensive queries (block assignment would skew per-thread work).
+    slices = [list(range(t, len(queries), threads)) for t in range(threads)]
+    start = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=threads) as pool:
+        futures = [pool.submit(worker, s) for s in slices if s]
+        for future in futures:
+            future.result()
+    wall = time.perf_counter() - start
+    return [r if r is not None else set() for r in results], wall
+
+
+def _bench_one_kind(
+    tree: RTree,
+    queries: list[Rect],
+    thread_counts: Sequence[int],
+    buffer_bytes: int,
+    read_delay: float,
+) -> dict[str, Any]:
+    # Unlatched, unpaged sequential pass = the correctness reference.
+    reference = [{rid for rid, _ in tree.search(q)} for q in queries]
+
+    per_thread: dict[str, dict[str, Any]] = {}
+    divergences = 0
+    contention: dict[str, Any] = {}
+    for threads in thread_counts:
+        # Fresh cold pool + fresh latency disk per run so every thread
+        # count pays the same page-fault bill.
+        manager = StorageManager(
+            tree, buffer_bytes=buffer_bytes, disk=LatencyDisk(read_delay=read_delay)
+        )
+        engine = ConcurrentIndex(tree)
+        try:
+            results, wall = _timed_read_run(engine, queries, threads)
+        finally:
+            engine.detach()
+            manager.detach()
+        run_divergences = sum(
+            1 for got, want in zip(results, reference) if got != want
+        )
+        divergences += run_divergences
+        per_thread[str(threads)] = {
+            "wall_seconds": wall,
+            "throughput_qps": len(queries) / wall if wall else 0.0,
+            "buffer_misses": manager.pool.stats.misses,
+            "buffer_hits": manager.pool.stats.hits,
+            "load_waits": manager.pool.stats.load_waits,
+            "result_divergences": run_divergences,
+        }
+        contention = engine.contention_snapshot()
+
+    base = per_thread[str(thread_counts[0])]["throughput_qps"]
+    peak = per_thread[str(thread_counts[-1])]["throughput_qps"]
+    return {
+        "threads": per_thread,
+        "speedup": peak / base if base else 0.0,
+        "result_divergences": divergences,
+        "contention": contention,
+    }
+
+
+def run_concurrent_bench(
+    records: int = 20_000,
+    queries: int = 96,
+    buffer_bytes: int = 32 * 1024,
+    seed: int = 1991,
+    read_delay: float = 0.0002,
+    area_fraction: float = 0.02,
+    index_types: Sequence[str] = BATCH_INDEX_TYPES,
+    thread_counts: Sequence[int] = (1, 2, 4),
+    config: IndexConfig | None = None,
+    report_dir: str | None = None,
+) -> dict:
+    """Run the concurrent-serving benchmark; returns the report document.
+
+    The headline metric is ``min_speedup``: the smallest wall-clock
+    read-throughput gain at ``thread_counts[-1]`` threads vs. one thread
+    across the benched index types (acceptance bar: >= 2x at 4 threads,
+    zero divergences).
+    """
+    config = config or IndexConfig()
+    dataset = dataset_R1(records, seed=seed)
+    query_set = uniform_queries(queries, area_fraction, seed + 1, DOMAIN)
+
+    metrics: dict[str, dict] = {}
+    wall_start = time.perf_counter()
+    for kind in index_types:
+        tree = _build_for_search(kind, dataset, config)
+        metrics[kind] = _bench_one_kind(
+            tree, query_set, thread_counts, buffer_bytes, read_delay
+        )
+    wall_seconds = time.perf_counter() - wall_start
+
+    speedups = [m["speedup"] for m in metrics.values()]
+    divergences = sum(m["result_divergences"] for m in metrics.values())
+    doc = build_report(
+        "concurrent",
+        config={
+            "records": records,
+            "queries": queries,
+            "buffer_bytes": buffer_bytes,
+            "seed": seed,
+            "read_delay": read_delay,
+            "area_fraction": area_fraction,
+            "dataset": "R1",
+            "index_types": list(index_types),
+            "thread_counts": list(thread_counts),
+        },
+        wall_seconds=wall_seconds,
+        metrics={
+            "per_index": metrics,
+            "min_speedup": min(speedups) if speedups else 0.0,
+            "result_divergences": divergences,
+        },
+    )
+    if report_dir:
+        write_report(doc, report_dir)
+    return doc
+
+
+def format_concurrent_report(doc: dict) -> str:
+    """Fixed-width summary of a ``BENCH_concurrent.json`` document."""
+    cfg = doc["config"]
+    metrics = doc["metrics"]
+    counts = [str(t) for t in cfg["thread_counts"]]
+    header = f"{'index type':<20}" + "".join(
+        f"{t + ' thr (q/s)':>14}" for t in counts
+    )
+    lines = [
+        f"concurrent bench  (n={cfg['records']}, q={cfg['queries']}, "
+        f"pool={cfg['buffer_bytes'] // 1024}KB, "
+        f"delay={cfg['read_delay'] * 1e6:.0f}us, dataset={cfg['dataset']})",
+        header + f"{'speedup':>10}{'diverge':>9}",
+    ]
+    for kind, m in metrics["per_index"].items():
+        cells = "".join(
+            f"{m['threads'][t]['throughput_qps']:>14.1f}" for t in counts
+        )
+        lines.append(
+            f"{kind:<20}{cells}{m['speedup']:>9.2f}x"
+            f"{m['result_divergences']:>9}"
+        )
+    lines.append(
+        f"min speedup: {metrics['min_speedup']:.2f}x, "
+        f"result divergences: {metrics['result_divergences']}"
+    )
+    return "\n".join(lines)

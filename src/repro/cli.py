@@ -11,6 +11,9 @@ Commands:
   JSONL event stream;
 * ``bench-batch`` — compare batched (shared-traversal) execution against
   one-at-a-time queries and inserts, emitting ``BENCH_batch.json``;
+* ``bench-concurrent`` — measure concurrent read throughput through the
+  latched serving engine at 1/2/4 reader threads over a latency-modelled
+  buffer pool, emitting ``BENCH_concurrent.json``;
 * ``stats``     — pretty-print a machine-readable ``BENCH_*.json`` report;
 * ``fsck``      — verify a checkpointed page store: recover the page
   table, CRC-check every page, rebuild the tree and run the structural
@@ -324,6 +327,31 @@ def _cmd_bench_batch(args) -> int:
     return 0
 
 
+def _cmd_bench_concurrent(args) -> int:
+    """Run the concurrent-serving read-throughput benchmark."""
+    from .bench.batchbench import BATCH_INDEX_TYPES
+    from .bench.concurrentbench import format_concurrent_report, run_concurrent_bench
+    from .obs.report import write_report
+
+    kinds = BATCH_INDEX_TYPES if args.index == "all" else (args.index,)
+    doc = run_concurrent_bench(
+        records=args.records,
+        queries=args.queries,
+        buffer_bytes=args.buffer_bytes,
+        seed=args.seed,
+        read_delay=args.read_delay,
+        area_fraction=args.area_fraction,
+        index_types=kinds,
+        thread_counts=tuple(args.threads),
+    )
+    print(format_concurrent_report(doc))
+    report_dir = _report_dir(args)
+    if report_dir:
+        path = write_report(doc, report_dir)
+        print(f"report written to {path}")
+    return 0
+
+
 def _cmd_stats(args) -> int:
     """Pretty-print one or more BENCH_*.json run reports."""
     for i, path in enumerate(args.report):
@@ -429,6 +457,40 @@ def _parser() -> argparse.ArgumentParser:
     bb.add_argument("--report-dir", default=None)
     bb.add_argument("--no-report", action="store_true")
     bb.set_defaults(func=_cmd_bench_batch)
+
+    bc = sub.add_parser(
+        "bench-concurrent",
+        help="measure latched concurrent read throughput (1/2/4 threads)",
+    )
+    bc.add_argument("--records", type=int, default=20_000)
+    bc.add_argument("--queries", type=int, default=96)
+    bc.add_argument("--buffer-bytes", type=int, default=32 * 1024)
+    bc.add_argument("--seed", type=int, default=1991)
+    bc.add_argument(
+        "--read-delay",
+        type=float,
+        default=0.0002,
+        help="simulated seconds of I/O stall per page fault",
+    )
+    bc.add_argument(
+        "--area-fraction",
+        type=float,
+        default=0.02,
+        help="query area as a fraction of the domain area",
+    )
+    bc.add_argument(
+        "--index", default="all", choices=("all",) + INDEX_TYPES + ("Packed SR-Tree",)
+    )
+    bc.add_argument(
+        "--threads",
+        type=int,
+        nargs="+",
+        default=[1, 2, 4],
+        help="reader thread counts to sweep (first is the baseline)",
+    )
+    bc.add_argument("--report-dir", default=None)
+    bc.add_argument("--no-report", action="store_true")
+    bc.set_defaults(func=_cmd_bench_concurrent)
 
     sta = sub.add_parser("stats", help="pretty-print BENCH_*.json run reports")
     sta.add_argument("report", nargs="+", help="report file(s) to print")

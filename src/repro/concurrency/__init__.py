@@ -1,0 +1,21 @@
+"""Concurrent serving engine: latches, thread-safe wrappers, stress harness.
+
+See DESIGN.md ("Concurrent serving") for the protocol: optimistic
+version-validated reads, crab-coupled per-node read latches under a
+shared index latch, and exclusive writer latching with writer preference.
+"""
+
+from .engine import ConcurrentEngine, ConcurrentIndex, ConcurrentRuleLockIndex
+from .latch import LatchStats, RWLatch
+from .stress import StressResult, run_rule_lock_stress, run_stress
+
+__all__ = [
+    "ConcurrentEngine",
+    "ConcurrentIndex",
+    "ConcurrentRuleLockIndex",
+    "LatchStats",
+    "RWLatch",
+    "StressResult",
+    "run_rule_lock_stress",
+    "run_stress",
+]

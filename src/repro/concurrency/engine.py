@@ -1,0 +1,302 @@
+"""Concurrent serving engine: latched wrappers around the index family.
+
+:class:`ConcurrentIndex` makes any index in the R-Tree family —
+``RTree``/``SRTree``, both skeleton variants, and packed trees — safe to
+call from a ``ThreadPoolExecutor``; :class:`ConcurrentRuleLockIndex` does
+the same for the POSTGRES-style :class:`~repro.rules.locks.RuleLockIndex`
+(the paper's Section 2.2 use case presumes many concurrent transactions
+probing the lock index).
+
+Protocol (three tiers, cheapest first):
+
+1. **Optimistic reads** — a seqlock-style version counter is incremented
+   to *odd* before a writer mutates and back to *even* after.  A reader
+   snapshots the counter; if it is even, the reader traverses with *no*
+   latches at all and accepts the result only when the counter is
+   unchanged afterwards.  A concurrent write (version moved, or the torn
+   traversal raised) discards the result and retries.
+2. **Pessimistic reads** — after the optimistic budget is spent (or when
+   ``optimistic=False``), the reader takes the index latch in *shared*
+   mode and crab-couples per-node read latches down the tree via the
+   tree's ``_latch_hook``: each visited node's latch is acquired before
+   latches on nodes off its root path are released, so the reader always
+   holds the latch chain covering its current position.
+3. **Writes** — ``insert``/``delete`` take the index latch in *exclusive*
+   mode (writer-preferring, so readers cannot starve writers), bump the
+   version counter around the mutation, and never touch node latches:
+   the exclusive index latch already excludes every pessimistic reader.
+
+Thread-safety contract per class: ``ConcurrentIndex`` /
+``ConcurrentRuleLockIndex`` — every public method, any thread; the
+wrapped tree must not be mutated behind the wrapper's back; ``AccessStats``
+counters on the tree are maintained with unsynchronized increments and may
+under-count slightly under heavy read concurrency (they are metrics, not
+invariants).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Sequence, TypeVar
+
+from ..core.batch import batch_search
+from ..core.geometry import Rect
+from ..core.node import Node
+from ..core.rtree import RTree
+from ..obs.tracer import Tracer
+from ..rules.locks import RuleLock, RuleLockIndex
+from .latch import LatchStats, RWLatch
+
+__all__ = ["ConcurrentEngine", "ConcurrentIndex", "ConcurrentRuleLockIndex"]
+
+T = TypeVar("T")
+
+
+class ConcurrentEngine:
+    """Latching core shared by the concurrent wrappers.
+
+    Subclasses expose domain operations and funnel them through
+    :meth:`_read` / :meth:`_write`.
+    """
+
+    def __init__(
+        self,
+        tree: RTree,
+        tracer: Tracer | None = None,
+        *,
+        optimistic: bool = True,
+        optimistic_retries: int = 2,
+    ) -> None:
+        self._tree = tree
+        self.tracer: Tracer = tracer if tracer is not None else tree.tracer
+        self.optimistic = optimistic
+        self.optimistic_retries = optimistic_retries
+        self.latch_stats = LatchStats()
+        self._index_latch = RWLatch("index", stats=self.latch_stats, tracer=self.tracer)
+        self._node_latches: dict[int, RWLatch] = {}
+        self._table_lock = threading.Lock()
+        #: Seqlock version: even = quiescent, odd = writer mutating.
+        self._version = 0
+        self._op_lock = threading.Lock()
+        self.optimistic_reads = 0
+        self.optimistic_retries_used = 0
+        self.pessimistic_reads = 0
+        self.writes = 0
+        self._local = threading.local()
+        tree._latch_hook = self._crab_hook
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def tree(self) -> RTree:
+        """The wrapped index (single-threaded access only once detached)."""
+        return self._tree
+
+    def detach(self) -> None:
+        """Uninstall the latch hook (stops instrumenting the tree)."""
+        self._tree._latch_hook = None
+
+    def __len__(self) -> int:
+        return len(self._tree)
+
+    # ------------------------------------------------------------------
+    # Crab-coupled node latching (pessimistic readers only)
+    # ------------------------------------------------------------------
+    def _node_latch(self, node_id: int) -> RWLatch:
+        with self._table_lock:
+            latch = self._node_latches.get(node_id)
+            if latch is None:
+                latch = RWLatch(
+                    "node", stats=self.latch_stats, tracer=self.tracer, node_id=node_id
+                )
+                self._node_latches[node_id] = latch
+            return latch
+
+    def _crab_hook(self, node: Node) -> None:
+        """Called by ``RTree._access`` for every node visit.
+
+        Crab coupling: latch the visited node first, then release held
+        latches on nodes that are not on its root path — the reader never
+        lets go of the chain covering its current position.  All node
+        latches are read-mode, so hook ordering can never deadlock.
+        """
+        held: dict[int, RWLatch] | None = getattr(self._local, "held", None)
+        if held is None:
+            return  # not inside a pessimistic read on this thread
+        if node.node_id not in held:
+            latch = self._node_latch(node.node_id)
+            latch.acquire_read()
+            held[node.node_id] = latch
+        path: set[int] = set()
+        cur: Node | None = node
+        while cur is not None:
+            path.add(cur.node_id)
+            cur = cur.parent
+        for node_id in [nid for nid in held if nid not in path]:
+            held.pop(node_id).release_read()
+
+    # ------------------------------------------------------------------
+    # Read / write funnels
+    # ------------------------------------------------------------------
+    def _read(self, fn: Callable[[], T]) -> T:
+        if self.optimistic:
+            for attempt in range(self.optimistic_retries):
+                v1 = self._version
+                if v1 & 1:
+                    break  # writer mid-mutation; go straight to latching
+                try:
+                    result = fn()
+                except Exception:
+                    # A torn traversal under a racing writer may raise
+                    # arbitrarily; only swallow it when a write really
+                    # intervened — otherwise it is a genuine error.
+                    if self._version == v1:
+                        raise
+                else:
+                    if self._version == v1:
+                        with self._op_lock:
+                            self.optimistic_reads += 1
+                        return result
+                with self._op_lock:
+                    self.optimistic_retries_used += 1
+        self._index_latch.acquire_read()
+        self._local.held = {}
+        try:
+            result = fn()
+        finally:
+            held: dict[int, RWLatch] = self._local.held
+            self._local.held = None
+            for latch in held.values():
+                latch.release_read()
+            self._index_latch.release_read()
+        with self._op_lock:
+            self.pessimistic_reads += 1
+        return result
+
+    def _write(self, fn: Callable[[], T]) -> T:
+        self._index_latch.acquire_write()
+        try:
+            self._version += 1  # odd: mutation in progress
+            try:
+                return fn()
+            finally:
+                self._version += 1  # even: quiescent again
+                with self._op_lock:
+                    self.writes += 1
+        finally:
+            self._index_latch.release_write()
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def contention_snapshot(self) -> dict:
+        """Latch + execution-path counters for the metrics registry."""
+        doc = self.latch_stats.snapshot()
+        with self._op_lock:
+            doc.update(
+                optimistic_reads=self.optimistic_reads,
+                optimistic_retries=self.optimistic_retries_used,
+                pessimistic_reads=self.pessimistic_reads,
+                writes=self.writes,
+            )
+        doc["node_latches"] = len(self._node_latches)
+        return doc
+
+
+class ConcurrentIndex(ConcurrentEngine):
+    """Thread-safe facade over one index instance.
+
+    >>> from repro import SRTree, Rect
+    >>> from repro.concurrency import ConcurrentIndex
+    >>> index = ConcurrentIndex(SRTree())
+    >>> rid = index.insert(Rect((0.0, 0.0), (2.0, 2.0)), payload="a")
+    >>> [p for _, p in index.search(Rect((1.0, 1.0), (1.5, 1.5)))]
+    ['a']
+    """
+
+    # -- reads ----------------------------------------------------------
+    def search(self, rect: Rect) -> list[tuple[int, Any]]:
+        return self._read(lambda: self._tree.search(rect))
+
+    def search_ids(self, rect: Rect) -> set[int]:
+        return {rid for rid, _ in self.search(rect)}
+
+    def stab(self, *coords: float) -> list[tuple[int, Any]]:
+        return self._read(lambda: self._tree.stab(*coords))
+
+    def search_within(self, rect: Rect) -> list[tuple[int, Any]]:
+        return self._read(lambda: self._tree.search_within(rect))
+
+    def search_containing(self, rect: Rect) -> list[tuple[int, Any]]:
+        return self._read(lambda: self._tree.search_containing(rect))
+
+    def batch_search(self, queries: Sequence[Rect]) -> list[list[tuple[int, Any]]]:
+        """One shared traversal answering the whole batch (see PR 4)."""
+        return self._read(lambda: batch_search(self._tree, queries))
+
+    # -- writes ---------------------------------------------------------
+    def insert(self, rect: Rect, payload: Any = None) -> int:
+        return self._write(lambda: self._tree.insert(rect, payload))
+
+    def delete(self, record_id: int, hint: Rect | None = None) -> int:
+        return self._write(lambda: self._tree.delete(record_id, hint))
+
+
+class ConcurrentRuleLockIndex(ConcurrentEngine):
+    """Thread-safe facade over a :class:`RuleLockIndex`.
+
+    Lock installation/removal are writes; value/range probes ride the
+    same optimistic-then-latched read path as index searches.
+    """
+
+    def __init__(
+        self,
+        locks: RuleLockIndex | None = None,
+        tracer: Tracer | None = None,
+        *,
+        optimistic: bool = True,
+        optimistic_retries: int = 2,
+    ) -> None:
+        self._locks = locks if locks is not None else RuleLockIndex()
+        super().__init__(
+            self._locks.index,
+            tracer,
+            optimistic=optimistic,
+            optimistic_retries=optimistic_retries,
+        )
+
+    def __len__(self) -> int:
+        return len(self._locks)
+
+    # -- writes ---------------------------------------------------------
+    def lock_range(
+        self, rule_id: Any, low: float, high: float, mode: str = "shared"
+    ) -> int:
+        return self._write(lambda: self._locks.lock_range(rule_id, low, high, mode))
+
+    def lock_point(self, rule_id: Any, value: float, mode: str = "shared") -> int:
+        return self._write(lambda: self._locks.lock_point(rule_id, value, mode))
+
+    def unlock(self, handle: int) -> bool:
+        return self._write(lambda: self._locks.unlock(handle))
+
+    # -- reads ----------------------------------------------------------
+    def locks_for_value(self, value: float) -> list[RuleLock]:
+        return self._read(lambda: self._locks.locks_for_value(value))
+
+    def locks_for_range(self, low: float, high: float) -> list[RuleLock]:
+        return self._read(lambda: self._locks.locks_for_range(low, high))
+
+    def conflicting(
+        self, low: float, high: float, mode: str = "exclusive"
+    ) -> list[RuleLock]:
+        return self._read(lambda: self._locks.conflicting(low, high, mode))
+
+    def escalation_ratio(self) -> float:
+        return self._read(self._locks.escalation_ratio)
+
+    @property
+    def locks(self) -> RuleLockIndex:
+        """The wrapped lock index (single-threaded access only)."""
+        return self._locks

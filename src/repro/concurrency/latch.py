@@ -1,0 +1,237 @@
+"""Reader-writer latches with contention accounting.
+
+The serving engine's latching protocol (see DESIGN.md):
+
+* one **index-level** :class:`RWLatch` serializes writers against each
+  other and against pessimistic readers;
+* **per-node** read latches are crab-coupled down the tree by pessimistic
+  readers (child latched before ancestors off the path are released);
+* writers never take node latches — the exclusive index latch already
+  excludes every pessimistic reader, and optimistic readers validate
+  against the index version counter instead of latching.
+
+Because node latches are only ever taken in *read* mode, node-latch
+acquisition can never deadlock: shared holders never conflict, and the
+only writer-side blocking happens on the single index latch.
+
+Every latch funnels its acquisition/wait counts into a shared
+:class:`LatchStats` (one per engine), which the metrics registry exposes
+as the ``latch`` source; waits and grants are also emitted as
+``latch_wait`` / ``latch_acquire`` trace events when tracing is on.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Optional
+
+from ..exceptions import ConcurrencyError
+from ..obs.tracer import NULL_TRACER, Tracer
+
+__all__ = ["LatchStats", "RWLatch"]
+
+
+class LatchStats:
+    """Contention counters shared by one engine's latches.
+
+    Increments arrive from many latches (each holding its own internal
+    mutex), so this class carries its own lock; ``snapshot`` is what the
+    metrics registry pulls.
+    """
+
+    __slots__ = (
+        "_lock",
+        "read_acquires",
+        "write_acquires",
+        "read_waits",
+        "write_waits",
+        "wait_seconds",
+    )
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.read_acquires = 0
+        self.write_acquires = 0
+        self.read_waits = 0
+        self.write_waits = 0
+        self.wait_seconds = 0.0
+
+    def record_acquire(self, mode: str, waited: float | None) -> None:
+        with self._lock:
+            if mode == "read":
+                self.read_acquires += 1
+                if waited is not None:
+                    self.read_waits += 1
+            else:
+                self.write_acquires += 1
+                if waited is not None:
+                    self.write_waits += 1
+            if waited is not None:
+                self.wait_seconds += waited
+
+    @property
+    def contended_acquires(self) -> int:
+        return self.read_waits + self.write_waits
+
+    def snapshot(self) -> dict:
+        """A plain-dict copy for reports and the metrics registry."""
+        with self._lock:
+            return {
+                "read_acquires": self.read_acquires,
+                "write_acquires": self.write_acquires,
+                "read_waits": self.read_waits,
+                "write_waits": self.write_waits,
+                "contended_acquires": self.read_waits + self.write_waits,
+                "wait_seconds": self.wait_seconds,
+            }
+
+
+class RWLatch:
+    """A writer-preferring reader-writer latch.
+
+    Readers share; a writer excludes everyone.  Waiting writers block new
+    readers so a steady read stream cannot starve writes.  ``name`` tags
+    trace events (``"index"`` for the engine latch, ``"node"`` for
+    per-node latches, with ``node_id`` attached for the latter).
+    """
+
+    __slots__ = ("name", "node_id", "stats", "tracer", "_cond", "_readers",
+                 "_writer", "_waiting_writers")
+
+    def __init__(
+        self,
+        name: str = "latch",
+        stats: LatchStats | None = None,
+        tracer: Tracer | None = None,
+        node_id: Optional[int] = None,
+    ) -> None:
+        self.name = name
+        self.node_id = node_id
+        self.stats = stats if stats is not None else LatchStats()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._cond = threading.Condition(threading.Lock())
+        self._readers = 0
+        self._writer: Optional[int] = None
+        self._waiting_writers = 0
+
+    # ------------------------------------------------------------------
+    # Trace plumbing
+    # ------------------------------------------------------------------
+    def _trace_wait(self, mode: str) -> None:
+        if self.tracer.enabled:
+            if self.node_id is None:
+                self.tracer.event("latch_wait", latch=self.name, mode=mode)
+            else:
+                self.tracer.event(
+                    "latch_wait", latch=self.name, mode=mode, node_id=self.node_id
+                )
+
+    def _trace_acquire(self, mode: str, waited: bool) -> None:
+        if self.tracer.enabled:
+            if self.node_id is None:
+                self.tracer.event(
+                    "latch_acquire", latch=self.name, mode=mode, waited=waited
+                )
+            else:
+                self.tracer.event(
+                    "latch_acquire",
+                    latch=self.name,
+                    mode=mode,
+                    waited=waited,
+                    node_id=self.node_id,
+                )
+
+    # ------------------------------------------------------------------
+    # Read side
+    # ------------------------------------------------------------------
+    def acquire_read(self, timeout: float | None = None) -> None:
+        started: float | None = None
+        with self._cond:
+            while self._writer is not None or self._waiting_writers:
+                if started is None:
+                    started = time.perf_counter()
+                    self._trace_wait("read")
+                if not self._cond.wait(timeout=timeout):
+                    raise ConcurrencyError(
+                        f"timed out acquiring read latch {self.name!r}"
+                    )
+            self._readers += 1
+        waited = None if started is None else time.perf_counter() - started
+        self.stats.record_acquire("read", waited)
+        self._trace_acquire("read", waited is not None)
+
+    def release_read(self) -> None:
+        with self._cond:
+            if self._readers <= 0:
+                raise ConcurrencyError(
+                    f"read latch {self.name!r} released more than acquired"
+                )
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    # Write side
+    # ------------------------------------------------------------------
+    def acquire_write(self, timeout: float | None = None) -> None:
+        me = threading.get_ident()
+        started: float | None = None
+        with self._cond:
+            if self._writer == me:
+                raise ConcurrencyError(
+                    f"write latch {self.name!r} is not reentrant"
+                )
+            self._waiting_writers += 1
+            try:
+                while self._readers or self._writer is not None:
+                    if started is None:
+                        started = time.perf_counter()
+                        self._trace_wait("write")
+                    if not self._cond.wait(timeout=timeout):
+                        raise ConcurrencyError(
+                            f"timed out acquiring write latch {self.name!r}"
+                        )
+            finally:
+                self._waiting_writers -= 1
+            self._writer = me
+        waited = None if started is None else time.perf_counter() - started
+        self.stats.record_acquire("write", waited)
+        self._trace_acquire("write", waited is not None)
+
+    def release_write(self) -> None:
+        with self._cond:
+            if self._writer != threading.get_ident():
+                raise ConcurrencyError(
+                    f"write latch {self.name!r} released by a non-holder"
+                )
+            self._writer = None
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    # Context managers
+    # ------------------------------------------------------------------
+    def read(self) -> "_LatchGuard":
+        return _LatchGuard(self.acquire_read, self.release_read)
+
+    def write(self) -> "_LatchGuard":
+        return _LatchGuard(self.acquire_write, self.release_write)
+
+
+class _LatchGuard:
+    """``with latch.read(): ...`` / ``with latch.write(): ...``"""
+
+    __slots__ = ("_acquire", "_release")
+
+    def __init__(
+        self, acquire: Callable[[], None], release: Callable[[], None]
+    ) -> None:
+        self._acquire = acquire
+        self._release = release
+
+    def __enter__(self) -> "_LatchGuard":
+        self._acquire()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self._release()

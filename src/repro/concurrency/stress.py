@@ -1,0 +1,393 @@
+"""Seeded multi-threaded stress harness (the race detector).
+
+Interleaves reader and writer threads over one :class:`ConcurrentIndex`
+(or :class:`ConcurrentRuleLockIndex`), then asserts the full invariant
+battery:
+
+* no worker raised;
+* :func:`repro.core.check_index` structural validation passes;
+* buffer-pool accounting balances (``resident_bytes`` == sum of frame
+  sizes, no outstanding pins) when a storage manager is attached;
+* every surviving record is findable and the logical size matches the
+  survivor registry (readers-vs-writers lost-update detector).
+
+Each thread's operation stream is driven by its own ``random.Random``
+derived from the run seed, so a CI failure reproduces locally from the
+seed alone; only the interleaving varies.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..core.config import IndexConfig
+from ..core.geometry import Rect
+from ..core.packed import pack_tree
+from ..core.rtree import RTree
+from ..core.skeleton import SkeletonRTree, SkeletonSRTree
+from ..core.srtree import SRTree
+from ..core.validation import check_index
+from ..exceptions import ConcurrencyError, WorkloadError
+from ..storage.pager import StorageManager
+from .engine import ConcurrentIndex, ConcurrentRuleLockIndex
+
+__all__ = ["STRESS_INDEX_TYPES", "StressResult", "run_stress", "run_rule_lock_stress"]
+
+#: Every variant the engine must serve uniformly.
+STRESS_INDEX_TYPES: tuple[str, ...] = (
+    "R-Tree",
+    "SR-Tree",
+    "Skeleton R-Tree",
+    "Skeleton SR-Tree",
+    "Packed SR-Tree",
+)
+
+#: Skeletons finish their prediction phase during the initial build so the
+#: concurrent phase exercises the adapted tree, not the buffering phase.
+_PREDICTION_FRACTION = 0.1
+
+
+@dataclass
+class StressResult:
+    """Outcome of one stress run (raised out of, never returned, on failure)."""
+
+    kind: str
+    seed: int
+    elapsed_seconds: float
+    searches: int = 0
+    batch_searches: int = 0
+    inserts: int = 0
+    deletes: int = 0
+    live_records: int = 0
+    contention: dict = field(default_factory=dict)
+    buffer: dict = field(default_factory=dict)
+
+
+def _random_box(rng: random.Random, domain: float) -> Rect:
+    cx, cy = rng.uniform(0, domain), rng.uniform(0, domain)
+    w, h = rng.uniform(0, domain * 0.05), rng.uniform(0, domain * 0.05)
+    return Rect(
+        (max(cx - w, 0.0), max(cy - h, 0.0)),
+        (min(cx + w, domain), min(cy + h, domain)),
+    )
+
+
+def _make_index(
+    kind: str, config: IndexConfig, initial: list[Rect], domain: float
+) -> RTree:
+    domain2d = ((0.0, domain), (0.0, domain))
+    if kind == "R-Tree":
+        tree: RTree = RTree(config)
+    elif kind == "SR-Tree":
+        tree = SRTree(config)
+    elif kind == "Skeleton R-Tree":
+        tree = SkeletonRTree(
+            config,
+            expected_tuples=len(initial),
+            domain=domain2d,
+            prediction_fraction=_PREDICTION_FRACTION,
+        )
+    elif kind == "Skeleton SR-Tree":
+        tree = SkeletonSRTree(
+            config,
+            expected_tuples=len(initial),
+            domain=domain2d,
+            prediction_fraction=_PREDICTION_FRACTION,
+        )
+    elif kind == "Packed SR-Tree":
+        return pack_tree([(r, None) for r in initial], config, SRTree)
+    else:
+        raise WorkloadError(
+            f"unknown index type {kind!r}; pick from {STRESS_INDEX_TYPES}"
+        )
+    for rect in initial:
+        tree.insert(rect)
+    flush = getattr(tree, "flush", None)
+    if flush is not None:
+        flush()
+    return tree
+
+
+def run_stress(
+    kind: str = "SR-Tree",
+    seed: int = 0,
+    *,
+    readers: int = 3,
+    writers: int = 2,
+    ops_per_thread: int = 120,
+    initial_records: int = 300,
+    config: IndexConfig | None = None,
+    buffer_bytes: int | None = None,
+    domain: float = 1000.0,
+    optimistic: bool = True,
+) -> StressResult:
+    """Run one seeded reader/writer interleaving and validate everything.
+
+    Raises (:class:`ConcurrencyError`, :class:`IndexStructureError`, or
+    :class:`StorageError`) on any invariant violation; returns the
+    :class:`StressResult` tally otherwise.
+    """
+    config = config or IndexConfig()
+    rng = random.Random(seed)
+    initial = [_random_box(rng, domain) for _ in range(initial_records)]
+    tree = _make_index(kind, config, initial, domain)
+
+    manager: StorageManager | None = None
+    if buffer_bytes is not None:
+        manager = StorageManager(tree, buffer_bytes=buffer_bytes)
+
+    engine = ConcurrentIndex(tree, optimistic=optimistic)
+
+    # Registry of records the writers believe are alive: id -> rect.
+    # items() yields fragments; collapsing to one rect per id is fine — any
+    # fragment works as a deletion hint (delete degrades to a full scan on
+    # a hint miss) and any fragment intersects its own rect for searches.
+    registry: dict[int, Rect] = {rid: rect for rid, rect, _ in tree.items()}
+    registry_lock = threading.Lock()
+
+    errors: list[BaseException] = []
+    errors_lock = threading.Lock()
+    barrier = threading.Barrier(readers + writers)
+    result = StressResult(kind=kind, seed=seed, elapsed_seconds=0.0)
+    tally_lock = threading.Lock()
+
+    def guarded(fn: Any) -> Any:
+        def runner() -> None:
+            try:
+                barrier.wait(timeout=30.0)
+                fn()
+            except BaseException as exc:  # noqa: BLE001 - collected, re-raised below
+                with errors_lock:
+                    errors.append(exc)
+
+        return runner
+
+    def reader_body(thread_seed: int) -> None:
+        trng = random.Random(thread_seed)
+        searches = batches = 0
+        for _ in range(ops_per_thread):
+            roll = trng.random()
+            query = _random_box(trng, domain)
+            if roll < 0.70:
+                hits = engine.search(query)
+                ids = [rid for rid, _ in hits]
+                if len(ids) != len(set(ids)):
+                    raise ConcurrencyError(
+                        f"duplicate record ids in one search result: {ids}"
+                    )
+                searches += 1
+            elif roll < 0.85:
+                engine.stab(trng.uniform(0, domain), trng.uniform(0, domain))
+                searches += 1
+            else:
+                engine.batch_search([_random_box(trng, domain) for _ in range(4)])
+                batches += 1
+        with tally_lock:
+            result.searches += searches
+            result.batch_searches += batches
+
+    def writer_body(thread_seed: int) -> None:
+        trng = random.Random(thread_seed)
+        inserts = deletes = 0
+        for _ in range(ops_per_thread):
+            if trng.random() < 0.6 or not registry:
+                rect = _random_box(trng, domain)
+                rid = engine.insert(rect, payload=("w", thread_seed))
+                with registry_lock:
+                    registry[rid] = rect
+                inserts += 1
+            else:
+                with registry_lock:
+                    if not registry:
+                        continue
+                    rid = trng.choice(sorted(registry))
+                    rect = registry.pop(rid)
+                removed = engine.delete(rid, hint=rect)
+                if removed <= 0:
+                    raise ConcurrencyError(
+                        f"delete of live record {rid} removed nothing"
+                    )
+                deletes += 1
+        with tally_lock:
+            result.inserts += inserts
+            result.deletes += deletes
+
+    threads = [
+        threading.Thread(
+            target=guarded(lambda s=seed * 1000 + i: reader_body(s)),
+            name=f"stress-reader-{i}",
+        )
+        for i in range(readers)
+    ] + [
+        threading.Thread(
+            target=guarded(lambda s=seed * 1000 + 500 + i: writer_body(s)),
+            name=f"stress-writer-{i}",
+        )
+        for i in range(writers)
+    ]
+    start = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=120.0)
+    result.elapsed_seconds = time.perf_counter() - start
+    if any(t.is_alive() for t in threads):
+        raise ConcurrencyError("stress worker failed to finish (deadlock?)")
+    if errors:
+        raise errors[0]
+
+    # -- post-run invariant battery ------------------------------------
+    engine.detach()
+    check_index(tree)
+    if len(tree) != len(registry):
+        raise ConcurrencyError(
+            f"logical size {len(tree)} != survivor registry {len(registry)} "
+            "(lost update)"
+        )
+    sample = sorted(registry)[:: max(1, len(registry) // 50)]
+    for rid in sample:
+        if rid not in tree.search_ids(registry[rid]):
+            raise ConcurrencyError(f"surviving record {rid} not findable")
+    if manager is not None:
+        manager.pool.verify_accounting(expect_unpinned=True)
+        result.buffer = manager.pool.stats.snapshot()
+        manager.detach()
+    result.live_records = len(registry)
+    result.contention = engine.contention_snapshot()
+    return result
+
+
+def run_rule_lock_stress(
+    seed: int = 0,
+    *,
+    readers: int = 3,
+    writers: int = 2,
+    ops_per_thread: int = 120,
+    initial_locks: int = 100,
+    domain: float = 100_000.0,
+) -> StressResult:
+    """Reader/writer stress over the POSTGRES-style rule-lock index."""
+    engine = ConcurrentRuleLockIndex()
+    rng = random.Random(seed)
+    registry: dict[int, tuple[float, float]] = {}
+    registry_lock = threading.Lock()
+    for i in range(initial_locks):
+        lo = rng.uniform(0, domain)
+        hi = min(domain, lo + rng.uniform(0, domain * 0.05))
+        handle = engine.lock_range(f"rule{i}", lo, hi)
+        registry[handle] = (lo, hi)
+
+    errors: list[BaseException] = []
+    errors_lock = threading.Lock()
+    barrier = threading.Barrier(readers + writers)
+    result = StressResult(kind="RuleLockIndex", seed=seed, elapsed_seconds=0.0)
+    tally_lock = threading.Lock()
+
+    def guarded(fn: Any) -> Any:
+        def runner() -> None:
+            try:
+                barrier.wait(timeout=30.0)
+                fn()
+            except BaseException as exc:  # noqa: BLE001
+                with errors_lock:
+                    errors.append(exc)
+
+        return runner
+
+    def reader_body(thread_seed: int) -> None:
+        trng = random.Random(thread_seed)
+        probes = 0
+        for _ in range(ops_per_thread):
+            roll = trng.random()
+            if roll < 0.5:
+                engine.locks_for_value(trng.uniform(0, domain))
+            elif roll < 0.8:
+                lo = trng.uniform(0, domain)
+                engine.locks_for_range(lo, min(domain, lo + trng.uniform(0, 500)))
+            else:
+                lo = trng.uniform(0, domain)
+                engine.conflicting(lo, min(domain, lo + 100.0), mode="exclusive")
+            probes += 1
+        with tally_lock:
+            result.searches += probes
+
+    def writer_body(thread_seed: int) -> None:
+        trng = random.Random(thread_seed)
+        installed = removed = 0
+        for n in range(ops_per_thread):
+            if trng.random() < 0.55 or not registry:
+                lo = trng.uniform(0, domain)
+                if trng.random() < 0.2:
+                    handle = engine.lock_point(f"w{thread_seed}.{n}", lo)
+                    span = (lo, lo)
+                else:
+                    hi = min(domain, lo + trng.uniform(0, domain * 0.05))
+                    handle = engine.lock_range(f"w{thread_seed}.{n}", lo, hi)
+                    span = (lo, hi)
+                with registry_lock:
+                    registry[handle] = span
+                installed += 1
+            else:
+                with registry_lock:
+                    if not registry:
+                        continue
+                    handle = trng.choice(sorted(registry))
+                    registry.pop(handle)
+                if not engine.unlock(handle):
+                    raise ConcurrencyError(f"unlock of live handle {handle} failed")
+                if engine.unlock(handle):
+                    raise ConcurrencyError(
+                        f"double unlock of handle {handle} reported success"
+                    )
+                removed += 1
+        with tally_lock:
+            result.inserts += installed
+            result.deletes += removed
+
+    threads = [
+        threading.Thread(
+            target=guarded(lambda s=seed * 1000 + i: reader_body(s)),
+            name=f"lock-reader-{i}",
+        )
+        for i in range(readers)
+    ] + [
+        threading.Thread(
+            target=guarded(lambda s=seed * 1000 + 500 + i: writer_body(s)),
+            name=f"lock-writer-{i}",
+        )
+        for i in range(writers)
+    ]
+    start = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=120.0)
+    result.elapsed_seconds = time.perf_counter() - start
+    if any(t.is_alive() for t in threads):
+        raise ConcurrencyError("rule-lock stress worker failed to finish")
+    if errors:
+        raise errors[0]
+
+    engine.detach()
+    check_index(engine.locks.index)
+    if len(engine) != len(registry):
+        raise ConcurrencyError(
+            f"{len(engine)} locks installed != survivor registry {len(registry)}"
+        )
+    for handle, (lo, hi) in sorted(registry.items()):
+        # Spans are stored verbatim, so exact float comparison is correct.
+        mid = (lo + hi) / 2.0
+        probe = engine.locks.locks_for_value(mid)
+        if not any(lk.low == lo and lk.high == hi for lk in probe):
+            raise ConcurrencyError(f"lock {handle} not probe-visible at {mid}")
+        if not engine.unlock(handle):
+            raise ConcurrencyError(f"surviving lock {handle} failed to unlock")
+    if len(engine) != 0:
+        raise ConcurrencyError(f"{len(engine)} locks left after full teardown")
+    result.live_records = 0
+    result.contention = engine.contention_snapshot()
+    return result

@@ -63,6 +63,11 @@ class RTree:
         self._fragment_counts: dict[int, int] = {}
         #: Optional storage hook: called with each accessed node.
         self._storage_hook: Optional[Callable[[Node], None]] = None
+        #: Optional latch hook: called with each accessed node *before*
+        #: the storage hook (latch first, then fault the page).  The
+        #: concurrency layer installs a crab-coupling callback here; the
+        #: hook itself decides per-thread whether latching is active.
+        self._latch_hook: Optional[Callable[[Node], None]] = None
         #: Observability: spans and typed events flow through here.  The
         #: shared NULL_TRACER is disabled; replace it with a live
         #: :class:`repro.obs.Tracer` to capture traces.
@@ -272,6 +277,9 @@ class RTree:
     # ------------------------------------------------------------------
     def _access(self, node: Node) -> None:
         self.stats.record_access(node.level)
+        latch = self._latch_hook
+        if latch is not None:
+            latch(node)
         hook = self._storage_hook
         if hook is not None:
             hook(node)

@@ -22,6 +22,7 @@ __all__ = [
     "TransientDiskError",
     "SimulatedCrashError",
     "WorkloadError",
+    "ConcurrencyError",
 ]
 
 
@@ -102,3 +103,7 @@ class SimulatedCrashError(StorageError):
 
 class WorkloadError(ReproError):
     """A workload generator received inconsistent parameters."""
+
+
+class ConcurrencyError(ReproError):
+    """A latch protocol violation (unbalanced release, timed-out wait)."""

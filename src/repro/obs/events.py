@@ -173,6 +173,19 @@ _EVENT_SPECS: tuple[EventSpec, ...] = (
         required=("path", "generation", "fallback"),
         doc="FileDisk recovered its page table from a fallback generation.",
     ),
+    # -- concurrency events (concurrency/) ------------------------------
+    _e(
+        "latch_acquire",
+        required=("latch", "mode"),
+        optional=("node_id", "waited"),
+        doc="A reader-writer latch was granted (mode 'read' or 'write').",
+    ),
+    _e(
+        "latch_wait",
+        required=("latch", "mode"),
+        optional=("node_id", "wait_seconds"),
+        doc="A latch acquisition blocked on a conflicting holder.",
+    ),
 )
 
 _SPAN_SPECS: tuple[SpanSpec, ...] = (

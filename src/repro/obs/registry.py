@@ -20,6 +20,7 @@ from typing import TYPE_CHECKING, Callable, Sequence
 from ..exceptions import ConfigError
 
 if TYPE_CHECKING:
+    from ..concurrency.engine import ConcurrentEngine
     from ..core.rtree import RTree
     from ..storage.pager import StorageManager
 
@@ -199,12 +200,16 @@ class MetricsRegistry:
 
 
 def index_registry(
-    tree: RTree, storage: StorageManager | None = None, structure: bool = False
+    tree: RTree,
+    storage: StorageManager | None = None,
+    structure: bool = False,
+    concurrency: "ConcurrentEngine | None" = None,
 ) -> MetricsRegistry:
     """A registry covering one index (and optionally its storage stack).
 
     Registers the tree's access stats, basic shape gauges, the storage
-    manager's buffer/disk stats when given, and — when ``structure`` is
+    manager's buffer/disk stats when given, the concurrency engine's
+    latch-contention counters when given, and — when ``structure`` is
     true — a full :func:`~repro.core.metrics.measure_index` pass (which
     walks the whole tree, so leave it off for frequent sampling).
     """
@@ -216,6 +221,8 @@ def index_registry(
     if storage is not None:
         reg.source("buffer", storage.pool.stats.snapshot)
         reg.source("disk", storage.disk.stats.snapshot)
+    if concurrency is not None:
+        reg.source("latch", concurrency.contention_snapshot)
     if structure:
         from ..core.metrics import measure_index
 

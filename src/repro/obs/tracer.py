@@ -19,6 +19,7 @@ visit when off.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -130,7 +131,20 @@ class Tracer:
         self.strict = strict
         self._seq = 0
         self._next_span = 1
-        self._stack: list[_SpanHandle] = []
+        # Emission is serialized by one lock (seq allocation + sink write
+        # stay atomic so JSONL streams interleave whole records); the span
+        # stack is per-thread so concurrent operations keep their own
+        # nesting instead of corrupting each other's span attribution.
+        self._emit_lock = threading.Lock()
+        self._local = threading.local()
+
+    @property
+    def _stack(self) -> list[_SpanHandle]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
 
     # -- emission ------------------------------------------------------
     def event(self, etype: str, **fields: Any) -> None:
@@ -147,8 +161,10 @@ class Tracer:
         """Open an operation span; use as a context manager."""
         if self.strict:
             require_valid_span(op, fields)
-        handle = _SpanHandle(self, self._next_span, op)
-        self._next_span += 1
+        with self._emit_lock:
+            span_id = self._next_span
+            self._next_span += 1
+        handle = _SpanHandle(self, span_id, op)
         self._stack.append(handle)
         self._emit("span_begin", fields, span=handle.span_id, op=op)
         return handle
@@ -173,13 +189,15 @@ class Tracer:
         op: str | None = None,
     ) -> None:
         if span is None or op is None:
-            if self._stack:
-                top = self._stack[-1]
+            stack = self._stack
+            if stack:
+                top = stack[-1]
                 span, op = top.span_id, top.op
             else:
                 span, op = 0, ""
-        self._seq += 1
-        self.sink.write(TraceEvent(self._seq, etype, span, op, fields))
+        with self._emit_lock:
+            self._seq += 1
+            self.sink.write(TraceEvent(self._seq, etype, span, op, fields))
 
     # -- convenience ---------------------------------------------------
     @property

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from typing import Any, Iterator
 
 from ..core.config import IndexConfig
+from ..core.floatcmp import exact_zero
 from ..core.geometry import interval
 from ..core.srtree import SRTree
 from ..exceptions import WorkloadError
@@ -42,7 +43,7 @@ class RuleLock:
 
     @property
     def is_point(self) -> bool:
-        return self.low == self.high
+        return exact_zero(self.high - self.low)
 
 
 class RuleLockIndex:
@@ -87,12 +88,22 @@ class RuleLockIndex:
         return self.lock_range(rule_id, value, value, mode)
 
     def unlock(self, handle: int) -> bool:
-        """Remove a previously installed lock."""
-        lock = self._locks.pop(handle, None)
+        """Remove a previously installed lock.
+
+        Returns ``False`` (and changes nothing) for an unknown handle or
+        when the tree holds no fragments for it; the handle table entry is
+        dropped only after the tree delete actually removed the lock, so a
+        failed delete cannot strand an entry that no longer matches the
+        tree (which would corrupt later probes and re-unlocks).
+        """
+        lock = self._locks.get(handle)
         if lock is None:
             return False
         removed = self._tree.delete(handle, hint=interval(lock.low, lock.high))
-        return removed > 0
+        if removed <= 0:
+            return False
+        del self._locks[handle]
+        return True
 
     # ------------------------------------------------------------------
     # Probes

@@ -8,7 +8,7 @@ page images, transient-error retries, checkpoint/load).
 """
 
 from .buffer import BufferPool, BufferStats
-from .disk import DiskStats, SimulatedDisk
+from .disk import DiskStats, LatencyDisk, SimulatedDisk
 from .faults import Fault, FaultInjectingDisk, FaultStats
 from .filedisk import FileDisk
 from .page import Page, PageId
@@ -32,6 +32,7 @@ __all__ = [
     "FaultInjectingDisk",
     "FaultStats",
     "FileDisk",
+    "LatencyDisk",
     "SimulatedDisk",
     "Page",
     "PageId",

@@ -1,14 +1,37 @@
-"""LRU buffer pool over the simulated disk.
+"""Thread-safe LRU buffer pool over the simulated disk.
 
 Models the "only a small portion of the index may reside in main memory at
 a given time" premise of the paper's introduction.  The pool is sized in
 bytes (pages have level-dependent sizes, so a page count would be
 misleading) and evicts least-recently-used unpinned pages, writing dirty
 pages back to the simulated disk.
+
+Thread-safety contract
+----------------------
+Every public method may be called from any thread.  One internal mutex
+guards the frame table, the LRU order, pin accounting, and the statistics;
+a condition variable on the same mutex coordinates two kinds of waiting:
+
+* **pin waits** — when every resident page is pinned, :meth:`fetch` waits
+  for some other thread to :meth:`release` a pin instead of raising.  If
+  every outstanding pin belongs to the *calling* thread, no other thread
+  can ever unpin, so the pool raises :class:`StorageError` immediately
+  (the single-threaded behaviour, and a self-deadlock guard);
+* **load waits** — a page being read from disk by another thread is in the
+  in-flight table; a second fetcher of the same page waits for the first
+  read to land rather than issuing a duplicate read.
+
+Disk reads happen *outside* the mutex (real buffer managers never hold a
+latch across I/O); that is what lets concurrent readers overlap their
+page-fault latency.  Dirty-victim writebacks during eviction do run under
+the mutex — evictions are rare on the read-heavy paths the concurrency
+layer serves, and holding the latch keeps the "page is either on disk or
+resident-dirty" invariant trivially crash-safe (see PR 2).
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
@@ -26,6 +49,11 @@ class BufferStats:
     misses: int = 0
     evictions: int = 0
     dirty_writebacks: int = 0
+    #: Times a fetch had to wait for another thread to release a pin.
+    pin_waits: int = 0
+    #: Times a fetch waited for another thread's in-flight read of the
+    #: same page instead of issuing a duplicate disk read.
+    load_waits: int = 0
 
     @property
     def accesses(self) -> int:
@@ -45,11 +73,13 @@ class BufferStats:
             "hit_ratio": self.hit_ratio,
             "evictions": self.evictions,
             "dirty_writebacks": self.dirty_writebacks,
+            "pin_waits": self.pin_waits,
+            "load_waits": self.load_waits,
         }
 
 
 class BufferPool:
-    """Byte-budgeted LRU cache of pages.
+    """Byte-budgeted LRU cache of pages, safe for concurrent callers.
 
     >>> disk = SimulatedDisk()
     >>> disk.allocate(1, 1024)
@@ -63,6 +93,7 @@ class BufferPool:
         disk: SimulatedDisk,
         capacity_bytes: int,
         tracer: Tracer | None = None,
+        pin_wait_timeout: float = 10.0,
     ) -> None:
         if capacity_bytes <= 0:
             raise StorageError("buffer pool capacity must be positive")
@@ -71,8 +102,18 @@ class BufferPool:
         self.stats = BufferStats()
         #: Observability: ``page_fetch``/``eviction`` events flow here.
         self.tracer: Tracer = tracer if tracer is not None else NULL_TRACER
+        #: Upper bound on one fetch's total wait for a pin to be released
+        #: when the pool is saturated with other threads' pins.
+        self.pin_wait_timeout = pin_wait_timeout
         self._frames: "OrderedDict[PageId, Page]" = OrderedDict()
         self._resident_bytes = 0
+        self._lock = threading.RLock()
+        self._cond = threading.Condition(self._lock)
+        #: Pages currently being read from disk (reads happen unlatched).
+        self._loading: set[PageId] = set()
+        #: Outstanding pins per thread id; lets a saturated fetch tell a
+        #: recoverable wait from a self-deadlock.
+        self._pins_by_thread: dict[int, int] = {}
 
     @property
     def resident_bytes(self) -> int:
@@ -82,39 +123,89 @@ class BufferPool:
     def resident_pages(self) -> int:
         return len(self._frames)
 
+    # ------------------------------------------------------------------
+    # Pin bookkeeping (callers hold self._lock)
+    # ------------------------------------------------------------------
+    def _pin(self, frame: Page) -> None:
+        frame.pin()
+        tid = threading.get_ident()
+        self._pins_by_thread[tid] = self._pins_by_thread.get(tid, 0) + 1
+
+    def _unpin(self, frame: Page) -> None:
+        frame.unpin()
+        tid = threading.get_ident()
+        remaining = self._pins_by_thread.get(tid, 0) - 1
+        if remaining > 0:
+            self._pins_by_thread[tid] = remaining
+        else:
+            self._pins_by_thread.pop(tid, None)
+
+    def _only_own_pins(self) -> bool:
+        """True when every outstanding pin belongs to the calling thread."""
+        tid = threading.get_ident()
+        return all(owner == tid for owner in self._pins_by_thread)
+
+    # ------------------------------------------------------------------
+    # Fetch / release
+    # ------------------------------------------------------------------
     def fetch(self, page_id: PageId) -> Page:
         """Pin the page in memory, reading from disk on a miss."""
-        frame = self._frames.get(page_id)
-        if frame is not None:
-            self.stats.hits += 1
+        with self._cond:
+            while True:
+                frame = self._frames.get(page_id)
+                if frame is not None:
+                    self.stats.hits += 1
+                    if self.tracer.enabled:
+                        self.tracer.event(
+                            "page_fetch", page_id=page_id, hit=True, page_bytes=frame.size
+                        )
+                    self._frames.move_to_end(page_id)
+                    self._pin(frame)
+                    return frame
+                if page_id in self._loading:
+                    # Another thread is reading this page right now; wait
+                    # for its frame to land instead of re-reading.
+                    self.stats.load_waits += 1
+                    self._cond.wait()
+                    continue
+                self.stats.misses += 1
+                self._loading.add(page_id)
+                break
+        try:
+            data = self.disk.read_page(page_id)  # unlatched I/O
+        except BaseException:
+            with self._cond:
+                self._loading.discard(page_id)
+                self._cond.notify_all()
+            raise
+        frame = Page(page_id, len(data), bytearray(data))
+        with self._cond:
+            self._loading.discard(page_id)
+            try:
+                self._make_room(frame.size)
+            except BaseException:
+                self._cond.notify_all()
+                raise
             if self.tracer.enabled:
                 self.tracer.event(
-                    "page_fetch", page_id=page_id, hit=True, page_bytes=frame.size
+                    "page_fetch", page_id=page_id, hit=False, page_bytes=frame.size
                 )
-            self._frames.move_to_end(page_id)
-            frame.pin()
-            return frame
-        self.stats.misses += 1
-        data = self.disk.read_page(page_id)
-        frame = Page(page_id, len(data), bytearray(data))
-        if self.tracer.enabled:
-            self.tracer.event(
-                "page_fetch", page_id=page_id, hit=False, page_bytes=frame.size
-            )
-        self._make_room(frame.size)
-        self._frames[page_id] = frame
-        self._resident_bytes += frame.size
-        frame.pin()
+            self._frames[page_id] = frame
+            self._resident_bytes += frame.size
+            self._pin(frame)
+            self._cond.notify_all()
         return frame
 
     def release(self, page_id: PageId, dirty: bool = False) -> None:
         """Unpin a fetched page, optionally marking it dirty."""
-        frame = self._frames.get(page_id)
-        if frame is None:
-            raise StorageError(f"page {page_id} is not resident")
-        if dirty:
-            frame.dirty = True
-        frame.unpin()
+        with self._cond:
+            frame = self._frames.get(page_id)
+            if frame is None:
+                raise StorageError(f"page {page_id} is not resident")
+            if dirty:
+                frame.dirty = True
+            self._unpin(frame)
+            self._cond.notify_all()
 
     def touch(self, page_id: PageId, dirty: bool = False) -> None:
         """Convenience: fetch + immediate release (one logical access)."""
@@ -123,27 +214,104 @@ class BufferPool:
 
     def flush(self) -> None:
         """Write back every dirty resident page."""
-        for frame in self._frames.values():
-            if frame.dirty:
-                self.disk.write_page(frame.page_id, bytes(frame.data))
-                frame.dirty = False
-                self.stats.dirty_writebacks += 1
+        with self._lock:
+            for frame in self._frames.values():
+                if frame.dirty:
+                    self.disk.write_page(frame.page_id, bytes(frame.data))
+                    frame.dirty = False
+                    self.stats.dirty_writebacks += 1
 
     def drop(self, page_id: PageId) -> None:
         """Remove a page from the pool without writing it back (the caller
-        deallocated it)."""
-        frame = self._frames.pop(page_id, None)
-        if frame is not None:
-            self._resident_bytes -= frame.size
+        deallocated it).
 
+        Dropping a pinned page is an error: some caller still holds the
+        frame, and silently unframing it would corrupt pin accounting the
+        moment that caller releases.
+        """
+        with self._cond:
+            frame = self._frames.get(page_id)
+            if frame is None:
+                return
+            if frame.pin_count:
+                raise StorageError(
+                    f"cannot drop page {page_id}: {frame.pin_count} pin(s) held"
+                )
+            del self._frames[page_id]
+            self._resident_bytes -= frame.size
+            # A dropped page id may be re-allocated later; the stale frame
+            # must not leak its dirty flag into that new life.
+            frame.dirty = False
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    # Accounting invariants (the stress harness and the hypothesis
+    # oracle both call this after every run)
+    # ------------------------------------------------------------------
+    def verify_accounting(self, expect_unpinned: bool = False) -> None:
+        """Raise :class:`StorageError` on any internal inconsistency.
+
+        Checks ``resident_bytes`` == sum of frame sizes, resident page
+        count, pin balance (frame pin counts vs. per-thread ledger), and
+        basic stats sanity.  With ``expect_unpinned`` (a quiescent pool)
+        every pin count must be zero.
+        """
+        with self._lock:
+            actual_bytes = sum(f.size for f in self._frames.values())
+            if actual_bytes != self._resident_bytes:
+                raise StorageError(
+                    f"resident_bytes {self._resident_bytes} != "
+                    f"sum of frame sizes {actual_bytes}"
+                )
+            if self._resident_bytes > self.capacity_bytes:
+                raise StorageError(
+                    f"resident_bytes {self._resident_bytes} exceeds capacity "
+                    f"{self.capacity_bytes}"
+                )
+            total_pins = sum(f.pin_count for f in self._frames.values())
+            ledger = sum(self._pins_by_thread.values())
+            if total_pins != ledger:
+                raise StorageError(
+                    f"pin counts unbalanced: frames hold {total_pins}, "
+                    f"thread ledger holds {ledger}"
+                )
+            if expect_unpinned and total_pins:
+                raise StorageError(f"{total_pins} pin(s) outstanding on a quiescent pool")
+            if any(f.pin_count < 0 for f in self._frames.values()):
+                raise StorageError("negative pin count")
+            if self.stats.hits + self.stats.misses != self.stats.accesses:
+                raise StorageError("hit/miss accounting inconsistent")
+
+    # ------------------------------------------------------------------
+    # Eviction (callers hold self._lock)
+    # ------------------------------------------------------------------
     def _make_room(self, needed: int) -> None:
         if needed > self.capacity_bytes:
             raise StorageError(
                 f"page of {needed} bytes exceeds pool capacity "
                 f"{self.capacity_bytes}"
             )
+        waited = 0.0
         while self._resident_bytes + needed > self.capacity_bytes:
             victim_id = self._pick_victim()
+            if victim_id is None:
+                # Every resident page is pinned.  If any pin belongs to
+                # another thread, wait for a release; if they are all ours
+                # nobody can ever unpin and waiting would self-deadlock.
+                if self._only_own_pins():
+                    raise StorageError(
+                        "buffer pool exhausted: every resident page is pinned"
+                    )
+                if waited >= self.pin_wait_timeout:
+                    raise StorageError(
+                        "buffer pool exhausted: every resident page is pinned "
+                        f"(waited {waited:.1f}s for a release)"
+                    )
+                self.stats.pin_waits += 1
+                step = min(0.5, self.pin_wait_timeout - waited)
+                self._cond.wait(timeout=step)
+                waited += step
+                continue
             victim = self._frames[victim_id]
             was_dirty = victim.dirty
             if victim.dirty:
@@ -165,8 +333,8 @@ class BufferPool:
             self._resident_bytes -= victim.size
             self.stats.evictions += 1
 
-    def _pick_victim(self) -> PageId:
+    def _pick_victim(self) -> PageId | None:
         for page_id, frame in self._frames.items():  # LRU order
             if frame.pin_count == 0:
                 return page_id
-        raise StorageError("buffer pool exhausted: every resident page is pinned")
+        return None

@@ -21,6 +21,7 @@ assumes.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import asdict, dataclass, field
 from typing import Any, Callable, Type
@@ -238,6 +239,10 @@ class StorageManager:
         self.root_page: int | None = None
         self._page_of: dict[int, int] = {}
         self._next_page = 1
+        #: Guards the node->page table and page-id allocation: concurrent
+        #: readers racing an optimistic traversal against a writer that is
+        #: creating nodes must never double-allocate a page id.
+        self._page_lock = threading.Lock()
         self._payloads: dict[int, Any] = {}
         #: Number of checkpoints completed; stamped into page headers.
         self.generation = 0
@@ -269,15 +274,16 @@ class StorageManager:
         self._retrying(f"touch page {page_id}", lambda: self.pool.touch(page_id))
 
     def _ensure_page(self, node: Node) -> int:
-        page_id = self._page_of.get(node.node_id)
-        if page_id is None:
-            page_id = self._next_page
-            self._next_page += 1
-            self._page_of[node.node_id] = page_id
-            size = self.tree.config.node_bytes(node.level)
-            self._retrying(
-                f"allocate page {page_id}", lambda: self.disk.allocate(page_id, size)
-            )
+        with self._page_lock:
+            page_id = self._page_of.get(node.node_id)
+            if page_id is None:
+                page_id = self._next_page
+                self._next_page += 1
+                self._page_of[node.node_id] = page_id
+                size = self.tree.config.node_bytes(node.level)
+                self._retrying(
+                    f"allocate page {page_id}", lambda: self.disk.allocate(page_id, size)
+                )
         return page_id
 
     # ------------------------------------------------------------------

@@ -1,0 +1,112 @@
+"""Property test: buffer-pool accounting survives arbitrary op sequences.
+
+Drives randomized ``fetch``/``release``/``touch``/``drop``/``flush``
+sequences against a small pool with a single-threaded oracle tracking the
+expected pin state, and asserts :meth:`BufferPool.verify_accounting`
+(the same invariant battery the multi-threaded stress harness runs) plus
+stats consistency after every step.
+"""
+
+from collections import Counter
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import StorageError
+from repro.storage import BufferPool, SimulatedDisk
+
+#: Six allocatable pages of two sizes; the pool fits ~3 small pages, so
+#: sequences regularly trigger eviction, pinned-full, and drop paths.
+PAGE_SIZES = {1: 1024, 2: 1024, 3: 1024, 4: 512, 5: 512, 6: 2048}
+CAPACITY = 3 * 1024
+
+_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["fetch", "release", "touch", "drop", "flush"]),
+        st.sampled_from(sorted(PAGE_SIZES)),
+        st.booleans(),  # dirty flag for release/touch
+    ),
+    max_size=60,
+)
+
+
+def _fresh_pool() -> BufferPool:
+    disk = SimulatedDisk()
+    for page_id, size in PAGE_SIZES.items():
+        disk.allocate(page_id, size)
+    return BufferPool(disk, capacity_bytes=CAPACITY)
+
+
+@settings(
+    max_examples=150, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+@given(ops=_ops)
+def test_accounting_invariants_hold(ops):
+    pool = _fresh_pool()
+    pins: Counter = Counter()  # oracle: page -> pins we hold
+
+    for op, page_id, dirty in ops:
+        if op == "fetch":
+            try:
+                pool.fetch(page_id)
+            except StorageError:
+                # Only legal when the pool genuinely cannot make room:
+                # every resident page is pinned (all pins are ours — the
+                # self-deadlock guard) and the page is not yet resident.
+                assert page_id not in pins or pins[page_id] == 0
+                assert sum(pins.values()) > 0
+            else:
+                pins[page_id] += 1
+        elif op == "release":
+            if pins[page_id] > 0:
+                pool.release(page_id, dirty=dirty)
+                pins[page_id] -= 1
+            else:
+                with pytest.raises(StorageError):
+                    pool.release(page_id, dirty=dirty)
+        elif op == "touch":
+            try:
+                pool.touch(page_id, dirty=dirty)
+            except StorageError:
+                assert pins[page_id] == 0 and sum(pins.values()) > 0
+        elif op == "drop":
+            if pins[page_id] > 0:
+                with pytest.raises(StorageError):
+                    pool.drop(page_id)
+            else:
+                pool.drop(page_id)  # silent no-op when not resident
+        elif op == "flush":
+            pool.flush()
+
+        pool.verify_accounting()
+        stats = pool.stats
+        assert stats.accesses == stats.hits + stats.misses
+        assert pool.resident_bytes <= CAPACITY
+        assert pool.resident_pages == len(pool._frames)
+        # Every page the oracle believes pinned must be resident with at
+        # least that many pins (the pool never evicts or drops it).
+        for pid, count in pins.items():
+            if count > 0:
+                frame = pool._frames[pid]
+                assert frame.pin_count == count
+
+    # Teardown: release every outstanding pin, then the pool must be
+    # fully quiescent (this is what the stress harness asserts post-run).
+    for pid, count in pins.items():
+        for _ in range(count):
+            pool.release(pid)
+    pool.verify_accounting(expect_unpinned=True)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    ops=st.lists(st.sampled_from(sorted(PAGE_SIZES)), min_size=1, max_size=40)
+)
+def test_touch_sequences_never_leak_pins(ops):
+    """touch() (the StorageManager access path) must always pin-balance."""
+    pool = _fresh_pool()
+    for page_id in ops:
+        pool.touch(page_id, dirty=(page_id % 2 == 0))
+        pool.verify_accounting(expect_unpinned=True)
+    assert pool.stats.accesses == len(ops)

@@ -108,6 +108,20 @@ class TestIndexRegistry:
             "transient_errors", "retries", "failed_ops",
         }
 
+    def test_latch_source(self, tree):
+        from repro import ConcurrentIndex
+
+        index = ConcurrentIndex(tree)
+        reg = index_registry(tree, concurrency=index)
+        index.search(segment(5.0, 6.0, 10.0))
+        index.insert(segment(40.0, 41.0, 1.0))
+        snap = reg.snapshot()
+        assert snap["latch"]["writes"] == 1
+        assert snap["latch"]["write_acquires"] == 1
+        assert snap["latch"]["optimistic_reads"] == 1
+        json.dumps(snap)
+        index.detach()
+
     def test_structure_source_and_json(self, tree):
         reg = index_registry(tree, structure=True)
         snap = reg.snapshot()

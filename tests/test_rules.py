@@ -40,6 +40,32 @@ class TestLockManagement:
         assert locks.locks_for_value(5) == []
         assert locks.unlock(h) is False
 
+    def test_second_unlock_false_without_corrupting_state(self):
+        locks = RuleLockIndex()
+        h1 = locks.lock_range("r1", 0, 10)
+        h2 = locks.lock_range("r2", 20, 30)
+        assert locks.unlock(h1) is True
+        assert locks.unlock(h1) is False  # second unlock: clean refusal
+        # The surviving lock is untouched by the refused unlock.
+        assert len(locks) == 1
+        assert [l.rule_id for l in locks.locks_for_value(25)] == ["r2"]
+        assert locks.unlock(h2) is True
+        assert len(locks) == 0
+
+    def test_failed_tree_delete_keeps_handle_entry(self, monkeypatch):
+        locks = RuleLockIndex()
+        h = locks.lock_range("r", 0, 10)
+        # If the tree delete removes nothing, unlock must report failure
+        # and keep the handle entry so a retry can still succeed (the old
+        # pop-before-delete ordering stranded the lock forever).
+        monkeypatch.setattr(locks._tree, "delete", lambda *a, **k: 0)
+        assert locks.unlock(h) is False
+        assert len(locks) == 1
+        monkeypatch.undo()
+        assert locks.unlock(h) is True
+        assert len(locks) == 0
+        assert locks.locks_for_value(5) == []
+
     def test_inverted_range_rejected(self):
         locks = RuleLockIndex()
         with pytest.raises(WorkloadError):

@@ -172,3 +172,33 @@ class TestBufferPool:
     def test_bad_capacity_rejected(self):
         with pytest.raises(StorageError):
             BufferPool(SimulatedDisk(), capacity_bytes=0)
+
+    def test_drop_pinned_rejected(self):
+        pool = BufferPool(self._disk(), capacity_bytes=256)
+        pool.fetch(1)  # pinned
+        with pytest.raises(StorageError):
+            pool.drop(1)
+        # The refused drop must leave the frame fully intact.
+        assert pool.resident_pages == 1
+        pool.release(1)
+        pool.drop(1)
+        assert pool.resident_pages == 0
+        pool.verify_accounting(expect_unpinned=True)
+
+    def test_drop_clears_dirty_flag(self):
+        disk = self._disk()
+        pool = BufferPool(disk, capacity_bytes=256)
+        frame = pool.fetch(1)
+        frame.write(b"z" * 64)
+        pool.release(1, dirty=True)
+        pool.drop(1)
+        # Dropped means discarded: no writeback, and the stale frame
+        # object cannot leak its dirty flag into a re-allocated page id.
+        assert frame.dirty is False
+        assert pool.stats.dirty_writebacks == 0
+        assert disk.read_page(1) == b"\x00" * 64
+
+    def test_drop_nonresident_is_noop(self):
+        pool = BufferPool(self._disk(), capacity_bytes=256)
+        pool.drop(99)  # never resident, never allocated: silently ignored
+        pool.verify_accounting(expect_unpinned=True)
