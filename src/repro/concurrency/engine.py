@@ -59,6 +59,9 @@ class ConcurrentEngine:
     :meth:`_read` / :meth:`_write`.
     """
 
+    #: Smallest node-latch table worth sweeping for dead entries.
+    _LATCH_PRUNE_FLOOR = 256
+
     def __init__(
         self,
         tree: RTree,
@@ -75,6 +78,9 @@ class ConcurrentEngine:
         self._index_latch = RWLatch("index", stats=self.latch_stats, tracer=self.tracer)
         self._node_latches: dict[int, RWLatch] = {}
         self._table_lock = threading.Lock()
+        #: Prune dead node-latch entries once the table outgrows this;
+        #: re-derived after each prune so the sweep stays amortized O(1).
+        self._latch_prune_threshold = self._LATCH_PRUNE_FLOOR
         #: Seqlock version: even = quiescent, odd = writer mutating.
         self._version = 0
         self._op_lock = threading.Lock()
@@ -136,6 +142,25 @@ class ConcurrentEngine:
         for node_id in [nid for nid in held if nid not in path]:
             held.pop(node_id).release_read()
 
+    def _prune_node_latches(self) -> None:
+        """Drop latch entries for node ids no longer in the tree.
+
+        Runs on the write path while the exclusive index latch is still
+        held, so no thread can hold (or be acquiring) any node latch and
+        entries can be discarded safely.  Without this the table grows
+        monotonically: splits/merges retire node ids forever, leaking
+        latches in a long-running engine with write churn.
+        """
+        with self._table_lock:
+            if len(self._node_latches) < self._latch_prune_threshold:
+                return
+            live = {node.node_id for node in self._tree.iter_nodes()}
+            for node_id in [nid for nid in self._node_latches if nid not in live]:
+                del self._node_latches[node_id]
+            self._latch_prune_threshold = max(
+                self._LATCH_PRUNE_FLOOR, 2 * len(self._node_latches)
+            )
+
     # ------------------------------------------------------------------
     # Read / write funnels
     # ------------------------------------------------------------------
@@ -179,11 +204,13 @@ class ConcurrentEngine:
         try:
             self._version += 1  # odd: mutation in progress
             try:
-                return fn()
+                result = fn()
             finally:
                 self._version += 1  # even: quiescent again
                 with self._op_lock:
                     self.writes += 1
+            self._prune_node_latches()
+            return result
         finally:
             self._index_latch.release_write()
 

@@ -147,15 +147,26 @@ class RWLatch:
     # ------------------------------------------------------------------
     def acquire_read(self, timeout: float | None = None) -> None:
         started: float | None = None
+        deadline: float | None = None
         with self._cond:
             while self._writer is not None or self._waiting_writers:
                 if started is None:
                     started = time.perf_counter()
+                    if timeout is not None:
+                        # One deadline for the whole acquisition: each
+                        # wakeup (e.g. readers draining one by one) must
+                        # not restart the clock.
+                        deadline = started + timeout
                     self._trace_wait("read")
-                if not self._cond.wait(timeout=timeout):
-                    raise ConcurrencyError(
-                        f"timed out acquiring read latch {self.name!r}"
-                    )
+                if deadline is None:
+                    self._cond.wait()
+                else:
+                    remaining = deadline - time.perf_counter()
+                    if remaining <= 0:
+                        raise ConcurrencyError(
+                            f"timed out acquiring read latch {self.name!r}"
+                        )
+                    self._cond.wait(timeout=remaining)
             self._readers += 1
         waited = None if started is None else time.perf_counter() - started
         self.stats.record_acquire("read", waited)
@@ -177,6 +188,7 @@ class RWLatch:
     def acquire_write(self, timeout: float | None = None) -> None:
         me = threading.get_ident()
         started: float | None = None
+        deadline: float | None = None
         with self._cond:
             if self._writer == me:
                 raise ConcurrencyError(
@@ -187,11 +199,18 @@ class RWLatch:
                 while self._readers or self._writer is not None:
                     if started is None:
                         started = time.perf_counter()
+                        if timeout is not None:
+                            deadline = started + timeout
                         self._trace_wait("write")
-                    if not self._cond.wait(timeout=timeout):
-                        raise ConcurrencyError(
-                            f"timed out acquiring write latch {self.name!r}"
-                        )
+                    if deadline is None:
+                        self._cond.wait()
+                    else:
+                        remaining = deadline - time.perf_counter()
+                        if remaining <= 0:
+                            raise ConcurrencyError(
+                                f"timed out acquiring write latch {self.name!r}"
+                            )
+                        self._cond.wait(timeout=remaining)
             finally:
                 self._waiting_writers -= 1
             self._writer = me

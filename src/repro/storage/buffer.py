@@ -32,6 +32,7 @@ resident-dirty" invariant trivially crash-safe (see PR 2).
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
 
@@ -111,6 +112,10 @@ class BufferPool:
         self._cond = threading.Condition(self._lock)
         #: Pages currently being read from disk (reads happen unlatched).
         self._loading: set[PageId] = set()
+        #: Pages dropped while their unlatched read was in flight; the
+        #: loading thread discards its frame instead of resurrecting the
+        #: deallocated page in the pool.
+        self._dropped_while_loading: set[PageId] = set()
         #: Outstanding pins per thread id; lets a saturated fetch tell a
         #: recoverable wait from a self-deadlock.
         self._pins_by_thread: dict[int, int] = {}
@@ -176,24 +181,33 @@ class BufferPool:
         except BaseException:
             with self._cond:
                 self._loading.discard(page_id)
+                self._dropped_while_loading.discard(page_id)
                 self._cond.notify_all()
             raise
         frame = Page(page_id, len(data), bytearray(data))
         with self._cond:
-            self._loading.discard(page_id)
+            # page_id stays in the in-flight table until the frame is
+            # actually inserted: _make_room can release the mutex while
+            # waiting for a pin, and a concurrent fetch of the same page
+            # must keep waiting rather than issue a duplicate read and
+            # insert a second frame over this one.
             try:
+                if page_id in self._dropped_while_loading:
+                    raise StorageError(f"page {page_id} was dropped during fetch")
                 self._make_room(frame.size)
-            except BaseException:
+                if page_id in self._dropped_while_loading:
+                    raise StorageError(f"page {page_id} was dropped during fetch")
+                if self.tracer.enabled:
+                    self.tracer.event(
+                        "page_fetch", page_id=page_id, hit=False, page_bytes=frame.size
+                    )
+                self._frames[page_id] = frame
+                self._resident_bytes += frame.size
+                self._pin(frame)
+            finally:
+                self._loading.discard(page_id)
+                self._dropped_while_loading.discard(page_id)
                 self._cond.notify_all()
-                raise
-            if self.tracer.enabled:
-                self.tracer.event(
-                    "page_fetch", page_id=page_id, hit=False, page_bytes=frame.size
-                )
-            self._frames[page_id] = frame
-            self._resident_bytes += frame.size
-            self._pin(frame)
-            self._cond.notify_all()
         return frame
 
     def release(self, page_id: PageId, dirty: bool = False) -> None:
@@ -227,9 +241,17 @@ class BufferPool:
 
         Dropping a pinned page is an error: some caller still holds the
         frame, and silently unframing it would corrupt pin accounting the
-        moment that caller releases.
+        moment that caller releases.  Dropping a page whose disk read is
+        still in flight invalidates the load — that fetch raises
+        :class:`StorageError` instead of resurrecting the dropped page.
         """
         with self._cond:
+            if page_id in self._loading:
+                # An unlatched disk read of this page is in flight; mark it
+                # so the loader discards its frame instead of resurrecting
+                # the deallocated page in the pool.
+                self._dropped_while_loading.add(page_id)
+                return
             frame = self._frames.get(page_id)
             if frame is None:
                 return
@@ -291,7 +313,7 @@ class BufferPool:
                 f"page of {needed} bytes exceeds pool capacity "
                 f"{self.capacity_bytes}"
             )
-        waited = 0.0
+        deadline: float | None = None
         while self._resident_bytes + needed > self.capacity_bytes:
             victim_id = self._pick_victim()
             if victim_id is None:
@@ -302,15 +324,20 @@ class BufferPool:
                     raise StorageError(
                         "buffer pool exhausted: every resident page is pinned"
                     )
-                if waited >= self.pin_wait_timeout:
+                # Wall-clock deadline: cond waits wake early on every
+                # notify (releases, load completions, drops), so counting
+                # nominal steps would exhaust the timeout after far less
+                # real waiting.
+                now = time.monotonic()
+                if deadline is None:
+                    deadline = now + self.pin_wait_timeout
+                if now >= deadline:
                     raise StorageError(
                         "buffer pool exhausted: every resident page is pinned "
-                        f"(waited {waited:.1f}s for a release)"
+                        f"(waited {self.pin_wait_timeout:.1f}s for a release)"
                     )
                 self.stats.pin_waits += 1
-                step = min(0.5, self.pin_wait_timeout - waited)
-                self._cond.wait(timeout=step)
-                waited += step
+                self._cond.wait(timeout=min(0.5, deadline - now))
                 continue
             victim = self._frames[victim_id]
             was_dirty = victim.dirty

@@ -16,7 +16,8 @@ from repro.concurrency import (
     run_stress,
 )
 from repro.concurrency.stress import STRESS_INDEX_TYPES
-from repro.exceptions import ConcurrencyError
+from repro.exceptions import ConcurrencyError, StorageError
+from repro.storage import BufferPool, SimulatedDisk
 
 _TINY = IndexConfig(leaf_node_bytes=200, entry_bytes=40, coalesce_interval=25)
 
@@ -279,6 +280,232 @@ class TestStressHarness:
             seed=9, readers=2, writers=2, ops_per_thread=30, initial_locks=40
         )
         assert result.inserts > 0 and result.searches > 0
+
+
+def _wait_until(pred, timeout=5.0, interval=0.005):
+    deadline = time.perf_counter() + timeout
+    while time.perf_counter() < deadline:
+        if pred():
+            return
+        time.sleep(interval)
+    raise AssertionError("condition not reached in time")
+
+
+class TestLatchDeadlines:
+    """Timeouts must bound real wall-clock time, not restart per wakeup."""
+
+    def _spurious_notifier(self, latch, stop):
+        # Wake waiters repeatedly without ever changing latch state; with a
+        # per-wait timeout each wakeup would restart the clock and the
+        # acquisition would never time out while notifies keep arriving.
+        def run():
+            while not stop.is_set():
+                with latch._cond:
+                    latch._cond.notify_all()
+                time.sleep(0.01)
+
+        t = threading.Thread(target=run)
+        t.start()
+        return t
+
+    def test_read_timeout_is_wall_clock(self):
+        latch = RWLatch()
+        latch.acquire_write()
+        stop = threading.Event()
+        notifier = self._spurious_notifier(latch, stop)
+        try:
+            start = time.perf_counter()
+            with pytest.raises(ConcurrencyError):
+                latch.acquire_read(timeout=0.3)
+            elapsed = time.perf_counter() - start
+            assert 0.25 <= elapsed < 2.0
+        finally:
+            stop.set()
+            notifier.join()
+            latch.release_write()
+
+    def test_write_timeout_is_wall_clock(self):
+        latch = RWLatch()
+        latch.acquire_read()
+        stop = threading.Event()
+        notifier = self._spurious_notifier(latch, stop)
+        try:
+            start = time.perf_counter()
+            with pytest.raises(ConcurrencyError):
+                latch.acquire_write(timeout=0.3)
+            elapsed = time.perf_counter() - start
+            assert 0.25 <= elapsed < 2.0
+        finally:
+            stop.set()
+            notifier.join()
+            latch.release_read()
+
+
+class TestNodeLatchPruning:
+    def test_dead_node_ids_pruned_on_write(self):
+        tree = SRTree(_TINY)
+        engine = ConcurrentIndex(tree, optimistic=False)
+        rng_boxes = [
+            Rect((float(i), float(i)), (float(i) + 0.5, float(i) + 0.5))
+            for i in range(150)
+        ]
+        rids = [engine.insert(r, payload=i) for i, r in enumerate(rng_boxes)]
+        # Pessimistic searches populate the per-node latch table.
+        engine.search(Rect((0.0, 0.0), (150.0, 150.0)))
+        populated = len(engine._node_latches)
+        assert populated > 1
+        # Deleting most records merges nodes away, retiring their ids.
+        for rid in rids[:-10]:
+            engine.delete(rid)
+        engine._latch_prune_threshold = 1  # force the amortized sweep
+        engine.insert(Rect((500.0, 500.0), (501.0, 501.0)))
+        live = {node.node_id for node in tree.iter_nodes()}
+        assert set(engine._node_latches) <= live
+        assert engine._latch_prune_threshold >= engine._LATCH_PRUNE_FLOOR
+
+    def test_prune_skipped_below_threshold(self):
+        engine = ConcurrentIndex(SRTree(_TINY), optimistic=False)
+        engine.insert(Rect((0.0, 0.0), (1.0, 1.0)))
+        engine.search(Rect((0.0, 0.0), (1.0, 1.0)))
+        before = dict(engine._node_latches)
+        engine.insert(Rect((2.0, 2.0), (3.0, 3.0)))  # table well under floor
+        for node_id, latch in before.items():
+            assert engine._node_latches.get(node_id) is latch
+
+
+class TestBufferPoolRaces:
+    """Deterministic regressions for the fetch/drop races and the
+    pin-wait timeout accounting."""
+
+    @staticmethod
+    def _disk(pages=2, size=64):
+        disk = SimulatedDisk()
+        for pid in range(1, pages + 1):
+            disk.allocate(pid, size)
+        return disk
+
+    def test_no_duplicate_read_while_pin_waiting(self):
+        # Thread A faults page 2 into a pool saturated by main's pin and
+        # blocks in the pin wait; thread B fetches page 2 concurrently.
+        # B must wait on A's in-flight read — not issue a second disk read
+        # and insert a frame A's insert would then clobber.
+        disk = self._disk(pages=2, size=64)
+        reads: dict[int, int] = {}
+        orig_read = disk.read_page
+
+        def counting_read(page_id):
+            reads[page_id] = reads.get(page_id, 0) + 1
+            return orig_read(page_id)
+
+        disk.read_page = counting_read
+        pool = BufferPool(disk, capacity_bytes=64, pin_wait_timeout=10.0)
+        pool.fetch(1)  # pool is now full and pinned by this thread
+
+        frames: dict[str, object] = {}
+        errors: list[BaseException] = []
+
+        def fetcher(name):
+            try:
+                frames[name] = pool.fetch(2)
+                pool.release(2)
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        a = threading.Thread(target=fetcher, args=("a",))
+        a.start()
+        _wait_until(lambda: pool.stats.pin_waits >= 1)
+        b = threading.Thread(target=fetcher, args=("b",))
+        b.start()
+        _wait_until(lambda: pool.stats.load_waits >= 1)
+        pool.release(1)  # unblocks A's eviction
+        a.join(timeout=15.0)
+        b.join(timeout=15.0)
+        assert not a.is_alive() and not b.is_alive()
+        assert errors == []
+        assert frames["a"] is frames["b"]  # one frame, not a clobbered pair
+        assert reads.get(2) == 1  # no duplicate disk read
+        pool.verify_accounting(expect_unpinned=True)
+
+    def test_pin_wait_timeout_is_wall_clock(self):
+        # Frequent releases notify the pool's condition variable; each
+        # early wakeup must not burn a full nominal step of the timeout.
+        disk = self._disk(pages=2, size=64)
+        pool = BufferPool(disk, capacity_bytes=64, pin_wait_timeout=5.0)
+        pool.fetch(1)
+
+        stop = threading.Event()
+
+        def notifier():
+            # Public-API notifications: every release() notifies waiters.
+            while not stop.is_set():
+                pool.touch(1)
+                time.sleep(0.005)
+
+        n = threading.Thread(target=notifier)
+        n.start()
+
+        result: list[object] = []
+        errors: list[BaseException] = []
+
+        def fetcher():
+            try:
+                result.append(pool.fetch(2))
+                pool.release(2)
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        f = threading.Thread(target=fetcher)
+        f.start()
+        _wait_until(lambda: pool.stats.pin_waits >= 3)
+        pool.release(1)
+        f.join(timeout=15.0)
+        stop.set()
+        n.join(timeout=15.0)
+        assert not f.is_alive() and not n.is_alive()
+        assert errors == []  # old accounting raised "exhausted" spuriously
+        assert result
+        pool.verify_accounting(expect_unpinned=True)
+
+    def test_drop_invalidates_inflight_load(self):
+        # drop() of a page whose unlatched disk read is in flight must not
+        # let the loader resurrect the dropped page in the pool.
+        disk = self._disk(pages=2, size=64)
+        started = threading.Event()
+        unblock = threading.Event()
+        orig_read = disk.read_page
+
+        def gated_read(page_id):
+            if page_id == 2:
+                started.set()
+                assert unblock.wait(timeout=10.0)
+            return orig_read(page_id)
+
+        disk.read_page = gated_read
+        pool = BufferPool(disk, capacity_bytes=256)
+
+        errors: list[BaseException] = []
+
+        def fetcher():
+            try:
+                pool.fetch(2)
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        f = threading.Thread(target=fetcher)
+        f.start()
+        assert started.wait(timeout=10.0)
+        pool.drop(2)  # read in flight: must invalidate, not no-op
+        unblock.set()
+        f.join(timeout=15.0)
+        assert not f.is_alive()
+        assert len(errors) == 1 and isinstance(errors[0], StorageError)
+        assert pool.resident_pages == 0  # dropped page was not resurrected
+        pool.verify_accounting(expect_unpinned=True)
+        # The invalidation is one-shot: a later fetch works normally.
+        frame = pool.fetch(2)
+        assert frame.size == 64
+        pool.release(2)
+        pool.verify_accounting(expect_unpinned=True)
 
 
 @pytest.mark.stress
