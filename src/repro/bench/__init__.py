@@ -7,6 +7,7 @@ from .batchbench import (
     uniform_queries,
 )
 from .concurrentbench import format_concurrent_report, run_concurrent_bench
+from .slobench import format_slo_report, run_slo_bench
 from .cost_model import expected_node_accesses, predict_qar_series
 from .experiment import (
     INDEX_TYPES,
@@ -32,6 +33,8 @@ __all__ = [
     "format_concurrent_report",
     "run_batch_bench",
     "run_concurrent_bench",
+    "format_slo_report",
+    "run_slo_bench",
     "uniform_queries",
     "INDEX_TYPES",
     "PREDICTION_FRACTION",

@@ -14,6 +14,12 @@ Commands:
 * ``bench-concurrent`` — measure concurrent read throughput through the
   latched serving engine at 1/2/4 reader threads over a latency-modelled
   buffer pool, emitting ``BENCH_concurrent.json``;
+* ``bench-slo`` — drive the multi-tenant open-loop traffic schedule
+  against every index variant and record per-(class, tenant) latency
+  histograms with p50/p90/p99/p999 tails, emitting ``BENCH_slo.json``;
+* ``slo``       — evaluate tail-latency objectives (a JSON spec of
+  quantile bounds over latency series) against a bench report; exit 1
+  when any objective fails;
 * ``stats``     — pretty-print a machine-readable ``BENCH_*.json`` report;
 * ``fsck``      — verify a checkpointed page store: recover the page
   table, CRC-check every page, rebuild the tree and run the structural
@@ -352,6 +358,49 @@ def _cmd_bench_concurrent(args) -> int:
     return 0
 
 
+def _cmd_bench_slo(args) -> int:
+    """Run the tail-latency / SLO benchmark."""
+    from .bench.batchbench import BATCH_INDEX_TYPES
+    from .bench.slobench import format_slo_report, run_slo_bench
+    from .obs.report import write_report
+
+    kinds = BATCH_INDEX_TYPES if args.index == "all" else (args.index,)
+    doc = run_slo_bench(
+        records=args.records,
+        ops=args.ops,
+        rate=args.rate,
+        threads=args.threads,
+        buffer_bytes=args.buffer_bytes,
+        seed=args.seed,
+        read_delay=args.read_delay,
+        breakdown_ops=args.breakdown_ops,
+        index_types=kinds,
+    )
+    print(format_slo_report(doc))
+    report_dir = _report_dir(args)
+    if report_dir:
+        path = write_report(doc, report_dir)
+        print(f"report written to {path}")
+    return 0
+
+
+def _cmd_slo(args) -> int:
+    """Evaluate SLO objectives against a bench report; exit 1 on failure."""
+    from .obs.slo import (
+        DEFAULT_SLO_SPEC,
+        evaluate_slo,
+        format_slo_results,
+        load_slo_spec,
+        parse_slo_spec,
+        slo_passed,
+    )
+
+    rules = load_slo_spec(args.spec) if args.spec else parse_slo_spec(DEFAULT_SLO_SPEC)
+    results = evaluate_slo(load_report(Path(args.report)), rules)
+    print(format_slo_results(results))
+    return 0 if slo_passed(results) else 1
+
+
 def _cmd_stats(args) -> int:
     """Pretty-print one or more BENCH_*.json run reports."""
     for i, path in enumerate(args.report):
@@ -491,6 +540,47 @@ def _parser() -> argparse.ArgumentParser:
     bc.add_argument("--report-dir", default=None)
     bc.add_argument("--no-report", action="store_true")
     bc.set_defaults(func=_cmd_bench_concurrent)
+
+    bs = sub.add_parser(
+        "bench-slo",
+        help="drive multi-tenant open-loop traffic and record latency tails",
+    )
+    bs.add_argument("--records", type=int, default=20_000)
+    bs.add_argument("--ops", type=int, default=2_000, help="operations per index type")
+    bs.add_argument(
+        "--rate", type=float, default=2_000.0, help="mean scheduled arrivals per second"
+    )
+    bs.add_argument("--threads", type=int, default=4, help="driver worker threads")
+    bs.add_argument("--buffer-bytes", type=int, default=32 * 1024)
+    bs.add_argument("--seed", type=int, default=1991)
+    bs.add_argument(
+        "--read-delay",
+        type=float,
+        default=0.0002,
+        help="simulated seconds of I/O stall per page fault",
+    )
+    bs.add_argument(
+        "--breakdown-ops",
+        type=int,
+        default=200,
+        help="operations in the traced latency-decomposition sub-run",
+    )
+    bs.add_argument(
+        "--index", default="all", choices=("all",) + INDEX_TYPES + ("Packed SR-Tree",)
+    )
+    bs.add_argument("--report-dir", default=None)
+    bs.add_argument("--no-report", action="store_true")
+    bs.set_defaults(func=_cmd_bench_slo)
+
+    slo = sub.add_parser(
+        "slo", help="evaluate tail-latency objectives against a bench report"
+    )
+    slo.add_argument("report", help="BENCH_*.json report file (e.g. BENCH_slo.json)")
+    slo.add_argument(
+        "--spec",
+        help="JSON SLO spec file (default: the built-in sanity objectives)",
+    )
+    slo.set_defaults(func=_cmd_slo)
 
     sta = sub.add_parser("stats", help="pretty-print BENCH_*.json run reports")
     sta.add_argument("report", nargs="+", help="report file(s) to print")

@@ -127,20 +127,42 @@ class RWLatch:
                     "latch_wait", latch=self.name, mode=mode, node_id=self.node_id
                 )
 
-    def _trace_acquire(self, mode: str, waited: bool) -> None:
-        if self.tracer.enabled:
-            if self.node_id is None:
+    def _trace_acquire(self, mode: str, waited: float | None) -> None:
+        # Contended grants carry the measured wait so span joins can
+        # attribute latency to latch time (repro.obs.latency.span_breakdown).
+        # R1 requires explicit keywords at call sites, hence the branches.
+        if not self.tracer.enabled:
+            return
+        if self.node_id is None:
+            if waited is None:
                 self.tracer.event(
-                    "latch_acquire", latch=self.name, mode=mode, waited=waited
+                    "latch_acquire", latch=self.name, mode=mode, waited=False
                 )
             else:
                 self.tracer.event(
                     "latch_acquire",
                     latch=self.name,
                     mode=mode,
-                    waited=waited,
-                    node_id=self.node_id,
+                    waited=True,
+                    wait_seconds=waited,
                 )
+        elif waited is None:
+            self.tracer.event(
+                "latch_acquire",
+                latch=self.name,
+                mode=mode,
+                waited=False,
+                node_id=self.node_id,
+            )
+        else:
+            self.tracer.event(
+                "latch_acquire",
+                latch=self.name,
+                mode=mode,
+                waited=True,
+                wait_seconds=waited,
+                node_id=self.node_id,
+            )
 
     # ------------------------------------------------------------------
     # Read side
@@ -170,7 +192,7 @@ class RWLatch:
             self._readers += 1
         waited = None if started is None else time.perf_counter() - started
         self.stats.record_acquire("read", waited)
-        self._trace_acquire("read", waited is not None)
+        self._trace_acquire("read", waited)
 
     def release_read(self) -> None:
         with self._cond:
@@ -216,7 +238,7 @@ class RWLatch:
             self._writer = me
         waited = None if started is None else time.perf_counter() - started
         self.stats.record_acquire("write", waited)
-        self._trace_acquire("write", waited is not None)
+        self._trace_acquire("write", waited)
 
     def release_write(self) -> None:
         with self._cond:

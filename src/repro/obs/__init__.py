@@ -28,6 +28,14 @@ from .events import (
     check_event_fields,
     check_span_fields,
 )
+from .latency import (
+    DEFAULT_SUB_BUCKET_BITS,
+    QUANTILE_LABELS,
+    LatencyRecorder,
+    LatencySeries,
+    format_ns,
+    span_breakdown,
+)
 from .registry import (
     BYTES_READ_BUCKETS,
     NODES_PER_SEARCH_BUCKETS,
@@ -39,12 +47,25 @@ from .registry import (
 )
 from .report import (
     SCHEMA,
+    SCHEMA_V1,
     build_report,
+    format_latency_line,
     format_report,
     load_report,
     report_filename,
+    upgrade_report,
     validate_report,
     write_report,
+)
+from .slo import (
+    DEFAULT_SLO_SPEC,
+    SloResult,
+    SloRule,
+    evaluate_slo,
+    format_slo_results,
+    load_slo_spec,
+    parse_slo_spec,
+    slo_passed,
 )
 from .sinks import JsonlSink, NullSink, RingBufferSink, TeeSink, read_jsonl
 from .tracer import EVENT_TYPES, NULL_TRACER, NullTracer, TraceEvent, Tracer
@@ -77,11 +98,28 @@ __all__ = [
     "BYTES_READ_BUCKETS",
     "QueryTrace",
     "trace_search",
+    "DEFAULT_SUB_BUCKET_BITS",
+    "QUANTILE_LABELS",
+    "LatencyRecorder",
+    "LatencySeries",
+    "format_ns",
+    "span_breakdown",
     "SCHEMA",
+    "SCHEMA_V1",
     "build_report",
     "report_filename",
     "write_report",
     "load_report",
+    "upgrade_report",
     "validate_report",
     "format_report",
+    "format_latency_line",
+    "DEFAULT_SLO_SPEC",
+    "SloRule",
+    "SloResult",
+    "parse_slo_spec",
+    "load_slo_spec",
+    "evaluate_slo",
+    "slo_passed",
+    "format_slo_results",
 ]

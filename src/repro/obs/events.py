@@ -87,7 +87,9 @@ def _s(
     end: tuple[str, ...] = (),
     doc: str = "",
 ) -> SpanSpec:
-    return SpanSpec(op, frozenset(begin), frozenset(end), doc)
+    # Schema v2: every span's closing record carries the tracer-measured
+    # monotonic ``duration_ns``, so it is implicitly allowed on all ends.
+    return SpanSpec(op, frozenset(begin), frozenset(end) | {"duration_ns"}, doc)
 
 
 _EVENT_SPECS: tuple[EventSpec, ...] = (
@@ -144,7 +146,10 @@ _EVENT_SPECS: tuple[EventSpec, ...] = (
     _e(
         "page_fetch",
         required=("page_id", "hit", "page_bytes"),
-        doc="A page was requested from the buffer pool.",
+        optional=("read_ns",),
+        doc="A page was requested from the buffer pool (misses carry the "
+            "time blocked on the unlatched disk read — wall minus thread "
+            "CPU — as read_ns, so it adds cleanly to CPU measurements).",
     ),
     _e(
         "eviction",
@@ -177,14 +182,23 @@ _EVENT_SPECS: tuple[EventSpec, ...] = (
     _e(
         "latch_acquire",
         required=("latch", "mode"),
-        optional=("node_id", "waited"),
-        doc="A reader-writer latch was granted (mode 'read' or 'write').",
+        optional=("node_id", "waited", "wait_seconds"),
+        doc="A reader-writer latch was granted (mode 'read' or 'write'); "
+            "contended grants carry the measured wait as wait_seconds.",
     ),
     _e(
         "latch_wait",
         required=("latch", "mode"),
         optional=("node_id", "wait_seconds"),
         doc="A latch acquisition blocked on a conflicting holder.",
+    ),
+    # -- traffic driver events (workloads/traffic.py) --------------------
+    _e(
+        "op_dispatch",
+        required=("tenant", "query_class"),
+        optional=("lag_ns",),
+        doc="The open-loop traffic driver started one scheduled operation "
+            "(lag_ns = actual start minus scheduled start).",
     ),
 )
 
@@ -223,6 +237,14 @@ _SPAN_SPECS: tuple[SpanSpec, ...] = (
         begin=("records",),
         end=("leaves_touched", "splits", "reinserted"),
         doc="One grouped insertion with deferred split propagation.",
+    ),
+    _s(
+        "serve",
+        begin=("tenant", "query_class"),
+        end=("cpu_ns",),
+        doc="One traffic-driver operation end to end (latching, paging "
+            "and index work); cpu_ns is the driver-measured thread CPU "
+            "time, joined with latch/page events for the breakdown.",
     ),
 )
 

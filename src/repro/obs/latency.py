@@ -1,0 +1,349 @@
+"""Low-overhead log-bucketed latency recording (HDR-histogram style).
+
+:class:`LatencyRecorder` counts integer nanosecond values into
+logarithmic buckets: each power-of-two *octave* is subdivided into
+``2**sub_bucket_bits`` linear sub-buckets, so every recorded value lands
+in a bucket whose relative width is at most ``2**-(sub_bucket_bits-1)``
+(6.25% at the default of 5 bits), while values below the sub-bucket
+count are recorded exactly.  That bounded relative error is what makes
+the recorder's quantile estimates (:meth:`~LatencyRecorder.quantile`,
+p50/p90/p99/p999) trustworthy across nine orders of magnitude of
+latency without storing samples.
+
+Recorders are **thread-mergeable**: the intended concurrent-use pattern
+is one recorder per worker thread, merged (:meth:`~LatencyRecorder.merge`)
+into a master after the run — recording itself then needs no locks and
+costs one integer bucket computation plus a dict increment.  Merging is
+commutative and associative, so per-thread recorders can be combined in
+any order with identical results.
+
+:class:`LatencySeries` keys recorders by ``(query_class, tenant)`` — the
+two labels the tail-latency benches slice by — and snapshots to the
+``latencies`` section of the ``repro.bench-report/v2`` schema.
+
+:func:`span_breakdown` joins the timing events inside ``serve`` spans
+(``latch_acquire`` waits, ``page_fetch`` disk reads, driver-measured CPU
+time) back into per-operation latency decompositions.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Iterable, Iterator, Sequence
+
+from ..exceptions import ConfigError
+from .tracer import TraceEvent
+
+__all__ = [
+    "DEFAULT_SUB_BUCKET_BITS",
+    "QUANTILE_LABELS",
+    "LatencyRecorder",
+    "LatencySeries",
+    "format_ns",
+    "span_breakdown",
+]
+
+#: Octave subdivision: 2**5 = 32 linear sub-buckets per power of two,
+#: i.e. a worst-case relative bucket width of 2**-4 = 6.25%.
+DEFAULT_SUB_BUCKET_BITS = 5
+
+#: The quantiles every summary carries (SLO specs reference these names).
+QUANTILE_LABELS: tuple[tuple[str, float], ...] = (
+    ("p50", 0.50),
+    ("p90", 0.90),
+    ("p99", 0.99),
+    ("p999", 0.999),
+)
+
+
+def format_ns(ns: float) -> str:
+    """Human-readable duration: ``412ns`` / ``3.1us`` / ``12.4ms`` / ``2.1s``.
+
+    Unit boundaries sit at 999.5 so the 3-significant-digit rendering
+    never shows ``1e+03ms`` instead of ``1s``.
+    """
+    magnitude = abs(ns)
+    if magnitude < 999.5:
+        return f"{ns:.0f}ns"
+    if magnitude < 999.5e3:
+        return f"{ns / 1e3:.3g}us"
+    if magnitude < 999.5e6:
+        return f"{ns / 1e6:.3g}ms"
+    return f"{ns / 1e9:.3g}s"
+
+
+class LatencyRecorder:
+    """Log-bucketed nanosecond histogram with bounded relative error.
+
+    >>> rec = LatencyRecorder()
+    >>> for v in (100, 200, 300, 400_000):
+    ...     rec.record(v)
+    >>> rec.count
+    4
+    >>> 200 <= rec.quantile(0.5) <= 213  # within one bucket (6.25%)
+    True
+    """
+
+    __slots__ = ("sub_bucket_bits", "_sub_count", "_sub_half", "_sub_mask",
+                 "_counts", "count", "total", "_min", "_max")
+
+    def __init__(self, sub_bucket_bits: int = DEFAULT_SUB_BUCKET_BITS) -> None:
+        if not 1 <= sub_bucket_bits <= 12:
+            raise ConfigError(
+                f"sub_bucket_bits must be in [1, 12], got {sub_bucket_bits}"
+            )
+        self.sub_bucket_bits = sub_bucket_bits
+        self._sub_count = 1 << sub_bucket_bits
+        self._sub_half = self._sub_count >> 1
+        self._sub_mask = self._sub_count - 1
+        #: Sparse bucket table: counts index -> observation count.
+        self._counts: dict[int, int] = {}
+        self.count = 0
+        self.total = 0
+        self._min: int | None = None
+        self._max: int | None = None
+
+    # ------------------------------------------------------------------
+    # Bucket arithmetic
+    # ------------------------------------------------------------------
+    @property
+    def relative_error(self) -> float:
+        """Worst-case relative bucket width: ``2**-(sub_bucket_bits-1)``."""
+        return 2.0 ** -(self.sub_bucket_bits - 1)
+
+    def _index(self, value: int) -> int:
+        """Counts index for ``value`` (exact below ``2**sub_bucket_bits``)."""
+        octave = (value | self._sub_mask).bit_length() - self.sub_bucket_bits
+        if octave == 0:
+            return value
+        sub = value >> octave
+        return (octave + 1) * self._sub_half + (sub - self._sub_half)
+
+    def _bucket_high(self, index: int) -> int:
+        """Highest value mapping to counts index ``index`` (inclusive)."""
+        if index < self._sub_count:
+            return index
+        octave = index // self._sub_half - 1
+        sub = index % self._sub_half + self._sub_half
+        return ((sub + 1) << octave) - 1
+
+    # ------------------------------------------------------------------
+    # Recording / merging
+    # ------------------------------------------------------------------
+    def record(self, value_ns: int) -> None:
+        """Count one observation (negative values clamp to zero)."""
+        value = int(value_ns)
+        if value < 0:
+            value = 0
+        index = self._index(value)
+        counts = self._counts
+        counts[index] = counts.get(index, 0) + 1
+        self.count += 1
+        self.total += value
+        if self._min is None or value < self._min:
+            self._min = value
+        if self._max is None or value > self._max:
+            self._max = value
+
+    def record_seconds(self, seconds: float) -> None:
+        """Convenience for callers holding a float duration in seconds."""
+        self.record(round(seconds * 1e9))
+
+    def merge(self, other: "LatencyRecorder") -> None:
+        """Fold ``other``'s counts into this recorder (order-independent)."""
+        if other.sub_bucket_bits != self.sub_bucket_bits:
+            raise ConfigError(
+                "cannot merge recorders with different precisions: "
+                f"{self.sub_bucket_bits} vs {other.sub_bucket_bits} sub-bucket bits"
+            )
+        counts = self._counts
+        for index, n in other._counts.items():
+            counts[index] = counts.get(index, 0) + n
+        self.count += other.count
+        self.total += other.total
+        if other._min is not None and (self._min is None or other._min < self._min):
+            self._min = other._min
+        if other._max is not None and (self._max is None or other._max > self._max):
+            self._max = other._max
+
+    # ------------------------------------------------------------------
+    # Quantiles / export
+    # ------------------------------------------------------------------
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def min(self) -> int | None:
+        return self._min
+
+    @property
+    def max(self) -> int | None:
+        return self._max
+
+    def quantile(self, q: float) -> int:
+        """Upper bound (ns) of the bucket holding the ``q``-quantile.
+
+        The estimate is the smallest bucket bound with at least
+        ``ceil(q * count)`` observations at or below it, so it always
+        sits within one bucket's relative error *above* the true sample
+        quantile.  Returns 0 when nothing was recorded.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ConfigError(f"quantile must be in [0, 1], got {q}")
+        if not self.count:
+            return 0
+        rank = max(1, math.ceil(q * self.count))
+        seen = 0
+        for index in sorted(self._counts):
+            seen += self._counts[index]
+            if seen >= rank:
+                high = self._bucket_high(index)
+                # Never report beyond the observed maximum.
+                return high if self._max is None else min(high, self._max)
+        return self._max if self._max is not None else 0
+
+    def quantiles(self) -> dict[str, int]:
+        """The standard p50/p90/p99/p999 set, in nanoseconds."""
+        return {label: self.quantile(q) for label, q in QUANTILE_LABELS}
+
+    def summary(self) -> dict:
+        """JSON-ready summary for the v2 bench-report ``latencies`` section.
+
+        ``bins`` holds ``[upper_bound_ns, count]`` pairs for non-empty
+        buckets only, so a report stays compact however wide the
+        recorded range is.
+        """
+        return {
+            "unit": "ns",
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "min": self._min,
+            "max": self._max,
+            "quantiles": self.quantiles(),
+            "bins": [
+                [self._bucket_high(index), self._counts[index]]
+                for index in sorted(self._counts)
+            ],
+        }
+
+
+class LatencySeries:
+    """A labeled family of recorders keyed by ``(query_class, tenant)``.
+
+    ``recorder()`` is get-or-create under a lock (safe to call from any
+    thread), but the intended hot-path pattern is one series per worker
+    thread — resolve the recorder once per label pair, record without
+    synchronization, then :meth:`merge` the per-thread series at the end.
+    """
+
+    def __init__(self, sub_bucket_bits: int = DEFAULT_SUB_BUCKET_BITS) -> None:
+        self.sub_bucket_bits = sub_bucket_bits
+        self._lock = threading.Lock()
+        self._recorders: dict[tuple[str, str], LatencyRecorder] = {}
+
+    def recorder(self, query_class: str, tenant: str) -> LatencyRecorder:
+        key = (query_class, tenant)
+        with self._lock:
+            rec = self._recorders.get(key)
+            if rec is None:
+                rec = LatencyRecorder(self.sub_bucket_bits)
+                self._recorders[key] = rec
+            return rec
+
+    def merge(self, other: "LatencySeries") -> None:
+        with other._lock:
+            items = list(other._recorders.items())
+        for (query_class, tenant), rec in items:
+            self.recorder(query_class, tenant).merge(rec)
+
+    def labels(self) -> list[tuple[str, str]]:
+        with self._lock:
+            return sorted(self._recorders)
+
+    def __iter__(self) -> Iterator[tuple[tuple[str, str], LatencyRecorder]]:
+        with self._lock:
+            items = sorted(self._recorders.items())
+        return iter(items)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._recorders)
+
+    def total_count(self) -> int:
+        """Observations across every labeled recorder."""
+        return sum(rec.count for _, rec in self)
+
+    def snapshot(self, prefix: str = "") -> dict[str, dict]:
+        """``"<prefix><class>/<tenant>" -> summary`` for report emission."""
+        return {
+            f"{prefix}{query_class}/{tenant}": rec.summary()
+            for (query_class, tenant), rec in self
+        }
+
+
+# ----------------------------------------------------------------------
+# Span-joined latency decomposition
+# ----------------------------------------------------------------------
+def span_breakdown(
+    events: Sequence[TraceEvent] | Iterable[TraceEvent], op: str = "serve"
+) -> dict:
+    """Decompose each ``op`` span's latency into latch / disk / CPU time.
+
+    Joins, within every ``span_begin(op)``..``span_end(op)`` window of a
+    sequence-ordered event stream (a single-threaded traced run):
+
+    * ``latch_acquire`` events' ``wait_seconds`` -> ``latch_ns``;
+    * ``page_fetch`` events' ``read_ns`` (miss reads) -> ``disk_ns``;
+    * the driver-measured ``cpu_ns`` span-end field -> ``cpu_ns``;
+
+    against the span's monotonic ``duration_ns``.  Returns per-span rows
+    plus totals with ``accounted_fraction`` = (latch+disk+cpu)/duration —
+    the acceptance gate asks this to stay within 10% of 1.0 on traced
+    runs (the remainder is scheduler noise and untimed code between the
+    measured sections).
+    """
+    spans: list[dict] = []
+    current: dict | None = None
+    for event in events:
+        if event.etype == "span_begin" and event.op == op:
+            current = {
+                "span": event.span,
+                "latch_ns": 0,
+                "disk_ns": 0,
+                "cpu_ns": 0,
+                "duration_ns": 0,
+            }
+            for key in ("tenant", "query_class"):
+                if key in event.fields:
+                    current[key] = event.fields[key]
+        elif current is None:
+            continue
+        elif event.etype == "latch_acquire":
+            waited = event.fields.get("wait_seconds")
+            if waited is not None:
+                current["latch_ns"] += round(float(waited) * 1e9)
+        elif event.etype == "page_fetch":
+            read_ns = event.fields.get("read_ns")
+            if read_ns is not None:
+                current["disk_ns"] += int(read_ns)
+        elif event.etype == "span_end" and event.op == op and event.span == current["span"]:
+            current["duration_ns"] = int(event.fields.get("duration_ns", 0))
+            current["cpu_ns"] = int(event.fields.get("cpu_ns", 0))
+            spans.append(current)
+            current = None
+    total_duration = sum(s["duration_ns"] for s in spans)
+    totals = {
+        "spans": len(spans),
+        "duration_ns": total_duration,
+        "latch_ns": sum(s["latch_ns"] for s in spans),
+        "disk_ns": sum(s["disk_ns"] for s in spans),
+        "cpu_ns": sum(s["cpu_ns"] for s in spans),
+    }
+    accounted = totals["latch_ns"] + totals["disk_ns"] + totals["cpu_ns"]
+    totals["accounted_fraction"] = (
+        accounted / total_duration if total_duration else 0.0
+    )
+    return {"spans": spans, "totals": totals}

@@ -18,6 +18,7 @@ import json
 from typing import TYPE_CHECKING, Callable, Sequence
 
 from ..exceptions import ConfigError
+from .latency import DEFAULT_SUB_BUCKET_BITS, LatencyRecorder
 
 if TYPE_CHECKING:
     from ..concurrency.engine import ConcurrentEngine
@@ -154,6 +155,7 @@ class MetricsRegistry:
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
+        self._latencies: dict[str, LatencyRecorder] = {}
         self._sources: dict[str, Callable[[], dict]] = {}
 
     # -- registration (get-or-create) ----------------------------------
@@ -176,6 +178,20 @@ class MetricsRegistry:
             self._histograms[name] = Histogram(name, buckets)
         return self._histograms[name]
 
+    def latency(
+        self, name: str, sub_bucket_bits: int = DEFAULT_SUB_BUCKET_BITS
+    ) -> LatencyRecorder:
+        """Get-or-create a log-bucketed latency recorder (nanoseconds).
+
+        Unlike :meth:`histogram`'s fixed linear buckets, a latency
+        recorder keeps bounded *relative* error across the whole ns..s
+        range and snapshots with p50/p90/p99/p999 quantiles — the shape
+        the v2 bench-report ``latencies`` section carries.
+        """
+        if name not in self._latencies:
+            self._latencies[name] = LatencyRecorder(sub_bucket_bits)
+        return self._latencies[name]
+
     def source(self, name: str, fn: Callable[[], dict]) -> None:
         """Register a pull source whose dict appears under ``name``."""
         self._sources[name] = fn
@@ -190,6 +206,10 @@ class MetricsRegistry:
         if self._histograms:
             doc["histograms"] = {
                 n: h.summary() for n, h in sorted(self._histograms.items())
+            }
+        if self._latencies:
+            doc["latencies"] = {
+                n: r.summary() for n, r in sorted(self._latencies.items())
             }
         for name, fn in self._sources.items():
             doc[name] = fn()

@@ -7,17 +7,26 @@ files double as a perf trajectory across PRs — a future session can
 diff ``BENCH_graph1.json`` against its predecessor and see exactly which
 counter moved.
 
-Schema (``repro.bench-report/v1``)::
+Schema (``repro.bench-report/v2``)::
 
     {
-      "schema": "repro.bench-report/v1",
+      "schema": "repro.bench-report/v2",
       "name": "<run name>",
       "config": { ... run parameters ... },
       "wall_seconds": 1.23,
       "metrics": { ... registry / stats snapshot ... },
       "histograms": { "<name>": {count, sum, mean, min, max, le, counts} },
+      "latencies": { "<series>": {unit, count, sum, mean, min, max,
+                                  quantiles: {p50, p90, p99, p999},
+                                  bins: [[upper_bound_ns, count], ...]} },
       "extra": { ... optional free-form ... }
     }
+
+v2 adds the ``latencies`` section: log-bucketed latency summaries with
+p50/p90/p99/p999 quantiles, keyed by series name (the SLO benches use
+``<index>/<query_class>/<tenant>``).  v1 documents (no ``latencies``)
+are still accepted by :func:`load_report` / :func:`validate_report` and
+are upgraded in memory via :func:`upgrade_report`.
 """
 
 from __future__ import annotations
@@ -28,20 +37,30 @@ from numbers import Number
 from pathlib import Path
 
 from ..exceptions import InputFormatError
+from .latency import QUANTILE_LABELS, format_ns
 
 __all__ = [
     "SCHEMA",
+    "SCHEMA_V1",
     "build_report",
     "report_filename",
     "write_report",
     "load_report",
+    "upgrade_report",
     "validate_report",
     "format_report",
+    "format_latency_line",
 ]
 
-SCHEMA = "repro.bench-report/v1"
+SCHEMA = "repro.bench-report/v2"
+SCHEMA_V1 = "repro.bench-report/v1"
+
+#: Schemas ``validate_report`` accepts (newest first).
+_KNOWN_SCHEMAS = (SCHEMA, SCHEMA_V1)
 
 _REQUIRED = ("schema", "name", "config", "wall_seconds", "metrics", "histograms")
+
+_QUANTILE_KEYS = tuple(label for label, _ in QUANTILE_LABELS)
 
 
 def build_report(
@@ -51,9 +70,10 @@ def build_report(
     wall_seconds: float,
     metrics: dict,
     histograms: dict | None = None,
+    latencies: dict | None = None,
     extra: dict | None = None,
 ) -> dict:
-    """Assemble (and validate) a report document."""
+    """Assemble (and validate) a v2 report document."""
     doc = {
         "schema": SCHEMA,
         "name": name,
@@ -61,6 +81,7 @@ def build_report(
         "wall_seconds": wall_seconds,
         "metrics": metrics,
         "histograms": histograms or {},
+        "latencies": latencies or {},
     }
     if extra:
         doc["extra"] = extra
@@ -85,26 +106,47 @@ def write_report(doc: dict, out_dir: str | Path) -> Path:
 
 
 def load_report(path: str | Path) -> dict:
-    """Read and validate a report file."""
+    """Read, validate, and (for v1 files) upgrade a report document.
+
+    Whatever schema version is on disk, the returned in-memory document
+    is always current (v2): callers never need version branches.
+    """
     with Path(path).open() as fh:
         doc = json.load(fh)
     validate_report(doc)
-    return doc
+    return upgrade_report(doc)
+
+
+def upgrade_report(doc: dict) -> dict:
+    """Return ``doc`` at the current schema version (copying if upgraded).
+
+    v1 -> v2 adds the empty ``latencies`` section.  Already-current
+    documents are returned unchanged (not copied).
+    """
+    if doc.get("schema") == SCHEMA:
+        return doc
+    upgraded = dict(doc)
+    upgraded["schema"] = SCHEMA
+    upgraded.setdefault("latencies", {})
+    return upgraded
 
 
 def validate_report(doc: object) -> None:
-    """Raise ``ValueError`` listing every schema problem found."""
+    """Raise :class:`~repro.exceptions.InputFormatError` listing every
+    schema problem found.  Accepts current (v2) and v1 documents."""
     problems: list[str] = []
     if not isinstance(doc, dict):
         raise InputFormatError(f"report must be a JSON object, got {type(doc).__name__}")
     for key in _REQUIRED:
         if key not in doc:
             problems.append(f"missing required key {key!r}")
-    if doc.get("schema") != SCHEMA and "schema" in doc:
-        problems.append(f"schema is {doc['schema']!r}, expected {SCHEMA!r}")
+    if "schema" in doc and doc.get("schema") not in _KNOWN_SCHEMAS:
+        problems.append(
+            f"schema is {doc['schema']!r}, expected one of {list(_KNOWN_SCHEMAS)}"
+        )
     if "name" in doc and (not isinstance(doc["name"], str) or not doc["name"]):
         problems.append("name must be a non-empty string")
-    for key in ("config", "metrics", "histograms"):
+    for key in ("config", "metrics", "histograms", "latencies"):
         if key in doc and not isinstance(doc[key], dict):
             problems.append(f"{key} must be an object")
     wall = doc.get("wall_seconds")
@@ -112,7 +154,8 @@ def validate_report(doc: object) -> None:
         not isinstance(wall, Number) or isinstance(wall, bool) or wall < 0
     ):
         problems.append("wall_seconds must be a non-negative number")
-    for name, hist in (doc.get("histograms") or {}).items():
+    hists = doc.get("histograms")
+    for name, hist in (hists.items() if isinstance(hists, dict) else ()):
         if not isinstance(hist, dict):
             problems.append(f"histogram {name!r} must be an object")
             continue
@@ -130,8 +173,46 @@ def validate_report(doc: object) -> None:
                     f"histogram {name!r}: bin counts sum to {sum(counts)}, "
                     f"count says {hist['count']}"
                 )
+    lats = doc.get("latencies")
+    for name, lat in (lats.items() if isinstance(lats, dict) else ()):
+        problems.extend(_latency_problems(name, lat))
     if problems:
         raise InputFormatError("invalid bench report: " + "; ".join(problems))
+
+
+def _latency_problems(name: str, lat: object) -> list[str]:
+    """Schema problems with one ``latencies`` series entry."""
+    if not isinstance(lat, dict):
+        return [f"latency series {name!r} must be an object"]
+    problems = []
+    for key in ("unit", "count", "sum", "quantiles", "bins"):
+        if key not in lat:
+            problems.append(f"latency series {name!r} missing {key!r}")
+    if "unit" in lat and lat["unit"] != "ns":
+        problems.append(f"latency series {name!r}: unit must be 'ns', got {lat['unit']!r}")
+    quantiles = lat.get("quantiles")
+    if isinstance(quantiles, dict):
+        missing = [q for q in _QUANTILE_KEYS if q not in quantiles]
+        if missing:
+            problems.append(f"latency series {name!r}: missing quantile(s) {missing}")
+    elif "quantiles" in lat:
+        problems.append(f"latency series {name!r}: quantiles must be an object")
+    bins = lat.get("bins")
+    if isinstance(bins, list):
+        if not all(isinstance(b, list) and len(b) == 2 for b in bins):
+            problems.append(
+                f"latency series {name!r}: bins must be [upper_bound, count] pairs"
+            )
+        elif isinstance(lat.get("count"), int):
+            total = sum(b[1] for b in bins)
+            if total != lat["count"]:
+                problems.append(
+                    f"latency series {name!r}: bin counts sum to {total}, "
+                    f"count says {lat['count']}"
+                )
+    elif "bins" in lat:
+        problems.append(f"latency series {name!r}: bins must be a list")
+    return problems
 
 
 def _flatten(prefix: str, value: object, out: list[tuple[str, object]]) -> None:
@@ -144,6 +225,7 @@ def _flatten(prefix: str, value: object, out: list[tuple[str, object]]) -> None:
 
 def format_report(doc: dict, bar_width: int = 40) -> str:
     """Human-readable rendering of a report (the ``repro stats`` view)."""
+    doc = upgrade_report(doc)
     lines = [f"{doc['name']}  ({doc['schema']})"]
     lines.append(f"  wall time: {doc['wall_seconds']:.3f}s")
     lines.append("  config:")
@@ -170,4 +252,26 @@ def format_report(doc: dict, bar_width: int = 40) -> str:
             label = "+inf" if bound is None else f"<={bound:g}"
             bar = "#" * max(1, round(count / peak * bar_width)) if peak else ""
             lines.append(f"    {label.rjust(10)}  {str(count).rjust(8)}  {bar}")
+    latencies = doc.get("latencies", {})
+    if latencies:
+        width = max(len(n) for n in latencies)
+        for name, lat in sorted(latencies.items()):
+            lines.append(f"  latency {name.ljust(width)}  {format_latency_line(lat)}")
     return "\n".join(lines)
+
+
+def format_latency_line(lat: dict) -> str:
+    """One quantile line for a latency series: unit-aware, bar-free.
+
+    >>> format_latency_line({"count": 2, "quantiles": {"p50": 1500, "p90": 1500,
+    ...     "p99": 2000, "p999": 2000}, "max": 2048})
+    'n=2  p50=1.5us  p90=1.5us  p99=2us  p999=2us  max=2.05us'
+    """
+    quantiles = lat.get("quantiles", {})
+    parts = [f"n={lat.get('count', 0)}"]
+    parts.extend(
+        f"{key}={format_ns(quantiles[key])}" for key in _QUANTILE_KEYS if key in quantiles
+    )
+    if lat.get("max") is not None:
+        parts.append(f"max={format_ns(lat['max'])}")
+    return "  ".join(parts)

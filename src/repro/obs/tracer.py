@@ -20,6 +20,7 @@ visit when off.
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -69,16 +70,18 @@ class _SpanHandle:
     """Context manager for one operation span.
 
     :meth:`set` attaches summary fields (e.g. ``nodes_accessed``) that
-    are emitted on the closing ``span_end`` event.
+    are emitted on the closing ``span_end`` event, which also carries
+    the monotonic ``duration_ns`` measured between open and close.
     """
 
-    __slots__ = ("_tracer", "span_id", "op", "end_fields")
+    __slots__ = ("_tracer", "span_id", "op", "end_fields", "start_ns")
 
     def __init__(self, tracer: "Tracer", span_id: int, op: str) -> None:
         self._tracer = tracer
         self.span_id = span_id
         self.op = op
         self.end_fields: dict[str, Any] = {}
+        self.start_ns = time.monotonic_ns()
 
     def set(self, **fields: Any) -> None:
         self.end_fields.update(fields)
@@ -177,6 +180,9 @@ class Tracer:
                 self._stack.remove(handle)
             except ValueError:
                 pass
+        handle.end_fields.setdefault(
+            "duration_ns", time.monotonic_ns() - handle.start_ns
+        )
         if self.strict:
             require_valid_span(handle.op, handle.end_fields, closing=True)
         self._emit("span_end", handle.end_fields, span=handle.span_id, op=handle.op)

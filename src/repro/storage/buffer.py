@@ -176,6 +176,12 @@ class BufferPool:
                 self.stats.misses += 1
                 self._loading.add(page_id)
                 break
+        # read_ns = time *blocked* on the unlatched I/O: wall time minus
+        # the thread CPU charged inside the window (syscall / timer
+        # accounting), so a latency decomposition can add read_ns to a
+        # thread-CPU measurement without double counting.
+        read_start = time.monotonic_ns() if self.tracer.enabled else 0
+        cpu_start = time.thread_time_ns() if self.tracer.enabled else 0
         try:
             data = self.disk.read_page(page_id)  # unlatched I/O
         except BaseException:
@@ -184,6 +190,13 @@ class BufferPool:
                 self._dropped_while_loading.discard(page_id)
                 self._cond.notify_all()
             raise
+        read_ns = 0
+        if self.tracer.enabled:
+            read_ns = max(
+                0,
+                (time.monotonic_ns() - read_start)
+                - (time.thread_time_ns() - cpu_start),
+            )
         frame = Page(page_id, len(data), bytearray(data))
         with self._cond:
             # page_id stays in the in-flight table until the frame is
@@ -199,7 +212,11 @@ class BufferPool:
                     raise StorageError(f"page {page_id} was dropped during fetch")
                 if self.tracer.enabled:
                     self.tracer.event(
-                        "page_fetch", page_id=page_id, hit=False, page_bytes=frame.size
+                        "page_fetch",
+                        page_id=page_id,
+                        hit=False,
+                        page_bytes=frame.size,
+                        read_ns=read_ns,
                     )
                 self._frames[page_id] = frame
                 self._resident_bytes += frame.size

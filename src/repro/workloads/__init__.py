@@ -21,6 +21,16 @@ from .generators import (
 )
 from .queries import PAPER_QARS, QUERY_AREA, qar_sweep, query_rectangles
 from .trace import Operation, ReplayReport, TraceConfig, generate_trace, replay
+from .traffic import (
+    DEFAULT_TENANTS,
+    QUERY_CLASSES,
+    ScheduledOp,
+    TenantSpec,
+    TrafficConfig,
+    TrafficResult,
+    generate_schedule,
+    run_traffic,
+)
 
 __all__ = [
     "DOMAIN_HIGH",
@@ -47,4 +57,12 @@ __all__ = [
     "TraceConfig",
     "generate_trace",
     "replay",
+    "QUERY_CLASSES",
+    "DEFAULT_TENANTS",
+    "TenantSpec",
+    "TrafficConfig",
+    "ScheduledOp",
+    "TrafficResult",
+    "generate_schedule",
+    "run_traffic",
 ]

@@ -1,0 +1,424 @@
+"""Multi-tenant open-loop traffic driver for tail-latency benchmarking.
+
+Generates and executes a mixed read/write operation stream against a
+concurrent serving engine, with the three properties real traffic has
+and the QAR sweep does not:
+
+* **multi-tenancy** — operations are attributed to named tenants, each
+  with its own arrival weight, read/write split, query-class mix, and
+  key-skew hotspots, so latency can be sliced per (query_class, tenant);
+* **Zipfian key skew** — query centers are drawn from a grid of hotspot
+  cells under a Zipf(``zipf_skew``) rank distribution, permuted per
+  tenant so different tenants hammer different regions;
+* **bursty open-loop arrivals** — operations are *scheduled* ahead of
+  time by a piecewise-Poisson process that alternates a high-rate burst
+  phase and a low-rate quiet phase.  Workers execute each operation no
+  earlier than its scheduled time but never later than the backlog
+  allows — and, critically, latency is recorded against the **scheduled**
+  start, not the actual send.
+
+That last point is the coordinated-omission correction (see DESIGN.md):
+a closed-loop driver that waits for each response before sending the
+next one silently stops measuring exactly when the system stalls, so
+its percentiles miss the worst moments.  Recording ``completion -
+scheduled_start`` charges queueing delay to the operations that suffered
+it, which is what a real client of a saturated service experiences.
+
+The driver records into per-thread :class:`~repro.obs.latency.LatencySeries`
+(merged after the run, so the hot path takes no locks) and can emit
+``serve`` spans + ``op_dispatch`` events through a tracer for the
+latch/disk/CPU latency decomposition.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Protocol, Sequence
+
+from ..core.geometry import Rect
+from ..exceptions import WorkloadError
+from ..obs.latency import DEFAULT_SUB_BUCKET_BITS, LatencySeries
+from ..obs.tracer import NULL_TRACER, Tracer
+from .generators import DOMAIN
+
+__all__ = [
+    "QUERY_CLASSES",
+    "TenantSpec",
+    "TrafficConfig",
+    "ScheduledOp",
+    "TrafficResult",
+    "DEFAULT_TENANTS",
+    "generate_schedule",
+    "run_traffic",
+]
+
+#: The driver's operation vocabulary.  ``stab`` is a point query,
+#: ``small_range``/``large_range`` are rectangle intersections at the
+#: config's two area fractions, ``insert`` is a write.
+QUERY_CLASSES: tuple[str, ...] = ("stab", "small_range", "large_range", "insert")
+
+_READ_CLASSES: tuple[str, ...] = ("stab", "small_range", "large_range")
+
+
+class ServingEngine(Protocol):
+    """What the driver needs from an engine (ConcurrentIndex satisfies it)."""
+
+    def search(self, rect: Rect) -> list[tuple[int, Any]]: ...
+
+    def stab(self, *coords: float) -> list[tuple[int, Any]]: ...
+
+    def insert(self, rect: Rect, payload: Any = None) -> int: ...
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant's traffic shape.
+
+    ``weight`` is the tenant's share of arrivals; ``read_fraction`` the
+    probability an operation is a read (the rest are inserts);
+    ``query_mix`` the relative weights of the read classes;
+    ``zipf_skew`` the Zipf exponent over hotspot cells (higher = more
+    skewed; 0 = uniform).
+    """
+
+    name: str
+    weight: float = 1.0
+    read_fraction: float = 0.9
+    zipf_skew: float = 1.1
+    query_mix: Mapping[str, float] = field(
+        default_factory=lambda: {"stab": 0.25, "small_range": 0.55, "large_range": 0.2}
+    )
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise WorkloadError(f"tenant {self.name!r}: weight must be positive")
+        if not 0.0 <= self.read_fraction <= 1.0:
+            raise WorkloadError(f"tenant {self.name!r}: read_fraction must be in [0, 1]")
+        unknown = set(self.query_mix) - set(_READ_CLASSES)
+        if unknown:
+            raise WorkloadError(
+                f"tenant {self.name!r}: unknown query class(es) {sorted(unknown)}; "
+                f"known read classes: {list(_READ_CLASSES)}"
+            )
+        if self.read_fraction > 0 and sum(self.query_mix.values()) <= 0:
+            raise WorkloadError(f"tenant {self.name!r}: query_mix weights must sum > 0")
+
+
+#: A premium tenant (read-heavy, mildly skewed), a batch tenant
+#: (write-heavy, strongly skewed), and a scan tenant (large ranges).
+DEFAULT_TENANTS: tuple[TenantSpec, ...] = (
+    TenantSpec("tenant-a", weight=3.0, read_fraction=0.95, zipf_skew=1.1),
+    TenantSpec(
+        "tenant-b",
+        weight=1.5,
+        read_fraction=0.6,
+        zipf_skew=1.5,
+        query_mix={"stab": 0.5, "small_range": 0.5},
+    ),
+    TenantSpec(
+        "tenant-c",
+        weight=0.5,
+        read_fraction=1.0,
+        zipf_skew=0.0,
+        query_mix={"small_range": 0.3, "large_range": 0.7},
+    ),
+)
+
+
+@dataclass(frozen=True)
+class TrafficConfig:
+    """Knobs for one generated schedule (all deterministic given seed)."""
+
+    ops: int = 2_000
+    #: Mean scheduled arrival rate, operations per second.
+    rate: float = 2_000.0
+    #: Burst-phase rate multiplier; quiet phases are slowed so the
+    #: *time-averaged* rate stays ``rate`` (on = 2rb/(b+1), off = 2r/(b+1)).
+    burst_factor: float = 4.0
+    #: Length of each burst/quiet phase, seconds.
+    burst_period_s: float = 0.25
+    tenants: tuple[TenantSpec, ...] = DEFAULT_TENANTS
+    #: Hotspot grid: query centers target ``hot_cells`` domain cells
+    #: under each tenant's Zipf rank distribution.
+    hot_cells: int = 64
+    #: Query area as a fraction of the domain, per range class.
+    small_area: float = 0.0005
+    large_area: float = 0.02
+    #: Edge length of inserted rectangles, in domain units.
+    insert_edge: float = 100.0
+    seed: int = 1991
+
+    def __post_init__(self) -> None:
+        if self.ops < 1:
+            raise WorkloadError("ops must be positive")
+        if self.rate <= 0:
+            raise WorkloadError("rate must be positive")
+        if self.burst_factor < 1.0:
+            raise WorkloadError("burst_factor must be >= 1")
+        if not self.tenants:
+            raise WorkloadError("at least one tenant is required")
+        if self.hot_cells < 1:
+            raise WorkloadError("hot_cells must be positive")
+
+
+@dataclass(frozen=True)
+class ScheduledOp:
+    """One pre-generated operation with its open-loop start time."""
+
+    at_s: float
+    tenant: str
+    query_class: str
+    rect: Rect | None
+    coords: tuple[float, ...] | None
+
+
+@dataclass
+class TrafficResult:
+    """Merged outcome of one driven run."""
+
+    latencies: LatencySeries
+    ops_done: int
+    errors: int
+    #: Operations whose actual start lagged their scheduled start (the
+    #: open-loop backlog signal; their recorded latency includes the lag).
+    behind_schedule: int
+    wall_seconds: float
+    per_tenant_ops: dict[str, int]
+    per_class_ops: dict[str, int]
+
+
+# ----------------------------------------------------------------------
+# Schedule generation
+# ----------------------------------------------------------------------
+def _zipf_cdf(cells: int, skew: float) -> list[float]:
+    """Cumulative Zipf(``skew``) distribution over ``cells`` ranks."""
+    weights = [(rank + 1) ** -skew for rank in range(cells)]
+    total = sum(weights)
+    cdf = []
+    acc = 0.0
+    for w in weights:
+        acc += w / total
+        cdf.append(acc)
+    cdf[-1] = 1.0
+    return cdf
+
+
+def _pick_rank(cdf: Sequence[float], u: float) -> int:
+    lo, hi = 0, len(cdf) - 1
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if cdf[mid] < u:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
+def generate_schedule(
+    config: TrafficConfig,
+    domain: Sequence[tuple[float, float]] = DOMAIN,
+) -> list[ScheduledOp]:
+    """Pre-generate the full open-loop operation schedule.
+
+    Scheduled times come from the bursty piecewise-Poisson arrival
+    process; tenants, classes and geometry are sampled per operation.
+    Fully deterministic given ``config.seed``.
+    """
+    rng = random.Random(config.seed)
+    tenants = config.tenants
+    tenant_weights = [t.weight for t in tenants]
+
+    # Per-tenant hotspot machinery: a Zipf CDF over cell ranks plus a
+    # tenant-specific permutation of the cells, so tenants with the same
+    # skew still hammer *different* regions.
+    grid = max(1, round(config.hot_cells ** 0.5))
+    cells = grid * grid
+    per_tenant_cdf = {t.name: _zipf_cdf(cells, t.zipf_skew) for t in tenants}
+    per_tenant_cells = {}
+    for t in tenants:
+        order = list(range(cells))
+        rng.shuffle(order)
+        per_tenant_cells[t.name] = order
+    read_mix = {
+        t.name: (
+            [c for c in _READ_CLASSES if t.query_mix.get(c, 0.0) > 0],
+            [t.query_mix[c] for c in _READ_CLASSES if t.query_mix.get(c, 0.0) > 0],
+        )
+        for t in tenants
+    }
+
+    # Bursty arrivals with an exact long-run mean of config.rate.
+    on_rate = 2.0 * config.rate * config.burst_factor / (config.burst_factor + 1.0)
+    off_rate = 2.0 * config.rate / (config.burst_factor + 1.0)
+
+    spans = [hi - lo for lo, hi in domain]
+    areas = {"small_range": config.small_area, "large_range": config.large_area}
+
+    ops: list[ScheduledOp] = []
+    now = 0.0
+    while len(ops) < config.ops:
+        phase = int(now / config.burst_period_s) % 2
+        lam = on_rate if phase == 0 else off_rate
+        now += rng.expovariate(lam)
+        tenant = rng.choices(tenants, weights=tenant_weights)[0]
+
+        if rng.random() >= tenant.read_fraction:
+            query_class = "insert"
+        else:
+            classes, weights = read_mix[tenant.name]
+            query_class = rng.choices(classes, weights=weights)[0]
+
+        # Center: Zipf-ranked hotspot cell, uniform within the cell.
+        rank = _pick_rank(per_tenant_cdf[tenant.name], rng.random())
+        cell = per_tenant_cells[tenant.name][rank]
+        cell_xy = (cell % grid, cell // grid)
+        center = [
+            lo + span * (cell_coord + rng.random()) / grid
+            for (lo, _), span, cell_coord in zip(domain, spans, cell_xy)
+        ]
+
+        rect: Rect | None = None
+        coords: tuple[float, ...] | None = None
+        if query_class == "stab":
+            coords = tuple(center)
+        else:
+            if query_class == "insert":
+                sides = [config.insert_edge * (0.5 + rng.random()) for _ in domain]
+            else:
+                frac = areas[query_class]
+                sides = [frac ** 0.5 * span for span in spans]
+            lows = []
+            highs = []
+            for (lo, hi), c, side in zip(domain, center, sides):
+                lows.append(max(lo, min(c - side / 2.0, hi - side)))
+                highs.append(min(hi, max(c + side / 2.0, lo + side)))
+            rect = Rect(tuple(lows), tuple(highs))
+        ops.append(ScheduledOp(now, tenant.name, query_class, rect, coords))
+    return ops
+
+
+# ----------------------------------------------------------------------
+# Open-loop execution
+# ----------------------------------------------------------------------
+def _execute(engine: ServingEngine, op: ScheduledOp) -> None:
+    if op.query_class == "insert":
+        assert op.rect is not None
+        engine.insert(op.rect)
+    elif op.query_class == "stab":
+        assert op.coords is not None
+        engine.stab(*op.coords)
+    else:
+        assert op.rect is not None
+        engine.search(op.rect)
+
+
+def run_traffic(
+    engine: ServingEngine,
+    schedule: Sequence[ScheduledOp],
+    *,
+    threads: int = 4,
+    tracer: Tracer | None = None,
+    sub_bucket_bits: int = DEFAULT_SUB_BUCKET_BITS,
+) -> TrafficResult:
+    """Execute a schedule open-loop and record per-(class, tenant) tails.
+
+    Operations are assigned round-robin across ``threads`` workers; each
+    worker sleeps until an operation's scheduled time (never sends
+    early) but, when running behind, sends immediately — and records
+    ``completion - scheduled_start`` either way, so backlogged latency
+    is charged to the operations that waited (no coordinated omission).
+
+    With a ``tracer``, each operation runs inside a ``serve`` span
+    carrying tenant/class labels, an ``op_dispatch`` event with the
+    dispatch lag, and a driver-measured ``cpu_ns`` on the span end —
+    the inputs :func:`repro.obs.latency.span_breakdown` joins.
+    """
+    if threads < 1:
+        raise WorkloadError("threads must be positive")
+    tracer = tracer if tracer is not None else NULL_TRACER
+    slices = [list(range(t, len(schedule), threads)) for t in range(threads)]
+    series = [LatencySeries(sub_bucket_bits) for _ in range(threads)]
+    behind = [0] * threads
+    errors = [0] * threads
+    done = [0] * threads
+    start_barrier = threading.Barrier(threads)
+    base_ns = 0
+
+    def worker(worker_id: int, indices: list[int]) -> None:
+        nonlocal base_ns
+        mine = series[worker_id]
+        recorders = {
+            (op.query_class, op.tenant): mine.recorder(op.query_class, op.tenant)
+            for op in (schedule[i] for i in indices)
+        }
+        start_barrier.wait()
+        if worker_id == 0:
+            base_ns = time.perf_counter_ns()
+        start_barrier.wait()
+        base = base_ns
+        for i in indices:
+            op = schedule[i]
+            target = base + round(op.at_s * 1e9)
+            now = time.perf_counter_ns()
+            if now < target:
+                time.sleep((target - now) / 1e9)
+            else:
+                behind[worker_id] += 1
+            if tracer.enabled:
+                lag = max(0, time.perf_counter_ns() - target)
+                with tracer.span(
+                    "serve", tenant=op.tenant, query_class=op.query_class
+                ) as span:
+                    tracer.event(
+                        "op_dispatch",
+                        tenant=op.tenant,
+                        query_class=op.query_class,
+                        lag_ns=lag,
+                    )
+                    cpu_start = time.thread_time_ns()
+                    try:
+                        _execute(engine, op)
+                    except Exception:
+                        errors[worker_id] += 1
+                    span.set(cpu_ns=time.thread_time_ns() - cpu_start)
+            else:
+                try:
+                    _execute(engine, op)
+                except Exception:
+                    errors[worker_id] += 1
+            recorders[(op.query_class, op.tenant)].record(
+                time.perf_counter_ns() - target
+            )
+            done[worker_id] += 1
+
+    wall_start = time.perf_counter()
+    workers = [
+        threading.Thread(target=worker, args=(t, slices[t]), daemon=True)
+        for t in range(threads)
+    ]
+    for w in workers:
+        w.start()
+    for w in workers:
+        w.join()
+    wall = time.perf_counter() - wall_start
+
+    merged = LatencySeries(sub_bucket_bits)
+    for s in series:
+        merged.merge(s)
+    per_tenant: dict[str, int] = {}
+    per_class: dict[str, int] = {}
+    for op in schedule:
+        per_tenant[op.tenant] = per_tenant.get(op.tenant, 0) + 1
+        per_class[op.query_class] = per_class.get(op.query_class, 0) + 1
+    return TrafficResult(
+        latencies=merged,
+        ops_done=sum(done),
+        errors=sum(errors),
+        behind_schedule=sum(behind),
+        wall_seconds=wall,
+        per_tenant_ops=per_tenant,
+        per_class_ops=per_class,
+    )

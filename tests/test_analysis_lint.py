@@ -71,6 +71,33 @@ def test_r1_silent_on_non_tracer_receiver():
     assert rules_fired(src, select=["R1"]) == []
 
 
+def test_r1_silent_on_serve_span_and_op_dispatch():
+    # The traffic driver's vocabulary: a serve span with its labels plus
+    # the op_dispatch point event (lag_ns optional).
+    src = (
+        "with tracer.span('serve', tenant='a', query_class='stab') as sp:\n"
+        "    tracer.event('op_dispatch', tenant='a', query_class='stab', lag_ns=5)\n"
+    )
+    assert rules_fired(src, select=["R1"]) == []
+
+
+def test_r1_fires_on_undeclared_op_dispatch_field():
+    src = "tracer.event('op_dispatch', tenant='a', query_class='stab', jitter=1)\n"
+    assert rules_fired(src, select=["R1"]) == ["R1"]
+
+
+def test_r1_fires_on_duration_ns_as_span_begin_field():
+    # duration_ns is the tracer-stamped *closing* field (schema v2); a
+    # call site may not pass it when opening a span.
+    src = "with tracer.span('serve', tenant='a', query_class='stab', duration_ns=1):\n    pass\n"
+    assert rules_fired(src, select=["R1"]) == ["R1"]
+
+
+def test_r1_silent_on_page_fetch_read_ns():
+    src = "tracer.event('page_fetch', page_id=1, hit=False, page_bytes=64, read_ns=100)\n"
+    assert rules_fired(src, select=["R1"]) == []
+
+
 # ----------------------------------------------------------------------
 # R2: no exact float equality in core/, histogram/, bench/
 # ----------------------------------------------------------------------

@@ -284,6 +284,60 @@ class TestStats:
             main(["stats", str(tmp_path / "BENCH_none.json")])
 
 
+class TestSloCommands:
+    def _bench(self, tmp_path):
+        return main([
+            "bench-slo", "--records", "400", "--ops", "60", "--rate", "6000",
+            "--threads", "2", "--breakdown-ops", "20", "--index", "R-Tree",
+            "--report-dir", str(tmp_path),
+        ])
+
+    def test_bench_slo_writes_v2_report(self, tmp_path, capsys):
+        from repro.obs.report import SCHEMA, load_report
+
+        assert self._bench(tmp_path) == 0
+        out = capsys.readouterr().out
+        assert "slo bench" in out and "recorder overhead" in out
+        doc = load_report(tmp_path / "BENCH_slo.json")
+        assert doc["schema"] == SCHEMA
+        assert any(name.startswith("R-Tree/") for name in doc["latencies"])
+
+    def test_slo_default_spec_pass_and_stats_render(self, tmp_path, capsys):
+        self._bench(tmp_path)
+        capsys.readouterr()
+        report = str(tmp_path / "BENCH_slo.json")
+        assert main(["slo", report]) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out and "objectives met" in out
+        assert main(["stats", report]) == 0
+        assert "latency R-Tree/" in capsys.readouterr().out
+
+    def test_slo_failing_spec_exits_nonzero(self, tmp_path, capsys):
+        import json as _json
+
+        self._bench(tmp_path)
+        spec = tmp_path / "spec.json"
+        spec.write_text(_json.dumps({"slo": [
+            {"name": "impossible", "series": "R-Tree/*", "quantile": "p50",
+             "threshold_ns": 1},
+        ]}))
+        capsys.readouterr()
+        assert main(["slo", str(tmp_path / "BENCH_slo.json"),
+                     "--spec", str(spec)]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_slo_bad_spec_clean_exit(self, tmp_path):
+        self._bench(tmp_path)
+        spec = tmp_path / "spec.json"
+        spec.write_text('{"slo": []}')
+        with pytest.raises(SystemExit):
+            main(["slo", str(tmp_path / "BENCH_slo.json"), "--spec", str(spec)])
+
+    def test_slo_missing_report_clean_exit(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["slo", str(tmp_path / "BENCH_none.json")])
+
+
 class TestModuleEntryPoint:
     def test_python_dash_m(self, tmp_path):
         out = tmp_path / "m.csv"

@@ -135,3 +135,100 @@ class TestExperimentReport:
         assert "unit-run" in text
         assert "nodes_per_search/R-Tree" in text
         assert "wall time" in text
+
+
+class TestSchemaV2:
+    """v2 latencies section + v1 back-compat upgrade."""
+
+    def _latencies(self):
+        from repro.obs.latency import LatencyRecorder
+
+        rec = LatencyRecorder()
+        for v in (1_000, 2_000, 3_000):
+            rec.record(v)
+        return {"R-Tree/stab/tenant-a": rec.summary()}
+
+    def test_v1_document_accepted_and_upgraded(self):
+        from repro.obs.report import SCHEMA_V1, upgrade_report
+
+        v1 = {
+            "schema": SCHEMA_V1,
+            "name": "old",
+            "config": {},
+            "wall_seconds": 0.1,
+            "metrics": {},
+            "histograms": {},
+        }
+        validate_report(v1)  # accepted as-is
+        upgraded = upgrade_report(v1)
+        assert upgraded["schema"] == SCHEMA
+        assert upgraded["latencies"] == {}
+        assert v1["schema"] == SCHEMA_V1  # original untouched
+        # current documents pass through without copying
+        doc = build_report("x", config={}, wall_seconds=0.0, metrics={})
+        assert upgrade_report(doc) is doc
+
+    def test_v1_file_loads_as_v2(self, tmp_path):
+        from repro.obs.report import SCHEMA_V1
+
+        path = tmp_path / "BENCH_old.json"
+        path.write_text(json.dumps({
+            "schema": SCHEMA_V1, "name": "old", "config": {},
+            "wall_seconds": 0.1, "metrics": {}, "histograms": {},
+        }))
+        doc = load_report(path)
+        assert doc["schema"] == SCHEMA and doc["latencies"] == {}
+
+    def test_latencies_round_trip(self, tmp_path):
+        doc = build_report(
+            "lat", config={}, wall_seconds=0.1, metrics={},
+            latencies=self._latencies(),
+        )
+        path = write_report(doc, tmp_path)
+        assert load_report(path) == doc
+
+    def test_latency_section_validated(self):
+        doc = build_report("x", config={}, wall_seconds=0.0, metrics={})
+        doc["latencies"] = {"s": {"unit": "us"}}
+        with pytest.raises(ValueError) as err:
+            validate_report(doc)
+        message = str(err.value)
+        assert "unit must be 'ns'" in message
+        assert "missing 'quantiles'" in message
+
+        lat = self._latencies()["R-Tree/stab/tenant-a"]
+        del lat["quantiles"]["p999"]
+        doc["latencies"] = {"s": lat}
+        with pytest.raises(ValueError, match="p999"):
+            validate_report(doc)
+
+    def test_latency_bins_must_sum_to_count(self):
+        lat = self._latencies()["R-Tree/stab/tenant-a"]
+        lat["bins"][0][1] += 1
+        doc = build_report("x", config={}, wall_seconds=0.0, metrics={})
+        doc["latencies"] = {"s": lat}
+        with pytest.raises(ValueError, match="sum to"):
+            validate_report(doc)
+
+    def test_format_report_renders_quantile_lines(self):
+        doc = build_report(
+            "lat", config={}, wall_seconds=0.1, metrics={},
+            latencies=self._latencies(),
+        )
+        text = format_report(doc)
+        assert "latency R-Tree/stab/tenant-a" in text
+        assert "p99=" in text and "p999=" in text
+        assert "us" in text  # unit-aware rendering, not raw nanoseconds
+
+    def test_format_latency_line_unit_aware(self):
+        from repro.obs.report import format_latency_line
+
+        line = format_latency_line({
+            "count": 5,
+            "quantiles": {"p50": 900, "p90": 1_500, "p99": 3_000_000,
+                          "p999": 2_000_000_000},
+            "max": 2_100_000_000,
+        })
+        assert line == (
+            "n=5  p50=900ns  p90=1.5us  p99=3ms  p999=2s  max=2.1s"
+        )

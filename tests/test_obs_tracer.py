@@ -41,7 +41,8 @@ class TestTracer:
         begin, access, end = tracer.events
         assert begin.op == "search"
         assert access.span == begin.span != 0
-        assert end.fields == {"nodes_accessed": 1}
+        assert end.fields["nodes_accessed"] == 1
+        assert end.fields["duration_ns"] >= 0  # schema v2: always present
 
     def test_nested_spans_tag_innermost(self):
         tracer = Tracer()
@@ -138,3 +139,51 @@ class TestTeeSink:
             tracer.event("split", node_id=1, level=0)
         assert len(ring) == 1
         assert len(list(read_jsonl(path))) == 1
+
+
+class TestSpanTiming:
+    """Schema v2: every span_end carries a monotonic duration_ns."""
+
+    def test_span_end_carries_duration(self):
+        tracer = Tracer()
+        with tracer.span("search"):
+            pass
+        end = tracer.events[-1]
+        assert end.etype == "span_end"
+        assert end.fields["duration_ns"] >= 0
+
+    def test_duration_reflects_elapsed_time(self):
+        import time
+
+        tracer = Tracer()
+        with tracer.span("search"):
+            time.sleep(0.005)
+        assert tracer.events[-1].fields["duration_ns"] >= 4_000_000
+
+    def test_explicit_duration_not_overwritten(self):
+        tracer = Tracer()
+        with tracer.span("search") as sp:
+            sp.set(duration_ns=12345)
+        assert tracer.events[-1].fields["duration_ns"] == 12345
+
+    def test_strict_tracer_accepts_duration_on_every_span_op(self):
+        from repro.obs import SPAN_OPS
+
+        tracer = Tracer(strict=True)
+        for op in sorted(SPAN_OPS):
+            with tracer.span(op):
+                pass
+        ends = [e for e in tracer.events if e.etype == "span_end"]
+        assert len(ends) == len(SPAN_OPS)
+        assert all(e.fields["duration_ns"] >= 0 for e in ends)
+
+    def test_nested_spans_time_independently(self):
+        import time
+
+        tracer = Tracer()
+        with tracer.span("insert"):
+            time.sleep(0.002)
+            with tracer.span("search"):
+                pass
+        ends = {e.op: e for e in tracer.events if e.etype == "span_end"}
+        assert ends["insert"].fields["duration_ns"] > ends["search"].fields["duration_ns"]

@@ -1,0 +1,199 @@
+"""Tests for the multi-tenant open-loop traffic driver."""
+
+import pytest
+
+from repro.concurrency import ConcurrentIndex
+from repro.core import IndexConfig, Rect
+from repro.core.rtree import RTree
+from repro.exceptions import WorkloadError
+from repro.obs import RingBufferSink, Tracer
+from repro.obs.latency import span_breakdown
+from repro.workloads import DOMAIN_HIGH, dataset_R1
+from repro.workloads.traffic import (
+    QUERY_CLASSES,
+    TenantSpec,
+    TrafficConfig,
+    generate_schedule,
+    run_traffic,
+)
+
+FAST = TrafficConfig(ops=300, rate=30_000.0, seed=7)
+
+
+def small_engine(records=400):
+    tree = RTree(IndexConfig())
+    for i, rect in enumerate(dataset_R1(records, seed=3)):
+        tree.insert(rect, i)
+    return ConcurrentIndex(tree)
+
+
+class TestSpecs:
+    def test_tenant_validation(self):
+        with pytest.raises(WorkloadError, match="weight"):
+            TenantSpec("t", weight=0)
+        with pytest.raises(WorkloadError, match="read_fraction"):
+            TenantSpec("t", read_fraction=1.5)
+        with pytest.raises(WorkloadError, match="unknown query class"):
+            TenantSpec("t", query_mix={"scan": 1.0})
+        with pytest.raises(WorkloadError, match="query_mix"):
+            TenantSpec("t", query_mix={"stab": 0.0})
+
+    def test_config_validation(self):
+        with pytest.raises(WorkloadError):
+            TrafficConfig(ops=0)
+        with pytest.raises(WorkloadError):
+            TrafficConfig(rate=-1.0)
+        with pytest.raises(WorkloadError):
+            TrafficConfig(burst_factor=0.5)
+        with pytest.raises(WorkloadError):
+            TrafficConfig(tenants=())
+
+    def test_run_rejects_bad_threads(self):
+        engine = small_engine(50)
+        try:
+            with pytest.raises(WorkloadError, match="threads"):
+                run_traffic(engine, [], threads=0)
+        finally:
+            engine.detach()
+
+
+class TestSchedule:
+    def test_deterministic_given_seed(self):
+        assert generate_schedule(FAST) == generate_schedule(FAST)
+        different = generate_schedule(TrafficConfig(ops=300, rate=30_000.0, seed=8))
+        assert different != generate_schedule(FAST)
+
+    def test_shape_and_vocabulary(self):
+        schedule = generate_schedule(FAST)
+        assert len(schedule) == FAST.ops
+        times = [op.at_s for op in schedule]
+        assert times == sorted(times) and times[0] >= 0.0
+        tenant_names = {t.name for t in FAST.tenants}
+        for op in schedule:
+            assert op.tenant in tenant_names
+            assert op.query_class in QUERY_CLASSES
+            if op.query_class == "stab":
+                assert op.coords is not None and op.rect is None
+            else:
+                assert op.rect is not None and op.coords is None
+
+    def test_tenant_weights_respected(self):
+        schedule = generate_schedule(TrafficConfig(ops=2_000, rate=1e6, seed=1))
+        counts = {}
+        for op in schedule:
+            counts[op.tenant] = counts.get(op.tenant, 0) + 1
+        # weights 3.0 / 1.5 / 0.5 -> strict ordering with 2000 samples
+        assert counts["tenant-a"] > counts["tenant-b"] > counts["tenant-c"]
+
+    def test_read_only_tenant_never_inserts(self):
+        schedule = generate_schedule(TrafficConfig(ops=2_000, rate=1e6, seed=1))
+        assert not any(
+            op.query_class == "insert" for op in schedule if op.tenant == "tenant-c"
+        )
+
+    def test_zipf_skew_concentrates_hotspots(self):
+        """A skewed tenant's top cell draws far more stabs than a uniform
+        tenant's top cell."""
+        tenants = (
+            TenantSpec("hot", zipf_skew=1.5, query_mix={"stab": 1.0}),
+            TenantSpec("flat", zipf_skew=0.0, query_mix={"stab": 1.0}),
+        )
+        config = TrafficConfig(
+            ops=4_000, rate=1e6, tenants=tenants, hot_cells=64, seed=2
+        )
+        schedule = generate_schedule(config)
+
+        def top_cell_share(name):
+            cells = {}
+            total = 0
+            for op in schedule:
+                if op.tenant != name or op.coords is None:
+                    continue
+                cell = (
+                    int(op.coords[0] * 8 / DOMAIN_HIGH),
+                    int(op.coords[1] * 8 / DOMAIN_HIGH),
+                )
+                cells[cell] = cells.get(cell, 0) + 1
+                total += 1
+            return max(cells.values()) / total
+
+        assert top_cell_share("hot") > 2 * top_cell_share("flat")
+
+    def test_geometry_stays_in_domain(self):
+        for op in generate_schedule(FAST):
+            if op.rect is not None:
+                assert all(lo >= 0.0 for lo in op.rect.lows)
+                assert all(hi <= DOMAIN_HIGH for hi in op.rect.highs)
+            else:
+                assert all(0.0 <= c <= DOMAIN_HIGH for c in op.coords)
+
+    def test_mean_rate_near_target(self):
+        config = TrafficConfig(ops=4_000, rate=8_000.0, seed=11)
+        schedule = generate_schedule(config)
+        realized = len(schedule) / schedule[-1].at_s
+        assert realized == pytest.approx(config.rate, rel=0.15)
+
+
+class TestRun:
+    def test_all_ops_recorded_across_threads(self):
+        schedule = generate_schedule(FAST)
+        engine = small_engine()
+        try:
+            result = run_traffic(engine, schedule, threads=4)
+        finally:
+            engine.detach()
+        assert result.ops_done == len(schedule)
+        assert result.errors == 0
+        assert result.latencies.total_count() == len(schedule)
+        assert sum(result.per_class_ops.values()) == len(schedule)
+        assert sum(result.per_tenant_ops.values()) == len(schedule)
+        # every recorded label pair occurred in the schedule
+        scheduled = {(op.query_class, op.tenant) for op in schedule}
+        assert set(result.latencies.labels()) == scheduled
+
+    def test_coordinated_omission_charges_backlog(self):
+        """A deliberately slow engine must show scheduled-start latencies
+        far above per-op service time: queueing delay is charged to the
+        ops that waited."""
+        import time as _time
+
+        class SlowEngine:
+            def stab(self, *coords):
+                _time.sleep(0.002)
+                return []
+
+            def search(self, rect):
+                _time.sleep(0.002)
+                return []
+
+            def insert(self, rect, payload=None):
+                _time.sleep(0.002)
+                return 0
+
+        # 100 ops scheduled at 10k/s (10s of work in a 10ms window).
+        config = TrafficConfig(ops=100, rate=10_000.0, seed=5)
+        schedule = generate_schedule(config)
+        result = run_traffic(SlowEngine(), schedule, threads=1)
+        assert result.behind_schedule > 50
+        worst = max(rec.max for _, rec in result.latencies)
+        # The last op waited for ~99 predecessors at >=2ms each; a
+        # service-time-only recorder would report ~2ms.
+        assert worst > 50_000_000
+
+    def test_traced_run_yields_breakdown(self):
+        schedule = generate_schedule(TrafficConfig(ops=80, rate=30_000.0, seed=9))
+        sink = RingBufferSink()
+        tracer = Tracer(sink)
+        tree = RTree(IndexConfig())
+        for i, rect in enumerate(dataset_R1(200, seed=3)):
+            tree.insert(rect, i)
+        engine = ConcurrentIndex(tree, tracer)
+        try:
+            result = run_traffic(engine, schedule, threads=1, tracer=tracer)
+        finally:
+            engine.detach()
+        assert result.ops_done == len(schedule)
+        totals = span_breakdown(sink.events)["totals"]
+        assert totals["spans"] == len(schedule)
+        assert totals["duration_ns"] > 0
+        assert totals["cpu_ns"] > 0
