@@ -17,13 +17,17 @@ Commands:
 * ``bench-slo`` — drive the multi-tenant open-loop traffic schedule
   against every index variant and record per-(class, tenant) latency
   histograms with p50/p90/p99/p999 tails, emitting ``BENCH_slo.json``;
+* ``bench-wal`` — measure write-ahead-log group-commit batching under
+  concurrent writers, acknowledged-commit durability under a crash
+  sweep, and recovery time vs. WAL length, emitting ``BENCH_wal.json``;
 * ``slo``       — evaluate tail-latency objectives (a JSON spec of
   quantile bounds over latency series) against a bench report; exit 1
   when any objective fails;
 * ``stats``     — pretty-print a machine-readable ``BENCH_*.json`` report;
 * ``fsck``      — verify a checkpointed page store: recover the page
-  table, CRC-check every page, rebuild the tree and run the structural
-  invariant checker;
+  table, CRC-check every page, rebuild the tree, run the structural
+  invariant checker, and scan the write-ahead log (if any) for valid
+  records and torn tails;
 * ``lint``      — run the repository's AST lint rules (R1-R4, see
   ``repro.analysis``) over Python sources; exit 0 clean, 1 findings,
   2 usage error.
@@ -256,8 +260,13 @@ def _cmd_fsck(args) -> int:
         if violations:
             status = 1
         info = disk.checkpoint_info or {}
-        if info.get("root_page") is None:
+        root_page = info.get("root_page")
+        if root_page is None:
             print("  tree: no checkpoint metadata recorded; skipping structural check")
+        elif not root_page:
+            # Root page 0 is the WAL bootstrap's empty-tree sentinel: the
+            # checkpoint holds no tree; any live records are in the WAL tail.
+            print("  tree: checkpointed as empty (root page 0)")
         elif not violations:
             try:
                 tree = load_tree_from_disk(disk)
@@ -271,10 +280,47 @@ def _cmd_fsck(args) -> int:
                 status = 1
         else:
             print("  tree: skipped structural check (corrupt pages present)")
+        status = max(status, _fsck_wal(args.path, info))
     finally:
         disk.close(sync=False)  # fsck is read-only: never commit a generation
     print("fsck: " + ("clean" if status == 0 else "PROBLEMS FOUND"))
     return status
+
+
+def _fsck_wal(path: str, checkpoint_info: dict) -> int:
+    """Scan the store's write-ahead log, if it has one; returns 0/1.
+
+    A torn tail is *expected* WAL semantics (a crash mid-append tears the
+    last record; replay stops cleanly before it), so it is reported but
+    is not a problem.  Records older than the checkpoint's recovery LSN
+    replaying as no-ops is likewise normal after a crash mid-truncation.
+    """
+    from .exceptions import StorageError
+    from .storage import scan_wal, wal_directory_for
+
+    directory = wal_directory_for(path)
+    if not directory.is_dir():
+        return 0
+    try:
+        info = scan_wal(directory)
+    except (StorageError, OSError) as exc:
+        print(f"  wal: FAILED to scan {directory}: {exc}")
+        return 1
+    lsn_range = (
+        f"LSNs {info.first_lsn}..{info.last_lsn}" if info.records else "no records"
+    )
+    tail = "torn tail (unacknowledged work only)" if info.torn_tail else "clean tail"
+    print(
+        f"  wal: {info.segments} segment(s), {info.records} valid record(s) "
+        f"({info.commits} commit(s), {lsn_range}, {info.bytes_scanned} bytes), {tail}"
+    )
+    recovery_lsn = int(checkpoint_info.get("wal_lsn") or 0)
+    if info.records and info.last_lsn <= recovery_lsn:
+        print(
+            f"    all records predate the checkpoint (recovery LSN {recovery_lsn}); "
+            "replay is a no-op"
+        )
+    return 0
 
 
 def _cmd_lint(args) -> int:
@@ -377,6 +423,31 @@ def _cmd_bench_slo(args) -> int:
         index_types=kinds,
     )
     print(format_slo_report(doc))
+    report_dir = _report_dir(args)
+    if report_dir:
+        path = write_report(doc, report_dir)
+        print(f"report written to {path}")
+    return 0
+
+
+def _cmd_bench_wal(args) -> int:
+    """Run the write-ahead-log group-commit / durability benchmark."""
+    from .bench.walbench import format_wal_report, run_wal_bench
+    from .obs.report import write_report
+
+    doc = run_wal_bench(
+        commits=args.commits,
+        records=args.records,
+        writer_counts=tuple(args.writers),
+        fsync_delay=args.fsync_delay,
+        segment_bytes=args.segment_bytes,
+        sweep_points=args.sweep_points,
+        checkpoint_every=args.checkpoint_every,
+        replay_lengths=tuple(args.replay_lengths),
+        seed=args.seed,
+        store_dir=args.store_dir,
+    )
+    print(format_wal_report(doc))
     report_dir = _report_dir(args)
     if report_dir:
         path = write_report(doc, report_dir)
@@ -571,6 +642,59 @@ def _parser() -> argparse.ArgumentParser:
     bs.add_argument("--report-dir", default=None)
     bs.add_argument("--no-report", action="store_true")
     bs.set_defaults(func=_cmd_bench_slo)
+
+    bw = sub.add_parser(
+        "bench-wal",
+        help="measure WAL group-commit batching, crash durability, recovery time",
+    )
+    bw.add_argument(
+        "--commits", type=int, default=160, help="commits per writer-count run"
+    )
+    bw.add_argument(
+        "--records", type=int, default=120, help="inserts in the crash-sweep workload"
+    )
+    bw.add_argument(
+        "--writers",
+        type=int,
+        nargs="+",
+        default=[1, 2, 4],
+        help="concurrent writer thread counts to sweep",
+    )
+    bw.add_argument(
+        "--fsync-delay",
+        type=float,
+        default=0.002,
+        help="simulated seconds of device-sync latency per fsync",
+    )
+    bw.add_argument("--segment-bytes", type=int, default=64 * 1024)
+    bw.add_argument(
+        "--sweep-points",
+        type=int,
+        default=4,
+        help="crash positions sampled per WAL boundary",
+    )
+    bw.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=40,
+        help="checkpoint cadence in the crash-sweep workload",
+    )
+    bw.add_argument(
+        "--replay-lengths",
+        type=int,
+        nargs="+",
+        default=[50, 100, 200, 400],
+        help="WAL lengths (commits) for the recovery-time series",
+    )
+    bw.add_argument("--seed", type=int, default=1991)
+    bw.add_argument(
+        "--store-dir",
+        default=None,
+        help="keep store files here (default: a temp dir, removed afterwards)",
+    )
+    bw.add_argument("--report-dir", default=None)
+    bw.add_argument("--no-report", action="store_true")
+    bw.set_defaults(func=_cmd_bench_wal)
 
     slo = sub.add_parser(
         "slo", help="evaluate tail-latency objectives against a bench report"

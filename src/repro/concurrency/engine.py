@@ -69,11 +69,17 @@ class ConcurrentEngine:
         *,
         optimistic: bool = True,
         optimistic_retries: int = 2,
+        storage: Any | None = None,
     ) -> None:
         self._tree = tree
         self.tracer: Tracer = tracer if tracer is not None else tree.tracer
         self.optimistic = optimistic
         self.optimistic_retries = optimistic_retries
+        #: Optional StorageManager with an attached write-ahead log: every
+        #: write is then logged under the exclusive latch and acknowledged
+        #: only once its LSN is durable (after the latch is released, so
+        #: the group-commit flusher can batch concurrent writers' fsyncs).
+        self.storage = storage
         self.latch_stats = LatchStats()
         self._index_latch = RWLatch("index", stats=self.latch_stats, tracer=self.tracer)
         self._node_latches: dict[int, RWLatch] = {}
@@ -200,19 +206,37 @@ class ConcurrentEngine:
         return result
 
     def _write(self, fn: Callable[[], T]) -> T:
+        storage = self.storage
+        logged = storage is not None and getattr(storage, "wal", None) is not None
+        lsn: int | None = None
         self._index_latch.acquire_write()
         try:
             self._version += 1  # odd: mutation in progress
+            capture = storage.begin_logged_write() if logged else None
             try:
                 result = fn()
+            except BaseException:
+                if logged:
+                    storage.abort_logged_write()
+                raise
+            else:
+                if logged:
+                    # Still under the exclusive latch: the serialized
+                    # images see exactly this mutation's tree state.
+                    lsn = storage.end_logged_write(capture)
             finally:
                 self._version += 1  # even: quiescent again
                 with self._op_lock:
                     self.writes += 1
             self._prune_node_latches()
-            return result
         finally:
             self._index_latch.release_write()
+        if logged:
+            # Acknowledge only once durable — but wait *outside* the latch,
+            # so commits appended while the flusher syncs share its next
+            # fsync instead of paying one each (group commit).
+            storage.wait_durable(lsn)
+        return result
 
     # ------------------------------------------------------------------
     # Reporting

@@ -21,6 +21,7 @@ __all__ = [
     "PageCorruptionError",
     "TransientDiskError",
     "SimulatedCrashError",
+    "TornWalAppend",
     "WorkloadError",
     "ConcurrencyError",
 ]
@@ -99,6 +100,21 @@ class SimulatedCrashError(StorageError):
     After this is raised the faulty disk refuses all further operations,
     mirroring a real crash — recovery happens by reopening the store.
     """
+
+
+class TornWalAppend(SimulatedCrashError):
+    """Power loss mid-append to the write-ahead log.
+
+    Only ``prefix`` bytes of the frame batch reached the device before
+    the simulated process died; the WAL persists exactly that prefix, so
+    replay stops at the torn frame and loses only the unacknowledged
+    transaction.  Raised by ``FaultInjectingDisk.wal_fault`` and handled
+    inside ``WriteAheadLog.log_commit``.
+    """
+
+    def __init__(self, prefix: bytes = b"") -> None:
+        super().__init__(f"torn WAL append after {len(prefix)} bytes")
+        self.prefix = prefix
 
 
 class WorkloadError(ReproError):

@@ -178,6 +178,31 @@ _EVENT_SPECS: tuple[EventSpec, ...] = (
         required=("path", "generation", "fallback"),
         doc="FileDisk recovered its page table from a fallback generation.",
     ),
+    # -- write-ahead log events (storage/wal.py) ------------------------
+    _e(
+        "wal_append",
+        required=("lsn", "records", "bytes"),
+        doc="One transaction (page records + COMMIT) appended to the WAL; "
+            "lsn is the commit record's LSN, not yet durable.",
+    ),
+    _e(
+        "wal_fsync",
+        required=("lsn",),
+        doc="A group-commit flusher synced the WAL segment; every commit "
+            "with LSN <= lsn is now durable.",
+    ),
+    _e(
+        "wal_truncate",
+        required=("up_to_lsn", "segments_deleted"),
+        doc="A checkpoint truncated the WAL after recording up_to_lsn as "
+            "the recovery LSN in checkpoint_info.",
+    ),
+    _e(
+        "wal_replay",
+        required=("records", "commits", "torn_tail", "stop_lsn", "skipped"),
+        doc="Recovery replayed the WAL tail onto the page store (commits "
+            "counts applied transactions; skipped = pre-checkpoint LSNs).",
+    ),
     # -- concurrency events (concurrency/) ------------------------------
     _e(
         "latch_acquire",

@@ -192,6 +192,17 @@ class MetricsRegistry:
             self._latencies[name] = LatencyRecorder(sub_bucket_bits)
         return self._latencies[name]
 
+    def register_latency(self, name: str, recorder: LatencyRecorder) -> LatencyRecorder:
+        """Adopt an externally-owned latency recorder under ``name``.
+
+        Subsystems that record on their own hot path (e.g. the WAL's
+        commit-latency recorder) keep ownership; the registry just
+        snapshots it alongside everything else.  Registering a second
+        recorder under the same name replaces the first.
+        """
+        self._latencies[name] = recorder
+        return recorder
+
     def source(self, name: str, fn: Callable[[], dict]) -> None:
         """Register a pull source whose dict appears under ``name``."""
         self._sources[name] = fn
@@ -241,6 +252,10 @@ def index_registry(
     if storage is not None:
         reg.source("buffer", storage.pool.stats.snapshot)
         reg.source("disk", storage.disk.stats.snapshot)
+        wal = getattr(storage, "wal", None)
+        if wal is not None:
+            reg.source("wal", wal.stats.snapshot)
+            reg.register_latency("wal.commit", wal.commit_latency)
     if concurrency is not None:
         reg.source("latch", concurrency.contention_snapshot)
     if structure:

@@ -36,6 +36,8 @@ class DiskStats:
     retries: int = 0
     #: Operations that failed permanently after exhausting retries.
     failed_ops: int = 0
+    #: Durability barriers completed (FileDisk.sync / WAL segment syncs).
+    fsyncs: int = 0
 
     def snapshot(self) -> dict:
         """A plain-dict copy for reports and the metrics registry."""
@@ -47,6 +49,7 @@ class DiskStats:
             "transient_errors": self.transient_errors,
             "retries": self.retries,
             "failed_ops": self.failed_ops,
+            "fsyncs": self.fsyncs,
         }
 
 

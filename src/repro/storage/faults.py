@@ -48,14 +48,29 @@ import random
 from dataclasses import dataclass, field
 from typing import Any
 
-from ..exceptions import ConfigError, SimulatedCrashError, TransientDiskError
+from ..exceptions import (
+    ConfigError,
+    SimulatedCrashError,
+    TornWalAppend,
+    TransientDiskError,
+)
 from ..obs.tracer import NULL_TRACER, Tracer
 from .page import PageId
 
 __all__ = ["Fault", "FaultStats", "FaultInjectingDisk", "FAULT_KINDS", "FAULT_OPS"]
 
 FAULT_KINDS = ("transient", "bit_flip", "torn_write", "crash")
-FAULT_OPS = ("read", "write", "allocate", "sync", "any")
+FAULT_OPS = (
+    "read",
+    "write",
+    "allocate",
+    "deallocate",
+    "sync",
+    "wal_append",
+    "wal_fsync",
+    "wal_truncate",
+    "any",
+)
 
 
 @dataclass(frozen=True)
@@ -206,8 +221,13 @@ class FaultInjectingDisk:
         self.inner.allocate(page_id, size)
 
     def deallocate(self, page_id: PageId) -> None:
-        if self.crashed:
-            raise SimulatedCrashError("disk crashed earlier in this run")
+        fault = self._select("deallocate", page_id)
+        if fault is not None:
+            if fault.kind == "transient":
+                self._raise_transient(fault, "deallocate", page_id)
+            if fault.kind in ("crash", "torn_write"):
+                self._crash(fault, "deallocate", page_id)
+            # bit_flip has no payload at a deallocation boundary; ignore.
         self.inner.deallocate(page_id)
 
     def page_size(self, page_id: PageId) -> int:
@@ -245,6 +265,40 @@ class FaultInjectingDisk:
                 self._inject(fault, "write", page_id)
                 data = self._flip_bit(data)
         self.inner.write_page(page_id, data)
+
+    def wal_fault(self, op: str, data: bytes | None = None) -> bytes | None:
+        """Fault gate for write-ahead-log boundaries.
+
+        :class:`~repro.storage.wal.WriteAheadLog` calls this before each
+        append (``wal_append``, with the framed bytes), fsync
+        (``wal_fsync``) and per-segment truncation step (``wal_truncate``).
+        ``torn_write`` on an append simulates power loss mid-append: a
+        seeded prefix of the frame batch survives on disk
+        (:class:`~repro.exceptions.TornWalAppend` carries it) and the
+        process dies; ``bit_flip`` corrupts the batch in flight so replay
+        must stop at the CRC-invalid frame.
+        """
+        fault = self._select(op, None)
+        if fault is None:
+            return data
+        if fault.kind == "transient":
+            self._raise_transient(fault, op, None)
+        if fault.kind == "crash":
+            self._crash(fault, op, None)
+        if fault.kind == "torn_write":
+            if op == "wal_append" and data:
+                cut = self.rng.randrange(0, len(data))
+                self._inject(fault, op, None)
+                self.crashed = True
+                abort = getattr(self.inner, "abort", None)
+                if abort is not None:
+                    abort()
+                raise TornWalAppend(data[:cut])
+            self._crash(fault, op, None)
+        if fault.kind == "bit_flip" and data:
+            self._inject(fault, op, None)
+            return self._flip_bit(data)
+        return data
 
     def sync(self) -> None:
         inner_sync = getattr(self.inner, "sync", None)

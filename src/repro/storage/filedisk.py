@@ -321,7 +321,15 @@ class FileDisk:
             self._fsync_dir()
         except Exception:
             self._write_failed = True
+            # The .tmp is not a valid sidecar generation; leaving it behind
+            # after a failed write would shadow the real sidecars on the
+            # next open's directory listing and confuse manual inspection.
+            try:
+                tmp.unlink(missing_ok=True)
+            except OSError:
+                pass
             raise
+        self.stats.fsyncs += 1
         self.generation = new_gen
         self._protected = set(self._offsets)
         # Offsets retired before the just-replaced .meta generation are no

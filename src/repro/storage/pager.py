@@ -37,8 +37,14 @@ from ..obs.tracer import Tracer
 from .buffer import BufferPool
 from .disk import SimulatedDisk
 from .serializer import NodeImage, deserialize_node, serialize_node
+from .wal import WalReplayResult, WriteAheadLog, replay_wal, wal_directory_for
 
-__all__ = ["RetryPolicy", "StorageManager", "load_tree_from_disk"]
+__all__ = [
+    "RetryPolicy",
+    "StorageManager",
+    "load_tree_from_disk",
+    "recover_tree",
+]
 
 
 @dataclass
@@ -57,6 +63,20 @@ class RetryPolicy:
     def delay(self, attempt: int) -> float:
         """Backoff before retry number ``attempt`` (1-based)."""
         return self.backoff_base * self.backoff_factor ** (attempt - 1)
+
+
+@dataclass
+class _LoggedWrite:
+    """Capture handle for one WAL-logged mutation.
+
+    ``accessed`` collects nodes the writer thread visits through the
+    storage hook; ``baseline`` snapshots every node's ``modifications``
+    counter so :meth:`StorageManager.end_logged_write` can also find
+    dirty nodes whose mutation path bypasses the hook.
+    """
+
+    accessed: dict[int, Node]
+    baseline: dict[int, int]
 
 
 class _PageReader:
@@ -199,6 +219,70 @@ def load_tree_from_disk(
     return _finish_tree(tree, root)
 
 
+def recover_tree(
+    disk: Any,
+    wal_directory: Any = None,
+    *,
+    config: IndexConfig | None = None,
+    index_cls: Type[RTree] | None = None,
+    payloads: dict[int, Any] | None = None,
+    buffer_bytes: int = 256 * 1024,
+    retry_policy: RetryPolicy | None = None,
+    tracer: Tracer | None = None,
+) -> tuple[RTree, WalReplayResult]:
+    """Crash recovery: load the last checkpoint, then redo the WAL tail.
+
+    ``disk`` is a reopened page store (typically a
+    :class:`~repro.storage.FileDisk`, whose own sidecar recovery already
+    ran); ``wal_directory`` defaults to ``<disk.path>.wal``.  Replay skips
+    records at or below the checkpoint's recovery LSN
+    (``checkpoint_info['wal_lsn']``), stops at the first torn record, and
+    applies only complete transactions — then the tree is rebuilt from
+    the root page named by the last replayed COMMIT (falling back to the
+    checkpoint's root page when the WAL held no commits).
+
+    Recovery never writes the WAL or advances the checkpoint, so crashing
+    *during* recovery and recovering again reaches the same state
+    (replay is idempotent: every record is an absolute assignment).
+    """
+    if wal_directory is None:
+        path = getattr(disk, "path", None)
+        if path is None:
+            raise StorageError(
+                "recover_tree needs an explicit wal_directory for a disk "
+                "without a file path"
+            )
+        wal_directory = wal_directory_for(path)
+    info = getattr(disk, "checkpoint_info", None) or {}
+    recovery_lsn = int(info.get("wal_lsn") or 0)
+    result = replay_wal(wal_directory, disk, recovery_lsn=recovery_lsn, tracer=tracer)
+    root_page = result.root_page
+    if root_page is None:
+        root_page = info.get("root_page")
+    if config is None:
+        cfg_doc = info.get("index_config")
+        config = IndexConfig(**cfg_doc) if cfg_doc else IndexConfig()
+    if index_cls is None:
+        index_cls = SRTree if info.get("segment_index", True) else RTree
+    if not root_page:
+        # No committed state (fresh store), or the last commit emptied the
+        # tree (root page 0 sentinel): recover an empty index.
+        tree = index_cls.__new__(index_cls)
+        RTree.__init__(tree, config)
+        return tree, result
+    tree = load_tree_from_disk(
+        disk,
+        root_page,
+        config,
+        index_cls=index_cls,
+        payloads=payloads,
+        buffer_bytes=buffer_bytes,
+        retry_policy=retry_policy,
+        tracer=tracer,
+    )
+    return tree, result
+
+
 class StorageManager:
     """Simulated paged storage for one index instance.
 
@@ -223,6 +307,7 @@ class StorageManager:
         disk: Any = None,
         tracer: Tracer | None = None,
         retry_policy: RetryPolicy | None = None,
+        wal: WriteAheadLog | None = None,
     ) -> None:
         self.tree = tree
         #: Any page store with the SimulatedDisk interface works; pass a
@@ -236,19 +321,41 @@ class StorageManager:
         self.pool = BufferPool(
             self.disk, buffer_bytes, tracer=tracer if tracer is not None else tree.tracer
         )
+        #: Optional write-ahead log: when attached, commits logged via
+        #: begin_logged_write / end_logged_write become durable between
+        #: checkpoints, and checkpoints truncate the log.
+        self.wal = wal
+        if wal is not None and wal.fault_gate is None:
+            # Route WAL boundaries through the disk's fault table when the
+            # store is a FaultInjectingDisk, so one seeded fault schedule
+            # drives page and log faults alike.
+            gate = getattr(self.disk, "wal_fault", None)
+            if gate is not None:
+                wal.fault_gate = gate
         self.root_page: int | None = None
         self._page_of: dict[int, int] = {}
-        self._next_page = 1
+        # Skip past pages that already exist on the store (recovery
+        # re-attaches a manager to a disk holding checkpoint + replayed
+        # pages; fresh ids must not collide with them).
+        self._next_page = max(self.disk.page_ids(), default=0) + 1
         #: Guards the node->page table and page-id allocation: concurrent
         #: readers racing an optimistic traversal against a writer that is
         #: creating nodes must never double-allocate a page id.
         self._page_lock = threading.Lock()
+        #: Page allocations made since the last checkpoint/logged commit;
+        #: drained into the next WAL transaction so replay can re-create
+        #: pages the un-synced page table never recorded.
+        self._wal_unlogged_allocs: dict[int, int] = {}
+        #: Per-thread capture of nodes accessed inside a logged write.
+        self._capture_local = threading.local()
         self._payloads: dict[int, Any] = {}
         #: Number of checkpoints completed; stamped into page headers.
         self.generation = 0
         for node in tree.iter_nodes():
             self._ensure_page(node)
         tree._storage_hook = self._on_access
+        if wal is not None:
+            self._bootstrap_wal_base()
 
     # ------------------------------------------------------------------
     # Retry plumbing
@@ -270,6 +377,9 @@ class StorageManager:
     # Access path
     # ------------------------------------------------------------------
     def _on_access(self, node: Node) -> None:
+        capture = getattr(self._capture_local, "nodes", None)
+        if capture is not None:
+            capture[node.node_id] = node
         page_id = self._ensure_page(node)
         self._retrying(f"touch page {page_id}", lambda: self.pool.touch(page_id))
 
@@ -284,7 +394,142 @@ class StorageManager:
                 self._retrying(
                     f"allocate page {page_id}", lambda: self.disk.allocate(page_id, size)
                 )
+                if self.wal is not None:
+                    self._wal_unlogged_allocs[page_id] = size
         return page_id
+
+    # ------------------------------------------------------------------
+    # Logged writes (write-ahead logging)
+    # ------------------------------------------------------------------
+    def _bootstrap_wal_base(self) -> None:
+        """Establish the durable base image the redo log applies onto.
+
+        Recovery is *checkpoint + replay*, so the moment a WAL is
+        attached the current tree (and this manager's freshly-invented
+        node->page mapping) must be checkpointed — otherwise the first
+        logged commits would reference base pages that were never
+        written.  An empty tree just commits a root-page-0 sentinel
+        sidecar; either way the WAL is truncated to start from this base.
+        """
+        if self.wal is None or not hasattr(self.disk, "set_checkpoint_info"):
+            return
+        if getattr(self.disk, "sync", None) is None:
+            return
+        root = self.tree.root
+        if root.data_entries or root.branches:
+            self.checkpoint()
+            return
+        wal_lsn = self.wal.last_lsn
+        self.disk.set_checkpoint_info(
+            root_page=0,
+            index_config=asdict(self.tree.config),
+            segment_index=bool(getattr(self.tree, "segment_index", False)),
+            generation=self.generation,
+            wal_lsn=wal_lsn,
+        )
+        self.disk.sync()
+        self.wal.truncate(wal_lsn)
+
+    def begin_logged_write(self) -> "_LoggedWrite | None":
+        """Start capturing the nodes one mutation touches.
+
+        Called by :meth:`ConcurrentEngine._write` (or any single-writer
+        caller) *before* running the mutation; the returned handle is
+        handed back to :meth:`end_logged_write`.  ``None`` (and a no-op)
+        when no WAL is attached.
+
+        Dirty-node detection combines two signals: nodes the mutation
+        *accesses* (per-thread via the storage hook, so concurrent
+        optimistic readers never pollute a writer's transaction) and
+        nodes whose ``modifications`` counter moved against the baseline
+        snapshotted here (every content mutation calls ``Node.touch``,
+        including paths like ``_insert_one`` that bypass the access hook).
+        """
+        if self.wal is None:
+            return None
+        capture: dict[int, Node] = {}
+        self._capture_local.nodes = capture
+        baseline = {n.node_id: n.modifications for n in self.tree.iter_nodes()}
+        return _LoggedWrite(capture, baseline)
+
+    def abort_logged_write(self) -> None:
+        """Drop the current thread's capture (the mutation raised)."""
+        self._capture_local.nodes = None
+
+    def end_logged_write(self, handle: "_LoggedWrite | None") -> "int | None":
+        """Append the captured mutation to the WAL; returns its commit LSN.
+
+        Must run while the mutation's exclusive latch is still held, so
+        the serialized images are consistent.  The LSN is *not* yet
+        durable: acknowledge the commit only after
+        :meth:`wait_durable` returns for it.
+        """
+        if self.wal is None or handle is None:
+            return None
+        self._capture_local.nodes = None
+        root = self.tree.root
+        nodes: dict[int, Node] = dict(handle.accessed)
+        nodes[root.node_id] = root
+        # Touched nodes: content modifications bump Node.modifications,
+        # catching everything the access hook never sees (insert leaves,
+        # split siblings, spanning-record moves).  New nodes (absent from
+        # the baseline) count as touched.
+        for node in self.tree.iter_nodes():
+            prior = handle.baseline.get(node.node_id)
+            if prior is None or prior != node.modifications:
+                nodes[node.node_id] = node
+        # Close over ancestors: enclosing-rect adjustments propagate up
+        # from every touched node without bumping the parents' counters.
+        for node in list(nodes.values()):
+            parent = node.parent
+            while parent is not None and parent.node_id not in nodes:
+                nodes[parent.node_id] = parent
+                parent = parent.parent
+        # Close over children that have no page yet (subtrees attached
+        # wholesale): their pages must exist before replay dereferences
+        # the parent's child pointers.
+        stack = list(nodes.values())
+        while stack:
+            node = stack.pop()
+            for branch in node.branches:
+                child = branch.child
+                if child.node_id not in nodes and child.node_id not in self._page_of:
+                    nodes[child.node_id] = child
+                    stack.append(child)
+        # An empty node cannot be serialized; the only one legitimately
+        # reachable is the root of an emptied tree (captured detached
+        # nodes were condemned by a merge and their pages are garbage).
+        live = [
+            node
+            for node in nodes.values()
+            if node.data_entries or node.branches
+        ]
+        for node in live:
+            self._ensure_page(node)
+        images = {}
+        for node in live:
+            page_id = self._page_of[node.node_id]
+            images[page_id] = serialize_node(
+                node, self.disk.page_size(page_id), self._page_of, self.generation
+            )
+        with self._page_lock:
+            allocs = dict(self._wal_unlogged_allocs)
+            self._wal_unlogged_allocs.clear()
+        root_page = self._page_of[root.node_id] if (
+            root.data_entries or root.branches
+        ) else 0
+        return self.wal.log_commit(images, allocs, root_page=root_page)
+
+    def wait_durable(self, lsn: "int | None") -> None:
+        """Block until the logged commit ``lsn`` is on stable storage.
+
+        Run this *after* releasing the write latch: the group-commit
+        flusher batches every commit appended while it syncs, so holding
+        the latch through the wait would serialize commits one fsync each.
+        """
+        if lsn is None or self.wal is None:
+            return
+        self.wal.commit(lsn)
 
     # ------------------------------------------------------------------
     # Persistence
@@ -308,6 +553,12 @@ class StorageManager:
         return root_page
 
     def _checkpoint(self, generation: int) -> int:
+        # Everything appended up to here is covered by the pages this
+        # checkpoint writes; record it as the recovery LSN so replay
+        # skips records the checkpoint already made durable.  Captured
+        # before serializing: the caller must be quiesced (no concurrent
+        # logged writes), which checkpointing already requires.
+        wal_lsn = self.wal.last_lsn if self.wal is not None else None
         self._payloads = {}
         page_of: dict[int, int] = {}
         for node in self.tree.iter_nodes():
@@ -337,11 +588,21 @@ class StorageManager:
                 index_config=asdict(self.tree.config),
                 segment_index=bool(getattr(self.tree, "segment_index", False)),
                 generation=generation,
+                **({} if wal_lsn is None else {"wal_lsn": wal_lsn}),
             )
         sync = getattr(self.disk, "sync", None)
         if sync is not None:
             self._retrying("sync", sync)
         self.generation = generation
+        if self.wal is not None and wal_lsn is not None:
+            # The checkpoint (with its recovery LSN) is durable; the log's
+            # records are now redundant.  Order matters: truncating first
+            # would lose the only copy of post-checkpoint commits.  A crash
+            # between the sync above and here leaves stale segments whose
+            # records replay as no-ops (lsn <= recovery LSN).
+            self.wal.truncate(wal_lsn)
+            with self._page_lock:
+                self._wal_unlogged_allocs.clear()
         return root_page
 
     def load_tree(self, index_cls: Type[RTree] | None = None) -> RTree:
@@ -395,4 +656,7 @@ class StorageManager:
             "failed_ops": stats.failed_ops,
             "corrupt_pages": self._reader.corrupt_pages,
             "checkpoint_generation": self.generation,
+            **(
+                {"wal": self.wal.stats.snapshot()} if self.wal is not None else {}
+            ),
         }

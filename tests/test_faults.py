@@ -141,6 +141,36 @@ class TestFaultInjectingDisk:
         assert events[0].fields["kind"] == "transient"
         assert events[0].fields["page_id"] == 1
 
+    def test_deallocate_routed_through_fault_machinery(self):
+        # Regression: deallocate used to bypass _select/_inject entirely
+        # (only honouring self.crashed), so deallocation boundaries could
+        # never fault and were invisible to op accounting.
+        disk = FaultInjectingDisk(
+            SimulatedDisk(),
+            [Fault("transient", op="deallocate", at=1)],
+            seed=BASE_SEED,
+        )
+        disk.allocate(1, 16)
+        with pytest.raises(TransientDiskError):
+            disk.deallocate(1)
+        assert disk.page_size(1) == 16  # transient: nothing happened
+        disk.deallocate(1)  # retry goes through
+        assert disk.page_ids() == []
+        assert disk.fault_stats.by_kind == {"transient": 1}
+        assert disk.op_counts["deallocate"] == 2
+
+    def test_deallocate_crash_kills_the_disk(self):
+        disk = FaultInjectingDisk(
+            SimulatedDisk(), [Fault("crash", op="deallocate", at=2)], seed=BASE_SEED
+        )
+        disk.allocate(1, 16)
+        disk.allocate(2, 16)
+        disk.deallocate(1)
+        with pytest.raises(SimulatedCrashError):
+            disk.deallocate(2)
+        with pytest.raises(SimulatedCrashError):
+            disk.read_page(2)  # everything after the crash fails too
+
     def test_wrapper_is_interface_transparent(self, tmp_path):
         disk = FaultInjectingDisk(FileDisk(tmp_path / "p.db"), seed=BASE_SEED)
         disk.allocate(3, 32)

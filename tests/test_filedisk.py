@@ -64,6 +64,35 @@ class TestFileDisk:
         assert path.exists()
         assert (tmp_path / "p.db.meta").exists()
 
+    def test_failed_meta_write_leaves_no_tmp_file(self, tmp_path, monkeypatch):
+        # Regression: a sync that died between writing .meta.tmp and the
+        # atomic rename left the stale .tmp behind, shadowing the real
+        # sidecars in directory listings and manual inspection forever.
+        import os as os_module
+
+        disk = FileDisk(tmp_path / "p.db")
+        disk.allocate(1, 16)
+        disk.sync()
+        real_replace = os_module.replace
+
+        def failing_replace(src, dst):
+            if str(src).endswith(".tmp"):
+                raise OSError("injected rename failure")
+            return real_replace(src, dst)
+
+        monkeypatch.setattr("repro.storage.filedisk.os.replace", failing_replace)
+        with pytest.raises(OSError):
+            disk.sync()
+        monkeypatch.undo()
+        assert not (tmp_path / "p.db.meta.tmp").exists()
+        disk.close(sync=False)
+        # A valid generation survives (the failed rename demoted .meta to
+        # .meta.prev before dying) and the store reopens from it.
+        reopened = FileDisk(tmp_path / "p.db")
+        assert reopened.generation == 1
+        assert reopened.page_size(1) == 16
+        reopened.close(sync=False)
+
     def test_works_under_buffer_pool(self, tmp_path):
         disk = FileDisk(tmp_path / "p.db")
         for i in range(1, 6):

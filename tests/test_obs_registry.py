@@ -105,7 +105,7 @@ class TestIndexRegistry:
         assert snap["buffer"]["accesses"] == snap["access"]["search_node_accesses"]
         assert set(snap["disk"]) == {
             "reads", "writes", "bytes_read", "bytes_written",
-            "transient_errors", "retries", "failed_ops",
+            "transient_errors", "retries", "failed_ops", "fsyncs",
         }
 
     def test_latch_source(self, tree):
