@@ -22,7 +22,9 @@ path-scoped rules by mimicking the package layout.
 from __future__ import annotations
 
 import ast
+import io
 import re
+import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Iterable, Iterator, Sequence
@@ -39,9 +41,16 @@ __all__ = [
     "lint_source",
     "lint_paths",
     "iter_python_files",
+    "STALE_IGNORE_ID",
 ]
 
 _IGNORE_RE = re.compile(r"#\s*lint:\s*ignore\[([A-Za-z0-9_*,\s]+)\]")
+
+#: Pseudo-rule id for stale-suppression warnings (a ``# lint: ignore``
+#: that suppresses nothing).  Not in the registry: it is a property of
+#: the suppression comments, not of the AST, so it cannot itself be
+#: suppressed or ``--select``\ ed.
+STALE_IGNORE_ID = "W1"
 
 
 @dataclass
@@ -148,12 +157,21 @@ def _package_path(path: Path) -> str:
 
 
 def _collect_suppressions(source: str) -> dict[int, set[str]]:
+    """Suppressions from *actual comments* (tokenize, not line regex —
+    a docstring that merely mentions ``# lint: ignore[R2]`` must neither
+    suppress anything nor count as stale)."""
     suppressions: dict[int, set[str]] = {}
-    for lineno, line in enumerate(source.splitlines(), start=1):
-        match = _IGNORE_RE.search(line)
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return suppressions  # unparsable files never reach the rules anyway
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        match = _IGNORE_RE.search(tok.string)
         if match:
             ids = {part.strip() for part in match.group(1).split(",") if part.strip()}
-            suppressions[lineno] = ids
+            suppressions.setdefault(tok.start[0], set()).update(ids)
     return suppressions
 
 
@@ -176,16 +194,66 @@ def _suppressed(ctx: FileContext, diag: Diagnostic) -> bool:
     return ids is not None and (diag.rule in ids or "*" in ids)
 
 
+def _stale_ignores(
+    ctx: FileContext,
+    used: set[tuple[int, str]],
+    select: Sequence[str] | None,
+) -> Iterator[Diagnostic]:
+    """W1 warnings for suppression comments that suppressed nothing.
+
+    Under ``--select`` only the selected ids are judged — a partial run
+    cannot prove an out-of-selection ignore (or a ``*`` wildcard) stale.
+    Unknown rule ids are always stale on a full run: they can never
+    suppress anything.
+    """
+    checkable = set(select) if select is not None else None
+    for line, ids in sorted(ctx.suppressions.items()):
+        for rid in sorted(ids):
+            if rid == "*":
+                if checkable is not None or (line, "*") in used:
+                    continue
+            else:
+                if checkable is not None and rid not in checkable:
+                    continue
+                if (line, rid) in used:
+                    continue
+            yield Diagnostic(
+                path=ctx.path,
+                line=line,
+                col=1,
+                rule=STALE_IGNORE_ID,
+                name="stale-ignore",
+                message=(
+                    f"`# lint: ignore[{rid}]` suppresses nothing on this "
+                    "line; remove it (or fix the rule id) so suppressions "
+                    "stay auditable"
+                ),
+            )
+
+
 def lint_source(
-    source: str, path: str = "<string>", select: Sequence[str] | None = None
+    source: str,
+    path: str = "<string>",
+    select: Sequence[str] | None = None,
+    stale_ignores: bool = False,
 ) -> list[Diagnostic]:
-    """Lint one in-memory source blob (the fixture-test entry point)."""
+    """Lint one in-memory source blob (the fixture-test entry point).
+
+    With ``stale_ignores``, suppression comments that suppressed no
+    finding are reported as :data:`STALE_IGNORE_ID` diagnostics.
+    """
     ctx = _make_context(source, path)
     findings: list[Diagnostic] = []
+    used: set[tuple[int, str]] = set()
     for rule in _select_rules(select):
         for diag in rule.check(ctx):
-            if not _suppressed(ctx, diag):
+            ids = ctx.suppressions.get(diag.line)
+            if ids is None or not (diag.rule in ids or "*" in ids):
                 findings.append(diag)
+            else:
+                used.add((diag.line, diag.rule if diag.rule in ids else "*"))
+    if stale_ignores:
+        findings.extend(_stale_ignores(ctx, used, select))
     return sorted(findings)
 
 
@@ -207,6 +275,7 @@ def lint_paths(
     paths: Iterable[str | Path],
     select: Sequence[str] | None = None,
     on_file: Callable[[Path], None] | None = None,
+    stale_ignores: bool = False,
 ) -> list[Diagnostic]:
     """Lint every Python file under ``paths``; returns sorted diagnostics."""
     findings: list[Diagnostic] = []
@@ -214,5 +283,5 @@ def lint_paths(
         if on_file is not None:
             on_file(path)
         source = path.read_text()
-        findings.extend(lint_source(source, str(path), select))
+        findings.extend(lint_source(source, str(path), select, stale_ignores))
     return sorted(findings)

@@ -28,9 +28,12 @@ Commands:
   table, CRC-check every page, rebuild the tree, run the structural
   invariant checker, and scan the write-ahead log (if any) for valid
   records and torn tails;
-* ``lint``      — run the repository's AST lint rules (R1-R4, see
+* ``lint``      — run the repository's AST lint rules (R1-R8, see
   ``repro.analysis``) over Python sources; exit 0 clean, 1 findings,
-  2 usage error.
+  2 usage error; ``--strict-ignores`` fails on stale suppressions;
+* ``racecheck`` — run the concurrency stress harness and WAL group-
+  commit workload under the runtime lock-order recorder; exit 1 when
+  any hierarchy ascent or lock-graph cycle is observed.
 """
 
 from __future__ import annotations
@@ -323,11 +326,70 @@ def _fsck_wal(path: str, checkpoint_info: dict) -> int:
     return 0
 
 
+def _cmd_racecheck(args) -> int:
+    """Run the concurrency workloads under the runtime lock-order recorder."""
+    import json
+
+    from .concurrency.racecheck import run_racecheck
+
+    report = run_racecheck(
+        seed=args.seed,
+        kinds=tuple(args.index.split(",")) if args.index else ("SR-Tree",),
+        readers=args.readers,
+        writers=args.writers,
+        ops_per_thread=args.ops,
+        wal_writers=args.wal_writers,
+        wal_records=args.wal_records,
+    )
+    if args.output:
+        with open(args.output, "w") as fh:
+            json.dump(report, fh, indent=2)
+            fh.write("\n")
+    if args.format == "json":
+        print(json.dumps(report, indent=2))
+    else:
+        graph = report["lock_order"]
+        selftest = report["selftest"]
+        print(
+            f"racecheck: selftest "
+            f"{'detected the planted inversion' if selftest['detected'] else 'FAILED to detect the planted inversion'}"
+        )
+        for item in report["workloads"]:
+            desc = ", ".join(
+                f"{k}={v}" for k, v in item.items() if k != "workload"
+            )
+            print(f"  workload {item['workload']}: {desc}")
+        print(
+            f"  lock graph: {len(graph['locks'])} locks, "
+            f"{len(graph['edges'])} edges, "
+            f"{len(graph['ascending_edges'])} ascending, "
+            f"{len(graph['cycles'])} cycle(s), "
+            f"{len(graph['risky_waits'])} risky wait(s)"
+        )
+        for edge in graph["ascending_edges"]:
+            print(
+                f"    ASCENT {edge['src']} ({edge['src_mode']}) -> "
+                f"{edge['dst']} ({edge['dst_mode']}) x{edge['count']}"
+            )
+        for cycle in graph["cycles"]:
+            print(f"    CYCLE {' -> '.join(cycle)}")
+        probe = report["overhead_probe"]
+        print(
+            f"  overhead probe: x{probe['overhead_ratio']:.2f} per latch "
+            f"op while recording (off-path cost is one None check)"
+        )
+        print(f"racecheck: {'ok' if report['ok'] else 'FAILED'}")
+        if args.output:
+            print(f"report written to {args.output}")
+    return 0 if report["ok"] else 1
+
+
 def _cmd_lint(args) -> int:
-    """Run the repository's AST lint rules (R1-R4) over Python sources."""
+    """Run the repository's AST lint rules (R1-R8) over Python sources."""
     import json
 
     from .analysis import all_rules, lint_paths
+    from .analysis.engine import STALE_IGNORE_ID
     from .exceptions import ConfigError
 
     select = None
@@ -335,10 +397,12 @@ def _cmd_lint(args) -> int:
         select = [rule_id.strip() for rule_id in args.select.split(",") if rule_id.strip()]
     paths = args.paths or ["src/repro"]
     try:
-        diagnostics = lint_paths(paths, select=select)
+        diagnostics = lint_paths(paths, select=select, stale_ignores=True)
     except (ConfigError, InputFormatError) as exc:
         print(f"lint: {exc}", file=sys.stderr)
         return 2
+    errors = [d for d in diagnostics if d.rule != STALE_IGNORE_ID]
+    warnings = [d for d in diagnostics if d.rule == STALE_IGNORE_ID]
     if args.format == "json":
         payload = {
             "version": 1,
@@ -347,16 +411,25 @@ def _cmd_lint(args) -> int:
                 for rule in all_rules()
                 if select is None or rule.id in select
             ],
-            "count": len(diagnostics),
+            "count": len(errors),
+            "stale_ignores": len(warnings),
             "findings": [diagnostic.to_dict() for diagnostic in diagnostics],
         }
         print(json.dumps(payload, indent=2))
     else:
         for diagnostic in diagnostics:
             print(diagnostic.format())
-        noun = "finding" if len(diagnostics) == 1 else "findings"
-        print(f"lint: {len(diagnostics)} {noun}")
-    return 1 if diagnostics else 0
+        noun = "finding" if len(errors) == 1 else "findings"
+        summary = f"lint: {len(errors)} {noun}"
+        if warnings:
+            noun_w = "warning" if len(warnings) == 1 else "warnings"
+            summary += f", {len(warnings)} stale-ignore {noun_w}"
+        print(summary)
+    if errors:
+        return 1
+    if warnings and args.strict_ignores:
+        return 1
+    return 0
 
 
 def _cmd_bench_batch(args) -> int:
@@ -717,7 +790,7 @@ def _parser() -> argparse.ArgumentParser:
     fsck.set_defaults(func=_cmd_fsck)
 
     lint = sub.add_parser(
-        "lint", help="run the repository's AST lint rules (R1-R4)"
+        "lint", help="run the repository's AST lint rules (R1-R8)"
     )
     lint.add_argument(
         "paths",
@@ -734,7 +807,42 @@ def _parser() -> argparse.ArgumentParser:
         "--select",
         help="comma-separated rule ids to run (e.g. R1,R3); default: all",
     )
+    lint.add_argument(
+        "--strict-ignores",
+        action="store_true",
+        help="treat stale `# lint: ignore[...]` comments as errors",
+    )
     lint.set_defaults(func=_cmd_lint)
+
+    racecheck = sub.add_parser(
+        "racecheck",
+        help="run the stress harness + WAL workload under the runtime "
+        "lock-order recorder; exit 1 on any hierarchy ascent or cycle",
+    )
+    racecheck.add_argument("--seed", type=int, default=0)
+    racecheck.add_argument(
+        "--index",
+        default="SR-Tree",
+        help="comma-separated index kinds for the stress phase "
+        "(default: SR-Tree)",
+    )
+    racecheck.add_argument("--readers", type=int, default=3)
+    racecheck.add_argument("--writers", type=int, default=2)
+    racecheck.add_argument(
+        "--ops", type=int, default=80, help="operations per stress thread"
+    )
+    racecheck.add_argument("--wal-writers", type=int, default=4)
+    racecheck.add_argument("--wal-records", type=int, default=160)
+    racecheck.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    racecheck.add_argument(
+        "--output", help="also write the JSON report to this path"
+    )
+    racecheck.set_defaults(func=_cmd_racecheck)
 
     return parser
 

@@ -27,6 +27,7 @@ import time
 from typing import Callable, Optional
 
 from ..exceptions import ConcurrencyError
+from ..obs import lockgraph
 from ..obs.tracer import NULL_TRACER, Tracer
 
 __all__ = ["LatchStats", "RWLatch"]
@@ -168,6 +169,9 @@ class RWLatch:
     # Read side
     # ------------------------------------------------------------------
     def acquire_read(self, timeout: float | None = None) -> None:
+        recorder = lockgraph.active_recorder()
+        if recorder is not None:
+            recorder.record_attempt(self.name, "read", self)
         started: float | None = None
         deadline: float | None = None
         with self._cond:
@@ -190,6 +194,8 @@ class RWLatch:
                         )
                     self._cond.wait(timeout=remaining)
             self._readers += 1
+        if recorder is not None:
+            recorder.record_acquired(self.name, "read", self)
         waited = None if started is None else time.perf_counter() - started
         self.stats.record_acquire("read", waited)
         self._trace_acquire("read", waited)
@@ -203,11 +209,17 @@ class RWLatch:
             self._readers -= 1
             if self._readers == 0:
                 self._cond.notify_all()
+        recorder = lockgraph.active_recorder()
+        if recorder is not None:
+            recorder.record_release(self.name, self)
 
     # ------------------------------------------------------------------
     # Write side
     # ------------------------------------------------------------------
     def acquire_write(self, timeout: float | None = None) -> None:
+        recorder = lockgraph.active_recorder()
+        if recorder is not None:
+            recorder.record_attempt(self.name, "write", self)
         me = threading.get_ident()
         started: float | None = None
         deadline: float | None = None
@@ -236,6 +248,8 @@ class RWLatch:
             finally:
                 self._waiting_writers -= 1
             self._writer = me
+        if recorder is not None:
+            recorder.record_acquired(self.name, "write", self)
         waited = None if started is None else time.perf_counter() - started
         self.stats.record_acquire("write", waited)
         self._trace_acquire("write", waited)
@@ -248,6 +262,9 @@ class RWLatch:
                 )
             self._writer = None
             self._cond.notify_all()
+        recorder = lockgraph.active_recorder()
+        if recorder is not None:
+            recorder.record_release(self.name, self)
 
     # ------------------------------------------------------------------
     # Context managers

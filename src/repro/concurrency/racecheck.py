@@ -1,0 +1,159 @@
+"""``repro racecheck``: run real workloads under the lock-order recorder.
+
+Three parts, all in one report:
+
+* **selftest** — an intentionally inverted two-lock fixture (AB in one
+  thread, BA in another).  The recorder *must* flag it — a detector that
+  cannot see a planted inversion proves nothing about a clean run.
+* **workloads** — the PR 5 stress harness (readers + writers + buffer
+  pool) and the WAL group-commit stress, both executed with a
+  :class:`~repro.obs.lockgraph.LockOrderRecorder` installed.  The run
+  passes when the recorded acquisition graph has no hierarchy ascents
+  and no cycles.
+* **overhead probe** — a latch acquire/release microbenchmark with the
+  recorder off vs. installed, so the JSON documents what the detector
+  costs (the *uninstalled* hot path is one global load + ``None`` check,
+  which is what `repro bench-concurrent` runs under).
+
+The final report is JSON-ready; ``ok`` is True only when the selftest
+detected its inversion **and** the workloads recorded a clean graph.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Mapping, Sequence
+
+from ..obs.lockgraph import LockOrderRecorder, TrackedCondition, recording
+from .latch import RWLatch
+from .stress import run_stress, run_wal_commit_stress
+
+__all__ = [
+    "run_inversion_selftest",
+    "run_overhead_probe",
+    "run_racecheck",
+]
+
+
+def run_inversion_selftest() -> dict:
+    """Take two mutexes in opposite orders and assert the recorder sees it.
+
+    The threads run sequentially (join between them), so the inversion is
+    observed without ever risking the deadlock it represents.
+    """
+    recorder = LockOrderRecorder()
+    outer = TrackedCondition("buffer")
+    inner = TrackedCondition("wal")
+
+    def canonical() -> None:  # buffer -> wal: descends, fine
+        with outer:
+            with inner:
+                pass
+
+    def inverted() -> None:  # wal -> buffer: ascends, and closes a cycle
+        with inner:
+            with outer:
+                pass
+
+    with recording(recorder):
+        first = threading.Thread(target=canonical)
+        first.start()
+        first.join()
+        second = threading.Thread(target=inverted)
+        second.start()
+        second.join()
+
+    report = recorder.report()
+    return {
+        "detected": bool(report["ascending_edges"]) and bool(report["cycles"]),
+        "ascending_edges": report["ascending_edges"],
+        "cycles": report["cycles"],
+    }
+
+
+def run_overhead_probe(iterations: int = 20000) -> dict:
+    """Uninstalled vs. installed cost of one read acquire/release pair."""
+
+    def loop() -> float:
+        latch = RWLatch("index")
+        guard = latch.read()
+        start = time.perf_counter()
+        for _ in range(iterations):
+            with guard:
+                pass
+        return time.perf_counter() - start
+
+    baseline = loop()
+    with recording(LockOrderRecorder()):
+        installed = loop()
+    return {
+        "iterations": iterations,
+        "baseline_seconds": baseline,
+        "recording_seconds": installed,
+        "overhead_ratio": installed / baseline if baseline > 0 else 0.0,
+    }
+
+
+def run_racecheck(
+    seed: int = 0,
+    *,
+    kinds: Sequence[str] = ("SR-Tree",),
+    readers: int = 3,
+    writers: int = 2,
+    ops_per_thread: int = 80,
+    buffer_bytes: int = 1 << 16,
+    wal_writers: int = 4,
+    wal_records: int = 160,
+    probe_iterations: int = 20000,
+    tracer: Any = None,
+) -> dict:
+    """The full racecheck run; see the module docstring for the parts.
+
+    When ``tracer`` is an enabled :class:`repro.obs.tracer.Tracer`, the
+    recorded graph is also emitted as ``lock_order_edge`` /
+    ``lock_cycle`` trace events.
+    """
+    selftest = run_inversion_selftest()
+
+    recorder = LockOrderRecorder()
+    workloads: list[Mapping[str, Any]] = []
+    with recording(recorder):
+        for kind in kinds:
+            stress = run_stress(
+                kind,
+                seed,
+                readers=readers,
+                writers=writers,
+                ops_per_thread=ops_per_thread,
+                buffer_bytes=buffer_bytes,
+            )
+            workloads.append(
+                {
+                    "workload": f"stress/{kind}",
+                    "searches": stress.searches,
+                    "inserts": stress.inserts,
+                    "deletes": stress.deletes,
+                }
+            )
+        wal = run_wal_commit_stress(seed, writers=wal_writers, records=wal_records)
+        workloads.append(
+            {
+                "workload": "wal-group-commit",
+                "commits_acked": wal["commits_acked"],
+                "commits_per_fsync": wal["commits_per_fsync"],
+            }
+        )
+    if tracer is not None:
+        recorder.emit_events(tracer)
+    graph = recorder.report()
+    probe = run_overhead_probe(probe_iterations)
+    return {
+        "version": 1,
+        "seed": seed,
+        "ok": bool(selftest["detected"]) and bool(graph["ok"]),
+        "selftest": selftest,
+        "workloads": workloads,
+        "lock_order": graph,
+        "overhead_probe": probe,
+    }

@@ -22,6 +22,7 @@ import random
 import threading
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any
 
 from ..core.config import IndexConfig
@@ -35,7 +36,13 @@ from ..exceptions import ConcurrencyError, WorkloadError
 from ..storage.pager import StorageManager
 from .engine import ConcurrentIndex, ConcurrentRuleLockIndex
 
-__all__ = ["STRESS_INDEX_TYPES", "StressResult", "run_stress", "run_rule_lock_stress"]
+__all__ = [
+    "STRESS_INDEX_TYPES",
+    "StressResult",
+    "run_stress",
+    "run_rule_lock_stress",
+    "run_wal_commit_stress",
+]
 
 #: Every variant the engine must serve uniformly.
 STRESS_INDEX_TYPES: tuple[str, ...] = (
@@ -391,3 +398,90 @@ def run_rule_lock_stress(
     result.live_records = 0
     result.contention = engine.contention_snapshot()
     return result
+
+
+def run_wal_commit_stress(
+    seed: int = 0,
+    *,
+    writers: int = 4,
+    records: int = 200,
+    directory: "str | None" = None,
+    fsync_delay: float = 0.0,
+    domain: float = 1000.0,
+) -> dict:
+    """Concurrent group-commit workload: N writers inserting through a
+    WAL-attached engine (the `repro bench-wal` phase-1 shape, sized for a
+    smoke run).  Exercises the full lock stack — index write latch,
+    buffer/pager mutexes, and the WAL commit CV — which is exactly the
+    path ``repro racecheck`` wants under its lock-order recorder.
+
+    Raises on any worker failure; returns the group-commit tally.
+    """
+    import shutil
+    import tempfile
+
+    from ..storage.filedisk import FileDisk
+    from ..storage.wal import WriteAheadLog, wal_directory_for
+    from ..core.srtree import SRTree
+
+    rng = random.Random(seed)
+    rects = [_random_box(rng, domain) for _ in range(records)]
+    base = (
+        Path(directory)
+        if directory is not None
+        else Path(tempfile.mkdtemp(prefix="repro-walstress-"))
+    )
+    base.mkdir(parents=True, exist_ok=True)
+    cleanup = directory is None
+    path = base / "pages.dat"
+    disk = FileDisk(path)
+    wal = WriteAheadLog(wal_directory_for(path), fsync_delay=fsync_delay)
+    tree = SRTree(IndexConfig())
+    manager = StorageManager(tree, disk=disk, wal=wal)
+    engine = ConcurrentIndex(tree, storage=manager)
+
+    errors: list[BaseException] = []
+    errors_lock = threading.Lock()
+    barrier = threading.Barrier(writers)
+
+    def worker(slice_rects: list[Rect]) -> None:
+        try:
+            barrier.wait(timeout=30.0)
+            for rect in slice_rects:
+                engine.insert(rect)
+        except BaseException as exc:  # noqa: BLE001 - reraised below
+            with errors_lock:
+                errors.append(exc)
+
+    threads = [
+        threading.Thread(target=worker, args=(rects[t::writers],), daemon=True)
+        for t in range(writers)
+    ]
+    start = time.perf_counter()
+    try:
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120.0)
+        if any(t.is_alive() for t in threads):
+            raise ConcurrencyError("WAL commit stress worker failed to finish")
+        if errors:
+            raise errors[0]
+    finally:
+        engine.detach()
+        manager.detach()
+        wal.close()
+        disk.close()
+        if cleanup:
+            shutil.rmtree(base, ignore_errors=True)
+    elapsed = time.perf_counter() - start
+    stats = wal.stats
+    return {
+        "seed": seed,
+        "writers": writers,
+        "records": records,
+        "elapsed_seconds": elapsed,
+        "commits_acked": stats.commits_acked,
+        "fsyncs": stats.fsyncs,
+        "commits_per_fsync": stats.commits_per_fsync,
+    }

@@ -37,6 +37,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 
 from ..exceptions import StorageError
+from ..obs.lockgraph import TrackedCondition
 from ..obs.tracer import NULL_TRACER, Tracer
 from .disk import SimulatedDisk
 from .page import Page, PageId
@@ -108,8 +109,11 @@ class BufferPool:
         self.pin_wait_timeout = pin_wait_timeout
         self._frames: "OrderedDict[PageId, Page]" = OrderedDict()
         self._resident_bytes = 0
-        self._lock = threading.RLock()
-        self._cond = threading.Condition(self._lock)
+        # One re-entrant mutex doubling as the condition variable; the
+        # TrackedCondition reports to `repro racecheck`'s lock-order
+        # recorder when one is installed (level "buffer", rank 2).
+        self._cond = TrackedCondition("buffer", threading.RLock())
+        self._lock = self._cond
         #: Pages currently being read from disk (reads happen unlatched).
         self._loading: set[PageId] = set()
         #: Pages dropped while their unlatched read was in flight; the

@@ -48,7 +48,6 @@ from __future__ import annotations
 
 import os
 import struct
-import threading
 import time
 import zlib
 from dataclasses import dataclass
@@ -57,6 +56,7 @@ from typing import Any, Callable, IO, Mapping, Sequence
 
 from ..exceptions import SimulatedCrashError, StorageError, TornWalAppend
 from ..obs.latency import LatencyRecorder
+from ..obs.lockgraph import TrackedCondition
 from ..obs.tracer import NULL_TRACER, Tracer
 from .page import PageId
 
@@ -295,7 +295,9 @@ class WriteAheadLog:
         self.stats = WalStats()
         #: Durable-acknowledgment latency per commit (nanoseconds).
         self.commit_latency = LatencyRecorder()
-        self._cv = threading.Condition()
+        # Commit mutex + group-commit CV; reports to `repro racecheck`'s
+        # lock-order recorder when one is installed (level "wal", rank 3).
+        self._cv = TrackedCondition("wal")
         self._appended_lsn = 0
         self._durable_lsn = 0
         self._flusher_active = False

@@ -29,7 +29,7 @@ class Sampler:
 class UniformSampler(Sampler):
     """Uniform over [low, high]."""
 
-    def __init__(self, low: float = 0.0, high: float = DOMAIN_HIGH):
+    def __init__(self, low: float = 0.0, high: float = DOMAIN_HIGH) -> None:
         if low >= high:
             raise WorkloadError(f"empty uniform range [{low}, {high}]")
         self.low = low
@@ -45,7 +45,7 @@ class UniformSampler(Sampler):
 class ExponentialSampler(Sampler):
     """Exponential with scale ``beta``, clipped to [low, high]."""
 
-    def __init__(self, beta: float, low: float = 0.0, high: float = DOMAIN_HIGH):
+    def __init__(self, beta: float, low: float = 0.0, high: float = DOMAIN_HIGH) -> None:
         if beta <= 0:
             raise WorkloadError("beta must be positive")
         if low >= high:
@@ -62,7 +62,7 @@ class ExponentialSampler(Sampler):
         return f"ExponentialSampler(beta={self.beta:g})"
 
 
-def make_sampler(kind: str, **kwargs) -> Sampler:
+def make_sampler(kind: str, **kwargs: float) -> Sampler:
     """Factory: ``make_sampler("uniform", low=0, high=100)``."""
     if kind == "uniform":
         return UniformSampler(**kwargs)

@@ -11,7 +11,7 @@ integration tests and available to library users for their own workloads.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Any, Sequence
 
 import numpy as np
 
@@ -115,7 +115,9 @@ class ReplayReport:
         return not self.mismatches
 
 
-def replay(index, trace: Sequence[Operation], validate: bool = True) -> ReplayReport:
+def replay(
+    index: Any, trace: Sequence[Operation], validate: bool = True
+) -> ReplayReport:
     """Run ``trace`` against ``index``; with ``validate`` every search is
     checked against a brute-force model of the live records."""
     report = ReplayReport()
@@ -154,7 +156,7 @@ def replay(index, trace: Sequence[Operation], validate: bool = True) -> ReplayRe
     return report
 
 
-def _accepts_hint(index) -> bool:
+def _accepts_hint(index: Any) -> bool:
     import inspect
 
     try:

@@ -11,6 +11,7 @@ from repro import IndexConfig, Rect, SRTree
 from repro.concurrency import (
     ConcurrentIndex,
     ConcurrentRuleLockIndex,
+    LatchStats,
     RWLatch,
     run_rule_lock_stress,
     run_stress,
@@ -339,6 +340,130 @@ class TestLatchDeadlines:
             stop.set()
             notifier.join()
             latch.release_read()
+
+    def test_read_timeout_under_writer_preference(self):
+        # Writer preference: a reader holds, a writer queues, and a *new*
+        # reader must block behind the queued writer — its timeout has to
+        # fire even though no writer actually holds the latch.
+        latch = RWLatch()
+        latch.acquire_read()
+        may_release = threading.Event()
+
+        def writer():
+            latch.acquire_write()
+            may_release.wait(timeout=5.0)
+            latch.release_write()
+
+        writer_thread = threading.Thread(target=writer)
+        writer_thread.start()
+        try:
+            # Wait until the writer is registered as waiting.
+            deadline = time.perf_counter() + 2.0
+            while latch._waiting_writers == 0:
+                assert time.perf_counter() < deadline, "writer never queued"
+                time.sleep(0.001)
+            with pytest.raises(ConcurrencyError):
+                latch.acquire_read(timeout=0.1)
+        finally:
+            latch.release_read()  # lets the queued writer through
+            may_release.set()
+            writer_thread.join()
+        # The timed-out reader left no residue: a fresh uncontended
+        # read acquisition succeeds immediately.
+        latch.acquire_read(timeout=0.1)
+        latch.release_read()
+
+    def test_writer_timeout_clears_waiting_count(self):
+        # A writer that times out must deregister from _waiting_writers,
+        # otherwise it would block readers forever (writer preference).
+        latch = RWLatch()
+        latch.acquire_read()
+        with pytest.raises(ConcurrencyError):
+            latch.acquire_write(timeout=0.05)
+        assert latch._waiting_writers == 0
+        # New readers are admitted again right away.
+        latch.acquire_read(timeout=0.1)
+        latch.release_read()
+        latch.release_read()
+
+    def test_timed_out_acquisition_counts_as_wait_not_acquire(self):
+        stats = LatchStats()
+        latch = RWLatch(stats=stats)
+        latch.acquire_read()
+        with pytest.raises(ConcurrencyError):
+            latch.acquire_write(timeout=0.05)
+        snap = stats.snapshot()
+        # Only the successful read acquire is counted; the failed write
+        # acquisition recorded neither an acquire nor a wait.
+        assert snap["read_acquires"] == 1
+        assert snap["write_acquires"] == 0
+        latch.release_read()
+
+
+class TestLatchStatsConsistency:
+    """Snapshots taken while the latch is hammered must be self-consistent."""
+
+    def test_snapshot_consistent_under_concurrent_traffic(self):
+        stats = LatchStats()
+        latch = RWLatch(stats=stats)
+        stop = threading.Event()
+        per_thread = 300
+        readers, writers = 3, 2
+
+        def read_loop():
+            for _ in range(per_thread):
+                with latch.read():
+                    pass
+
+        def write_loop():
+            for _ in range(per_thread):
+                with latch.write():
+                    pass
+
+        snapshots = []
+
+        def snapshot_loop():
+            while not stop.is_set():
+                snapshots.append(stats.snapshot())
+
+        threads = [threading.Thread(target=read_loop) for _ in range(readers)]
+        threads += [threading.Thread(target=write_loop) for _ in range(writers)]
+        sampler = threading.Thread(target=snapshot_loop)
+        sampler.start()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        stop.set()
+        sampler.join()
+
+        # Every mid-flight snapshot is internally consistent: the derived
+        # counter matches its parts, nothing exceeds the final totals,
+        # and waits never exceed acquires of the same mode.
+        final = stats.snapshot()
+        for snap in snapshots + [final]:
+            assert snap["contended_acquires"] == snap["read_waits"] + snap["write_waits"]
+            assert 0 <= snap["read_waits"] <= snap["read_acquires"] <= final["read_acquires"]
+            assert 0 <= snap["write_waits"] <= snap["write_acquires"] <= final["write_acquires"]
+            assert snap["wait_seconds"] >= 0.0
+        assert final["read_acquires"] == readers * per_thread
+        assert final["write_acquires"] == writers * per_thread
+
+    def test_snapshot_series_is_monotonic(self):
+        stats = LatchStats()
+        latch = RWLatch(stats=stats)
+        series = []
+        for _ in range(5):
+            with latch.read():
+                pass
+            with latch.write():
+                pass
+            series.append(stats.snapshot())
+        for prev, cur in zip(series, series[1:]):
+            for key in ("read_acquires", "write_acquires", "read_waits",
+                        "write_waits", "contended_acquires"):
+                assert cur[key] >= prev[key]
+            assert cur["wait_seconds"] >= prev["wait_seconds"]
 
 
 class TestNodeLatchPruning:
