@@ -22,6 +22,15 @@ threads ascending/descending between the same pair of levels can
 deadlock.  ``disk`` is a pseudo-level — blocking I/O is "acquired" last,
 i.e. never while an exclusive lock is held (rule R6), with the
 documented exceptions listed in :data:`IO_UNDER_LOCK_ALLOWLIST`.
+
+The MVCC structures (PR 9) sit deliberately *outside* the hierarchy:
+snapshot readers over :class:`~repro.storage.buffer.PageVersionCache`
+acquire no level at all (immutable version chains + GIL-atomic dict
+reads), and the cache's single-mutator methods (``publish`` / ``trim`` /
+``mark_sweep``) take no locks of their own — they run under the
+engine's exclusive ``index`` latch, which :data:`HELD_BY_CONVENTION`
+records so the static walker checks anything they might acquire against
+rank 0.
 """
 
 from __future__ import annotations
@@ -76,7 +85,10 @@ LOCK_HIERARCHY: tuple[LockLevel, ...] = (
         description=(
             "Engine-wide reader-writer latch: writers exclusive, "
             "pessimistic readers shared, optimistic readers version-"
-            "validated and latch-free."
+            "validated and latch-free.  MVCC snapshot readers bypass "
+            "every level: they pin a commit epoch in the version cache "
+            "and never latch; the cache's mutators (publish/GC) run "
+            "under this latch held exclusively."
         ),
         where="concurrency/engine.py (`ConcurrentEngine._index_latch`)",
         attrs=("_index_latch",),
@@ -219,6 +231,16 @@ HELD_BY_CONVENTION: Mapping[tuple[str, str], tuple[str, ...]] = {
     ("storage/buffer.py", "_only_own_pins"): ("buffer",),
     ("storage/wal.py", "_maybe_roll_locked"): ("wal",),
     ("storage/wal.py", "_encode_page_locked"): ("wal",),
+    # PageVersionCache single-mutator contract: publish and both GC
+    # passes run under the engine's exclusive index latch (rank 0), so
+    # any lock they ever grow must descend from the top of the
+    # hierarchy.  The latch-free read side (pin/unpin/read) is
+    # deliberately absent: it holds nothing.
+    ("storage/buffer.py", "publish"): ("index",),
+    ("storage/buffer.py", "trim"): ("index",),
+    ("storage/buffer.py", "mark_sweep"): ("index",),
+    ("storage/buffer.py", "_begin_gc"): ("index",),
+    ("storage/buffer.py", "_finish_gc"): ("index",),
 }
 
 

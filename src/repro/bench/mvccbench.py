@@ -1,0 +1,397 @@
+"""MVCC read benchmark under write churn (``repro bench-mvcc``).
+
+For each index type the bench builds the 20k uniform-rectangle workload
+(R1) twice — once served by the latched three-tier read protocol, once
+by MVCC snapshot reads — and answers the same query set with 4 reader
+threads while one writer thread churns inserts/deletes the whole time.
+Both modes pay the same simulated page-fault bill on the latched path
+(:class:`LatencyDisk`, same ``read_delay`` as ``repro bench-concurrent``)
+so the numbers compare directly against ``BENCH_concurrent.json``.
+
+Headline metrics (the ISSUE 9 acceptance bar):
+
+* MVCC read throughput >= the latched 4-thread throughput, with p999
+  read latency no worse — snapshots never fault, retry, or latch, so
+  under churn they should win both.
+* ``oracle_divergences`` must be 0: sampled snapshot reads are replayed
+  against the version cache's commit log (every committed insert/delete
+  note at or below the pinned epoch) and must match exactly.
+* ``read_latch_acquires``/``read_latch_waits`` must be 0 in MVCC mode.
+
+The result is written as ``BENCH_mvcc.json`` through the standard run
+report schema (:mod:`repro.obs.report`).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Sequence
+
+from ..concurrency.engine import ConcurrentIndex
+from ..core.config import IndexConfig
+from ..core.geometry import Rect
+from ..exceptions import ConcurrencyError
+from ..obs.latency import LatencyRecorder
+from ..obs.report import build_report, write_report
+from ..storage.disk import LatencyDisk
+from ..storage.pager import StorageManager
+from ..workloads.generators import DOMAIN, dataset_R1
+from .batchbench import BATCH_INDEX_TYPES, _build_for_search, uniform_queries
+from .concurrentbench import _timed_read_run
+
+__all__ = ["run_mvcc_bench", "format_mvcc_report"]
+
+
+def _churn_writer(
+    engine: ConcurrentIndex,
+    stop: threading.Event,
+    seed: int,
+    domain: Sequence[tuple[float, float]],
+    counters: dict[str, int],
+    think_seconds: float,
+) -> None:
+    """Insert/delete continuously until ``stop`` is set.
+
+    ``think_seconds`` of pause between writes keeps the churn rate
+    comparable across modes: without it the writer-preferring index
+    latch lets an unthrottled writer starve latched readers outright,
+    which measures starvation, not read-path cost.
+    """
+    import random
+
+    rng = random.Random(seed)
+    own: list[tuple[int, Rect]] = []
+    while not stop.is_set():
+        if think_seconds:
+            time.sleep(think_seconds)
+        if own and rng.random() < 0.4:
+            rid, rect = own.pop(rng.randrange(len(own)))
+            engine.delete(rid, hint=rect)
+            counters["deletes"] += 1
+        else:
+            center = [rng.uniform(lo, hi) for lo, hi in domain]
+            half = [(hi - lo) * 0.002 for lo, hi in domain]
+            rect = Rect(
+                tuple(c - h for c, h in zip(center, half)),
+                tuple(c + h for c, h in zip(center, half)),
+            )
+            rid = engine.insert(rect, payload="churn")
+            own.append((rid, rect))
+            counters["inserts"] += 1
+
+
+def _mvcc_read_run(
+    engine: ConcurrentIndex,
+    queries: list[Rect],
+    threads: int,
+    rounds: int,
+    sample_every: int,
+) -> tuple[LatencyRecorder, list[tuple[int, int, set[int]]], float, int]:
+    """Snapshot reads with per-query latency; every ``sample_every``-th
+    read records (epoch, query index, ids) for oracle replay."""
+    recorders = [LatencyRecorder() for _ in range(threads)]
+    samples: list[tuple[int, int, set[int]]] = []
+    samples_lock = threading.Lock()
+
+    def worker(worker_id: int, indices: list[int]) -> int:
+        rec = recorders[worker_id]
+        done = 0
+        for _ in range(rounds):
+            for i in indices:
+                start = time.perf_counter_ns()
+                with engine.open_snapshot() as snap:
+                    ids = snap.search_ids(queries[i])
+                rec.record(time.perf_counter_ns() - start)
+                if done % sample_every == 0:
+                    with samples_lock:
+                        samples.append((snap.epoch, i, ids))
+                done += 1
+        return done
+
+    slices = [list(range(t, len(queries), threads)) for t in range(threads)]
+    start = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=threads) as pool:
+        futures = [
+            pool.submit(worker, t, s) for t, s in enumerate(slices) if s
+        ]
+        total = sum(f.result() for f in futures)
+    wall = time.perf_counter() - start
+    merged = recorders[0]
+    for rec in recorders[1:]:
+        merged.merge(rec)
+    return merged, samples, wall, total
+
+
+def _latched_read_run(
+    engine: ConcurrentIndex, queries: list[Rect], threads: int, rounds: int
+) -> tuple[LatencyRecorder, float, int]:
+    """Latched (three-tier) reads with per-query latency under churn."""
+    recorders = [LatencyRecorder() for _ in range(threads)]
+
+    def worker(worker_id: int, indices: list[int]) -> int:
+        rec = recorders[worker_id]
+        done = 0
+        for _ in range(rounds):
+            for i in indices:
+                start = time.perf_counter_ns()
+                engine.search(queries[i])
+                rec.record(time.perf_counter_ns() - start)
+                done += 1
+        return done
+
+    slices = [list(range(t, len(queries), threads)) for t in range(threads)]
+    start = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=threads) as pool:
+        futures = [
+            pool.submit(worker, t, s) for t, s in enumerate(slices) if s
+        ]
+        total = sum(f.result() for f in futures)
+    wall = time.perf_counter() - start
+    merged = recorders[0]
+    for rec in recorders[1:]:
+        merged.merge(rec)
+    return merged, wall, total
+
+
+def _oracle_check(
+    base: dict[int, list[Rect]],
+    commit_log: list[tuple[int, Any]],
+    queries: list[Rect],
+    samples: list[tuple[int, int, set[int]]],
+) -> int:
+    """Replay the commit log to each sampled epoch; count divergences.
+
+    The oracle is the registry of live records: the base commit's
+    fragments plus every committed insert/delete note at or below the
+    pinned epoch.  A record intersects a query exactly when one of its
+    fragments does (fragments tile the original rectangle).
+    """
+    registry = {rid: list(rects) for rid, rects in base.items()}
+    log_pos = 0
+    divergences = 0
+    for epoch, qi, got in sorted(samples, key=lambda s: s[0]):
+        while log_pos < len(commit_log) and commit_log[log_pos][0] <= epoch:
+            note = commit_log[log_pos][1]
+            if note[0] == "insert":
+                registry[note[1]] = [note[2]]
+            elif note[0] == "delete":
+                registry.pop(note[1], None)
+            log_pos += 1
+        query = queries[qi]
+        expected = {
+            rid
+            for rid, rects in registry.items()
+            if any(r.intersects(query) for r in rects)
+        }
+        if got != expected:
+            divergences += 1
+    return divergences
+
+
+def _bench_one_kind(
+    kind: str,
+    dataset: list[Rect],
+    queries: list[Rect],
+    config: IndexConfig,
+    *,
+    threads: int,
+    rounds: int,
+    buffer_bytes: int,
+    read_delay: float,
+    seed: int,
+    sample_every: int,
+    churn_think: float,
+) -> dict[str, Any]:
+    domain = DOMAIN
+    modes: dict[str, dict[str, Any]] = {}
+
+    for mode in ("latched", "mvcc"):
+        tree = _build_for_search(kind, dataset, config)
+        manager = StorageManager(
+            tree, buffer_bytes=buffer_bytes, disk=LatencyDisk(read_delay=read_delay)
+        )
+        mvcc = mode == "mvcc"
+        engine = ConcurrentIndex(
+            tree, storage=manager if mvcc else None, mvcc=mvcc
+        )
+        base: dict[int, list[Rect]] = {}
+        if mvcc:
+            for rid, rect, _ in tree.items():
+                base.setdefault(rid, []).append(rect)
+        stop = threading.Event()
+        churn: dict[str, int] = {"inserts": 0, "deletes": 0}
+        writer = threading.Thread(
+            target=_churn_writer,
+            args=(engine, stop, seed + 17, domain, churn, churn_think),
+            name=f"mvccbench-writer-{kind}",
+        )
+        writer.start()
+        try:
+            if mvcc:
+                recorder, samples, wall, total = _mvcc_read_run(
+                    engine, queries, threads, rounds, sample_every
+                )
+            else:
+                recorder, wall, total = _latched_read_run(
+                    engine, queries, threads, rounds
+                )
+                samples = []
+        finally:
+            stop.set()
+            writer.join(timeout=60.0)
+        if writer.is_alive():
+            raise ConcurrencyError("churn writer failed to stop")
+        divergences = 0
+        if mvcc:
+            assert manager.versions is not None
+            divergences = _oracle_check(
+                base, manager.versions.commit_log, queries, samples
+            )
+        stats = engine.latch_stats
+        doc: dict[str, Any] = {
+            "reads": total,
+            "wall_seconds": wall,
+            "throughput_qps": total / wall if wall else 0.0,
+            "p50_us": recorder.quantile(0.5) / 1000.0,
+            "p99_us": recorder.quantile(0.99) / 1000.0,
+            "p999_us": recorder.quantile(0.999) / 1000.0,
+            "churn_inserts": churn["inserts"],
+            "churn_deletes": churn["deletes"],
+            "read_latch_acquires": stats.read_acquires,
+            "read_latch_waits": stats.read_waits,
+            "pessimistic_reads": engine.pessimistic_reads,
+            "optimistic_retries": engine.optimistic_retries_used,
+        }
+        if mvcc:
+            doc["snapshot_reads"] = engine.snapshot_reads
+            doc["oracle_samples"] = len(samples)
+            doc["oracle_divergences"] = divergences
+            doc["versions"] = manager.versions.stats.snapshot()
+        modes[mode] = doc
+        engine.detach()
+        manager.detach()
+
+    latched = modes["latched"]
+    mvcc_doc = modes["mvcc"]
+    return {
+        **{m: d for m, d in modes.items()},
+        "throughput_ratio": (
+            mvcc_doc["throughput_qps"] / latched["throughput_qps"]
+            if latched["throughput_qps"]
+            else 0.0
+        ),
+        "p999_ratio": (
+            mvcc_doc["p999_us"] / latched["p999_us"] if latched["p999_us"] else 0.0
+        ),
+    }
+
+
+def run_mvcc_bench(
+    records: int = 20_000,
+    queries: int = 96,
+    buffer_bytes: int = 32 * 1024,
+    seed: int = 1991,
+    read_delay: float = 0.0002,
+    area_fraction: float = 0.02,
+    index_types: Sequence[str] = BATCH_INDEX_TYPES,
+    threads: int = 4,
+    rounds: int = 2,
+    sample_every: int = 8,
+    churn_think: float = 0.002,
+    config: IndexConfig | None = None,
+    report_dir: str | None = None,
+) -> dict:
+    """Run the MVCC-vs-latched read benchmark; returns the report document.
+
+    Workload parameters mirror ``repro bench-concurrent`` (same dataset,
+    query generator, pool size, and disk latency) so the two reports are
+    directly comparable; the difference is the sustained write churn and
+    the latency histograms.
+    """
+    config = config or IndexConfig()
+    dataset = dataset_R1(records, seed=seed)
+    query_set = uniform_queries(queries, area_fraction, seed + 1, DOMAIN)
+
+    metrics: dict[str, dict] = {}
+    wall_start = time.perf_counter()
+    for kind in index_types:
+        metrics[kind] = _bench_one_kind(
+            kind,
+            dataset,
+            query_set,
+            config,
+            threads=threads,
+            rounds=rounds,
+            buffer_bytes=buffer_bytes,
+            read_delay=read_delay,
+            seed=seed,
+            sample_every=sample_every,
+            churn_think=churn_think,
+        )
+    wall_seconds = time.perf_counter() - wall_start
+
+    ratios = [m["throughput_ratio"] for m in metrics.values()]
+    divergences = sum(m["mvcc"]["oracle_divergences"] for m in metrics.values())
+    read_latches = sum(
+        m["mvcc"]["read_latch_acquires"] + m["mvcc"]["read_latch_waits"]
+        for m in metrics.values()
+    )
+    doc = build_report(
+        "mvcc",
+        config={
+            "records": records,
+            "queries": queries,
+            "buffer_bytes": buffer_bytes,
+            "seed": seed,
+            "read_delay": read_delay,
+            "area_fraction": area_fraction,
+            "dataset": "R1",
+            "index_types": list(index_types),
+            "threads": threads,
+            "rounds": rounds,
+            "sample_every": sample_every,
+            "churn_think": churn_think,
+        },
+        wall_seconds=wall_seconds,
+        metrics={
+            "per_index": metrics,
+            "min_throughput_ratio": min(ratios) if ratios else 0.0,
+            "oracle_divergences": divergences,
+            "mvcc_read_latch_events": read_latches,
+        },
+    )
+    if report_dir:
+        write_report(doc, report_dir)
+    return doc
+
+
+def format_mvcc_report(doc: dict) -> str:
+    """Fixed-width summary of a ``BENCH_mvcc.json`` document."""
+    cfg = doc["config"]
+    metrics = doc["metrics"]
+    lines = [
+        f"mvcc bench  (n={cfg['records']}, q={cfg['queries']}, "
+        f"{cfg['threads']} readers + churn writer, "
+        f"pool={cfg['buffer_bytes'] // 1024}KB, "
+        f"delay={cfg['read_delay'] * 1e6:.0f}us, dataset={cfg['dataset']})",
+        f"{'index type':<20}{'latched q/s':>13}{'mvcc q/s':>13}"
+        f"{'ratio':>9}{'latched p999us':>16}{'mvcc p999us':>13}{'diverge':>9}",
+    ]
+    for kind, m in metrics["per_index"].items():
+        lines.append(
+            f"{kind:<20}"
+            f"{m['latched']['throughput_qps']:>13.1f}"
+            f"{m['mvcc']['throughput_qps']:>13.1f}"
+            f"{m['throughput_ratio']:>8.2f}x"
+            f"{m['latched']['p999_us']:>16.0f}"
+            f"{m['mvcc']['p999_us']:>13.0f}"
+            f"{m['mvcc']['oracle_divergences']:>9}"
+        )
+    lines.append(
+        f"min throughput ratio: {metrics['min_throughput_ratio']:.2f}x, "
+        f"oracle divergences: {metrics['oracle_divergences']}, "
+        f"mvcc read-latch events: {metrics['mvcc_read_latch_events']}"
+    )
+    return "\n".join(lines)

@@ -14,6 +14,9 @@ Commands:
 * ``bench-concurrent`` — measure concurrent read throughput through the
   latched serving engine at 1/2/4 reader threads over a latency-modelled
   buffer pool, emitting ``BENCH_concurrent.json``;
+* ``bench-mvcc`` — compare MVCC snapshot reads against the latched read
+  protocol under sustained write churn (throughput, p999, commit-log
+  oracle divergences), emitting ``BENCH_mvcc.json``;
 * ``bench-slo`` — drive the multi-tenant open-loop traffic schedule
   against every index variant and record per-(class, tenant) latency
   histograms with p50/p90/p99/p999 tails, emitting ``BENCH_slo.json``;
@@ -477,6 +480,34 @@ def _cmd_bench_concurrent(args) -> int:
     return 0
 
 
+def _cmd_bench_mvcc(args) -> int:
+    """Run the MVCC-vs-latched read benchmark under write churn."""
+    from .bench.batchbench import BATCH_INDEX_TYPES
+    from .bench.mvccbench import format_mvcc_report, run_mvcc_bench
+    from .obs.report import write_report
+
+    kinds = BATCH_INDEX_TYPES if args.index == "all" else (args.index,)
+    doc = run_mvcc_bench(
+        records=args.records,
+        queries=args.queries,
+        buffer_bytes=args.buffer_bytes,
+        seed=args.seed,
+        read_delay=args.read_delay,
+        area_fraction=args.area_fraction,
+        index_types=kinds,
+        threads=args.threads,
+        rounds=args.rounds,
+        sample_every=args.sample_every,
+        churn_think=args.churn_think,
+    )
+    print(format_mvcc_report(doc))
+    report_dir = _report_dir(args)
+    if report_dir:
+        path = write_report(doc, report_dir)
+        print(f"report written to {path}")
+    return 0
+
+
 def _cmd_bench_slo(args) -> int:
     """Run the tail-latency / SLO benchmark."""
     from .bench.batchbench import BATCH_INDEX_TYPES
@@ -684,6 +715,49 @@ def _parser() -> argparse.ArgumentParser:
     bc.add_argument("--report-dir", default=None)
     bc.add_argument("--no-report", action="store_true")
     bc.set_defaults(func=_cmd_bench_concurrent)
+
+    bm = sub.add_parser(
+        "bench-mvcc",
+        help="compare MVCC snapshot reads vs latched reads under write churn",
+    )
+    bm.add_argument("--records", type=int, default=20_000)
+    bm.add_argument("--queries", type=int, default=96)
+    bm.add_argument("--buffer-bytes", type=int, default=32 * 1024)
+    bm.add_argument("--seed", type=int, default=1991)
+    bm.add_argument(
+        "--read-delay",
+        type=float,
+        default=0.0002,
+        help="simulated seconds of I/O stall per page fault",
+    )
+    bm.add_argument(
+        "--area-fraction",
+        type=float,
+        default=0.02,
+        help="query area as a fraction of the domain area",
+    )
+    bm.add_argument(
+        "--index", default="all", choices=("all",) + INDEX_TYPES + ("Packed SR-Tree",)
+    )
+    bm.add_argument("--threads", type=int, default=4, help="reader threads")
+    bm.add_argument(
+        "--rounds", type=int, default=2, help="passes over the query set per reader"
+    )
+    bm.add_argument(
+        "--sample-every",
+        type=int,
+        default=8,
+        help="record every Nth snapshot read for oracle replay",
+    )
+    bm.add_argument(
+        "--churn-think",
+        type=float,
+        default=0.002,
+        help="writer pause between churn operations (seconds)",
+    )
+    bm.add_argument("--report-dir", default=None)
+    bm.add_argument("--no-report", action="store_true")
+    bm.set_defaults(func=_cmd_bench_mvcc)
 
     bs = sub.add_parser(
         "bench-slo",

@@ -3,10 +3,14 @@
 See DESIGN.md ("Concurrent serving") for the protocol: optimistic
 version-validated reads, crab-coupled per-node read latches under a
 shared index latch, and exclusive writer latching with writer preference.
+MVCC mode (``ConcurrentIndex(..., mvcc=True)``) replaces the read tiers
+with latch-free epoch-pinned snapshots over copy-on-write page versions
+(see ``concurrency/mvcc.py`` and DESIGN.md "Snapshot reads").
 """
 
 from .engine import ConcurrentEngine, ConcurrentIndex, ConcurrentRuleLockIndex
 from .latch import LatchStats, RWLatch
+from .mvcc import Snapshot
 from .stress import StressResult, run_rule_lock_stress, run_stress
 
 __all__ = [
@@ -15,6 +19,7 @@ __all__ = [
     "ConcurrentRuleLockIndex",
     "LatchStats",
     "RWLatch",
+    "Snapshot",
     "StressResult",
     "run_rule_lock_stress",
     "run_stress",

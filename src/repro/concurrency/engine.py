@@ -26,6 +26,26 @@ Protocol (three tiers, cheapest first):
    version counter around the mutation, and never touch node latches:
    the exclusive index latch already excludes every pessimistic reader.
 
+**MVCC mode** (``mvcc=True``, requires a :class:`StorageManager`)
+replaces tiers 1–2 entirely: writers publish copy-on-write page versions
+at commit (epoch = WAL commit LSN when a log is attached), and every
+read opens a :class:`~repro.concurrency.mvcc.Snapshot` that pins the
+latest committed epoch and traverses the version chains with *no*
+latches, no optimistic retry, and no crab fallback — zero ``latch_wait``
+events on the read path under arbitrary write churn.  Writers keep the
+exclusive index latch (single-writer), which is also what serializes
+version publication and GC.
+
+Seqlock memory-model note (non-MVCC optimistic reads): ``_version`` is a
+plain int mutated only under the exclusive index latch.  CPython's GIL
+makes each read/write of it atomic and sequentially consistent across
+threads, so the classic seqlock argument holds without explicit fences:
+the reader's *first* load happening-before the traversal and the
+*second* load happening-after it means an unchanged even value proves no
+writer ran in between.  The retry budget is bounded by
+``optimistic_retries``; exhausting it emits a ``read_retry_exhausted``
+trace event and falls back to tier 2.
+
 Thread-safety contract per class: ``ConcurrentIndex`` /
 ``ConcurrentRuleLockIndex`` — every public method, any thread; the
 wrapped tree must not be mutated behind the wrapper's back; ``AccessStats``
@@ -43,9 +63,11 @@ from ..core.batch import batch_search
 from ..core.geometry import Rect
 from ..core.node import Node
 from ..core.rtree import RTree
+from ..exceptions import StorageError
 from ..obs.tracer import Tracer
 from ..rules.locks import RuleLock, RuleLockIndex
 from .latch import LatchStats, RWLatch
+from .mvcc import Snapshot
 
 __all__ = ["ConcurrentEngine", "ConcurrentIndex", "ConcurrentRuleLockIndex"]
 
@@ -70,6 +92,7 @@ class ConcurrentEngine:
         optimistic: bool = True,
         optimistic_retries: int = 2,
         storage: Any | None = None,
+        mvcc: bool = False,
     ) -> None:
         self._tree = tree
         self.tracer: Tracer = tracer if tracer is not None else tree.tracer
@@ -80,6 +103,15 @@ class ConcurrentEngine:
         #: only once its LSN is durable (after the latch is released, so
         #: the group-commit flusher can batch concurrent writers' fsyncs).
         self.storage = storage
+        #: MVCC snapshot reads (see the module docstring).  Enabling it
+        #: turns on copy-on-write page versioning in the storage manager;
+        #: the base epoch defaults to the WAL's last LSN so recovery
+        #: re-attachment lands on the epoch the replay committed.
+        self.mvcc = mvcc
+        if mvcc:
+            if storage is None:
+                raise StorageError("MVCC mode needs a StorageManager")
+            storage.enable_mvcc()
         self.latch_stats = LatchStats()
         self._index_latch = RWLatch("index", stats=self.latch_stats, tracer=self.tracer)
         self._node_latches: dict[int, RWLatch] = {}
@@ -93,6 +125,7 @@ class ConcurrentEngine:
         self.optimistic_reads = 0
         self.optimistic_retries_used = 0
         self.pessimistic_reads = 0
+        self.snapshot_reads = 0
         self.writes = 0
         self._local = threading.local()
         tree._latch_hook = self._crab_hook
@@ -168,14 +201,57 @@ class ConcurrentEngine:
             )
 
     # ------------------------------------------------------------------
+    # MVCC snapshots
+    # ------------------------------------------------------------------
+    def open_snapshot(self) -> Snapshot:
+        """Open a latch-free read snapshot pinning the latest commit.
+
+        Only valid in MVCC mode.  Close the snapshot (it is a context
+        manager) so version GC can reclaim what it pins.
+        """
+        if not self.mvcc:
+            raise StorageError("open_snapshot requires mvcc=True")
+        assert self.storage is not None and self.storage.versions is not None
+        return Snapshot(self.storage.versions, tracer=self.tracer)
+
+    def _read_mvcc(self, fn: Callable[[Snapshot], T]) -> T:
+        snapshot = self.open_snapshot()
+        try:
+            result = fn(snapshot)
+        finally:
+            snapshot.close()
+        with self._op_lock:
+            self.snapshot_reads += 1
+        return result
+
+    @property
+    def last_commit_epoch(self) -> "int | None":
+        """Epoch published by this thread's most recent write (MVCC only)."""
+        return getattr(self._local, "last_epoch", None)
+
+    def run_version_gc(self) -> tuple[int, int]:
+        """Force a full mark-sweep version GC; returns (versions, bytes)
+        reclaimed.  Takes the exclusive latch (GC is a mutator)."""
+        storage = self.storage
+        if storage is None or storage.versions is None:
+            return (0, 0)
+        self._index_latch.acquire_write()
+        try:
+            return storage.versions.mark_sweep()
+        finally:
+            self._index_latch.release_write()
+
+    # ------------------------------------------------------------------
     # Read / write funnels
     # ------------------------------------------------------------------
     def _read(self, fn: Callable[[], T]) -> T:
         if self.optimistic:
+            attempts = 0
             for attempt in range(self.optimistic_retries):
                 v1 = self._version
                 if v1 & 1:
                     break  # writer mid-mutation; go straight to latching
+                attempts = attempt + 1
                 try:
                     result = fn()
                 except Exception:
@@ -191,6 +267,10 @@ class ConcurrentEngine:
                         return result
                 with self._op_lock:
                     self.optimistic_retries_used += 1
+            # Bounded-retry fallback: the optimistic budget is spent (or
+            # a writer was mid-mutation); record it and take latches.
+            if self.tracer.enabled:
+                self.tracer.event("read_retry_exhausted", attempts=attempts)
         self._index_latch.acquire_read()
         self._local.held = {}
         try:
@@ -205,9 +285,14 @@ class ConcurrentEngine:
             self.pessimistic_reads += 1
         return result
 
-    def _write(self, fn: Callable[[], T]) -> T:
+    def _write(
+        self, fn: Callable[[], T], note_fn: "Callable[[T], Any] | None" = None
+    ) -> T:
         storage = self.storage
-        logged = storage is not None and getattr(storage, "wal", None) is not None
+        logged = storage is not None and (
+            getattr(storage, "wal", None) is not None
+            or getattr(storage, "versions", None) is not None
+        )
         lsn: int | None = None
         self._index_latch.acquire_write()
         try:
@@ -222,8 +307,14 @@ class ConcurrentEngine:
             else:
                 if logged:
                     # Still under the exclusive latch: the serialized
-                    # images see exactly this mutation's tree state.
-                    lsn = storage.end_logged_write(capture)
+                    # images see exactly this mutation's tree state, and
+                    # (in MVCC mode) the commit's page versions become
+                    # visible to snapshots before any later write runs.
+                    note = note_fn(result) if note_fn is not None else None
+                    lsn = storage.end_logged_write(capture, note)
+                    versions = getattr(storage, "versions", None)
+                    if versions is not None and versions.latest is not None:
+                        self._local.last_epoch = versions.latest.epoch
             finally:
                 self._version += 1  # even: quiescent again
                 with self._op_lock:
@@ -249,9 +340,13 @@ class ConcurrentEngine:
                 optimistic_reads=self.optimistic_reads,
                 optimistic_retries=self.optimistic_retries_used,
                 pessimistic_reads=self.pessimistic_reads,
+                snapshot_reads=self.snapshot_reads,
                 writes=self.writes,
             )
         doc["node_latches"] = len(self._node_latches)
+        storage = self.storage
+        if storage is not None and getattr(storage, "versions", None) is not None:
+            doc["versions"] = storage.versions.stats.snapshot()
         return doc
 
 
@@ -268,30 +363,46 @@ class ConcurrentIndex(ConcurrentEngine):
 
     # -- reads ----------------------------------------------------------
     def search(self, rect: Rect) -> list[tuple[int, Any]]:
+        if self.mvcc:
+            return self._read_mvcc(lambda snap: snap.search(rect))
         return self._read(lambda: self._tree.search(rect))
 
     def search_ids(self, rect: Rect) -> set[int]:
         return {rid for rid, _ in self.search(rect)}
 
     def stab(self, *coords: float) -> list[tuple[int, Any]]:
+        if self.mvcc:
+            return self._read_mvcc(lambda snap: snap.stab(*coords))
         return self._read(lambda: self._tree.stab(*coords))
 
     def search_within(self, rect: Rect) -> list[tuple[int, Any]]:
+        if self.mvcc:
+            return self._read_mvcc(lambda snap: snap.search_within(rect))
         return self._read(lambda: self._tree.search_within(rect))
 
     def search_containing(self, rect: Rect) -> list[tuple[int, Any]]:
+        if self.mvcc:
+            return self._read_mvcc(lambda snap: snap.search_containing(rect))
         return self._read(lambda: self._tree.search_containing(rect))
 
     def batch_search(self, queries: Sequence[Rect]) -> list[list[tuple[int, Any]]]:
         """One shared traversal answering the whole batch (see PR 4)."""
+        if self.mvcc:
+            return self._read_mvcc(lambda snap: snap.batch_search(queries))
         return self._read(lambda: batch_search(self._tree, queries))
 
     # -- writes ---------------------------------------------------------
     def insert(self, rect: Rect, payload: Any = None) -> int:
-        return self._write(lambda: self._tree.insert(rect, payload))
+        return self._write(
+            lambda: self._tree.insert(rect, payload),
+            note_fn=lambda rid: ("insert", rid, rect, payload),
+        )
 
     def delete(self, record_id: int, hint: Rect | None = None) -> int:
-        return self._write(lambda: self._tree.delete(record_id, hint))
+        return self._write(
+            lambda: self._tree.delete(record_id, hint),
+            note_fn=lambda removed: ("delete", record_id),
+        )
 
 
 class ConcurrentRuleLockIndex(ConcurrentEngine):

@@ -1,0 +1,244 @@
+"""MVCC snapshot reads over copy-on-write page versions.
+
+A :class:`Snapshot` pins one committed epoch in a
+:class:`~repro.storage.buffer.PageVersionCache` and answers the full
+query API (``search`` / ``stab`` / ``search_within`` /
+``search_containing`` / ``batch_search`` / ``items``) against exactly
+that commit's page images — entirely latch-free.  The read path acquires
+no latch, runs no optimistic retry, and can therefore never emit a
+``latch_wait`` event, no matter how hard writers churn (ROADMAP item 2's
+acceptance bar).
+
+Why this is safe without latches (the memory-model argument, spelled out
+once here and relied on everywhere):
+
+* Every structure a snapshot touches is immutable after publication
+  (page versions, commit points, decoded images) or mutated only through
+  single-bytecode dict/attribute operations, which the CPython GIL makes
+  atomic and sequentially consistent across threads.
+* Visibility: a writer publishes its commit by swinging the cache's
+  ``latest`` reference *last*, after every page version and commit-log
+  note is in place — a reader that observes epoch E therefore observes
+  every structure belonging to commits <= E.
+* Reclamation: the snapshot holds a :class:`PinnedEpoch`; the cache's
+  announced-floor protocol (see ``PageVersionCache``) guarantees GC
+  never frees a version the pin can reach.
+
+Results are computed from serialized page images, so a snapshot sees the
+tree exactly as the pinned commit serialized it; payloads come from the
+cache's sidecar payload map (record ids are never reused, so the map is
+safe to consult for any record the snapshot can see).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Sequence
+
+from ..core.geometry import Rect, pieces_cover
+from ..exceptions import StorageError
+from ..obs.tracer import NULL_TRACER, Tracer
+from ..storage.buffer import PageVersionCache, PinnedEpoch
+
+__all__ = ["Snapshot"]
+
+
+class Snapshot:
+    """A latch-free, epoch-pinned read view of one committed tree state.
+
+    Use as a context manager (or call :meth:`close`) so the pinned
+    versions become reclaimable::
+
+        with engine.open_snapshot() as snap:
+            hits = snap.search(rect)
+
+    Thread-safety: a snapshot may be handed between threads, but its
+    methods are not themselves synchronized — use one snapshot per
+    reader.  Opening and closing snapshots is safe from any thread.
+    """
+
+    def __init__(self, cache: PageVersionCache, tracer: Tracer | None = None) -> None:
+        if cache.decode is None:
+            raise StorageError("snapshot reads need a decode hook on the cache")
+        self.cache = cache
+        self.tracer: Tracer = tracer if tracer is not None else NULL_TRACER
+        self._pin: PinnedEpoch = cache.pin()
+        self.closed = False
+        #: Lazily-computed fragment counts for :meth:`search_within`
+        #: (needs to know when *all* of a record's fragments were seen).
+        self._fragment_counts: dict[int, int] | None = None
+        if self.tracer.enabled:
+            self.tracer.event(
+                "snapshot_open", epoch=self._pin.epoch, root_page=self._pin.root_page
+            )
+
+    # -- lifecycle -------------------------------------------------------
+    @property
+    def epoch(self) -> int:
+        """The pinned commit epoch (the commit LSN under a WAL)."""
+        return self._pin.epoch
+
+    @property
+    def root_page(self) -> int:
+        """Root page of the pinned commit (0 = empty tree)."""
+        return self._pin.root_page
+
+    def close(self) -> None:
+        """Release the epoch pin (idempotent)."""
+        if not self.closed:
+            self.closed = True
+            self.cache.unpin(self._pin)
+            if self.tracer.enabled:
+                self.tracer.event("snapshot_close", epoch=self._pin.epoch)
+
+    def __enter__(self) -> "Snapshot":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    # -- page access -----------------------------------------------------
+    def _image(self, page_id: int) -> Any:
+        version = self.cache.read(page_id, self._pin.epoch)
+        if version is None:
+            raise StorageError(
+                f"page {page_id} has no version at pinned epoch {self._pin.epoch}"
+            )
+        image = version.image
+        if image is None:
+            # Benign race: concurrent decoders produce equivalent
+            # immutable images; last store wins.
+            assert self.cache.decode is not None
+            image = self.cache.decode(version.data)
+            version.image = image
+        return image
+
+    # -- queries ---------------------------------------------------------
+    def search(self, rect: Rect) -> list[tuple[int, Any]]:
+        """All (record_id, payload) intersecting ``rect`` at this epoch.
+
+        Mirrors ``RTree.search``: fragments (including remnants) of one
+        record are reported once; spanning records are tested at branch
+        level without descending.
+        """
+        results: list[tuple[int, Any]] = []
+        if not self._pin.root_page:
+            return results
+        payload = self.cache.payload
+        seen: set[int] = set()
+        rlo, rhi = rect.lows, rect.highs
+        dims = range(len(rlo))
+        stack = [self._pin.root_page]
+        while stack:
+            image = self._image(stack.pop())
+            for r in image.records:
+                lo, hi = r.lows, r.highs
+                for d in dims:
+                    if lo[d] > rhi[d] or hi[d] < rlo[d]:
+                        break
+                else:
+                    if r.record_id not in seen:
+                        seen.add(r.record_id)
+                        results.append((r.record_id, payload(r.record_id)))
+            for b in image.branches:
+                for r in b.spanning:
+                    lo, hi = r.lows, r.highs
+                    for d in dims:
+                        if lo[d] > rhi[d] or hi[d] < rlo[d]:
+                            break
+                    else:
+                        if r.record_id not in seen:
+                            seen.add(r.record_id)
+                            results.append((r.record_id, payload(r.record_id)))
+                lo, hi = b.lows, b.highs
+                for d in dims:
+                    if lo[d] > rhi[d] or hi[d] < rlo[d]:
+                        break
+                else:
+                    stack.append(b.child_page)
+        return results
+
+    def search_ids(self, rect: Rect) -> set[int]:
+        return {rid for rid, _ in self.search(rect)}
+
+    def stab(self, *coords: float) -> list[tuple[int, Any]]:
+        """All records whose rectangle contains the given point."""
+        return self.search(Rect(coords, coords))
+
+    def count(self, rect: Rect) -> int:
+        return len(self.search(rect))
+
+    def batch_search(self, queries: Sequence[Rect]) -> list[list[tuple[int, Any]]]:
+        """Per-query results for a batch (one snapshot, many queries)."""
+        return [self.search(q) for q in queries]
+
+    def search_within(self, rect: Rect) -> list[tuple[int, Any]]:
+        """All records lying entirely inside ``rect`` (cf. ``RTree``)."""
+        counts = self._ensure_fragment_counts()
+        results = []
+        for record_id, (payload, rects) in self._collect_fragments(rect).items():
+            if len(rects) != counts.get(record_id):
+                continue
+            if all(rect.contains(r) for r in rects):
+                results.append((record_id, payload))
+        return results
+
+    def search_containing(self, rect: Rect) -> list[tuple[int, Any]]:
+        """All records that fully contain ``rect`` (fragments tile the
+        original rectangle, so covering the query proves containment)."""
+        return [
+            (record_id, payload)
+            for record_id, (payload, rects) in self._collect_fragments(rect).items()
+            if pieces_cover(rect, rects)
+        ]
+
+    def items(self) -> Iterator[tuple[int, Rect, Any]]:
+        """Yield (record_id, fragment_rect, payload) for every fragment."""
+        if not self._pin.root_page:
+            return
+        payload = self.cache.payload
+        stack = [self._pin.root_page]
+        while stack:
+            image = self._image(stack.pop())
+            for r in image.records:
+                yield r.record_id, Rect(r.lows, r.highs), payload(r.record_id)
+            for b in image.branches:
+                for r in b.spanning:
+                    yield r.record_id, Rect(r.lows, r.highs), payload(r.record_id)
+                stack.append(b.child_page)
+
+    def __len__(self) -> int:
+        """Distinct records visible at the pinned epoch."""
+        return len(self._ensure_fragment_counts())
+
+    # -- internals -------------------------------------------------------
+    def _collect_fragments(self, rect: Rect) -> dict[int, tuple[Any, list[Rect]]]:
+        found: dict[int, tuple[Any, list[Rect]]] = {}
+        if not self._pin.root_page:
+            return found
+        payload = self.cache.payload
+        stack = [self._pin.root_page]
+        while stack:
+            image = self._image(stack.pop())
+            candidates = list(image.records)
+            for b in image.branches:
+                candidates.extend(b.spanning)
+                if Rect(b.lows, b.highs).intersects(rect):
+                    stack.append(b.child_page)
+            for r in candidates:
+                fragment = Rect(r.lows, r.highs)
+                if fragment.intersects(rect):
+                    entry = found.get(r.record_id)
+                    if entry is None:
+                        found[r.record_id] = (payload(r.record_id), [fragment])
+                    else:
+                        entry[1].append(fragment)
+        return found
+
+    def _ensure_fragment_counts(self) -> dict[int, int]:
+        counts = self._fragment_counts
+        if counts is None:
+            counts = {}
+            for record_id, _, _ in self.items():
+                counts[record_id] = counts.get(record_id, 0) + 1
+            self._fragment_counts = counts
+        return counts

@@ -136,6 +136,28 @@ def run_racecheck(
                     "deletes": stress.deletes,
                 }
             )
+        # MVCC snapshots: latch-free readers over COW page versions while
+        # writers publish/GC under the exclusive latch — the recorder must
+        # see a clean (and notably reader-free) acquisition graph.
+        mvcc = run_stress(
+            kinds[0] if kinds else "SR-Tree",
+            seed,
+            readers=readers,
+            writers=writers,
+            ops_per_thread=ops_per_thread,
+            buffer_bytes=buffer_bytes,
+            mvcc=True,
+        )
+        workloads.append(
+            {
+                "workload": f"stress-mvcc/{kinds[0] if kinds else 'SR-Tree'}",
+                "searches": mvcc.searches,
+                "inserts": mvcc.inserts,
+                "deletes": mvcc.deletes,
+                "snapshot_reads": mvcc.contention.get("snapshot_reads", 0),
+                "read_latch_acquires": mvcc.contention.get("read_acquires", 0),
+            }
+        )
         wal = run_wal_commit_stress(seed, writers=wal_writers, records=wal_records)
         workloads.append(
             {

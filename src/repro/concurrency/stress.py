@@ -131,8 +131,16 @@ def run_stress(
     buffer_bytes: int | None = None,
     domain: float = 1000.0,
     optimistic: bool = True,
+    mvcc: bool = False,
 ) -> StressResult:
     """Run one seeded reader/writer interleaving and validate everything.
+
+    ``mvcc=True`` serves every read from an epoch-pinned snapshot (some
+    held across several writer commits to exercise pinning) and extends
+    the invariant battery with the MVCC acceptance bar: the read path
+    must record **zero** latch acquisitions/waits, and version GC must
+    stay live (all superseded versions reclaimed once the last pinning
+    snapshot closes — no monotonic version-memory growth).
 
     Raises (:class:`ConcurrencyError`, :class:`IndexStructureError`, or
     :class:`StorageError`) on any invariant violation; returns the
@@ -144,10 +152,17 @@ def run_stress(
     tree = _make_index(kind, config, initial, domain)
 
     manager: StorageManager | None = None
-    if buffer_bytes is not None:
-        manager = StorageManager(tree, buffer_bytes=buffer_bytes)
+    if buffer_bytes is not None or mvcc:
+        manager = StorageManager(
+            tree, buffer_bytes=buffer_bytes if buffer_bytes is not None else 1 << 16
+        )
 
-    engine = ConcurrentIndex(tree, optimistic=optimistic)
+    engine = ConcurrentIndex(
+        tree,
+        optimistic=optimistic,
+        storage=manager if mvcc else None,
+        mvcc=mvcc,
+    )
 
     # Registry of records the writers believe are alive: id -> rect.
     # items() yields fragments; collapsing to one rect per id is fine — any
@@ -179,7 +194,20 @@ def run_stress(
         for _ in range(ops_per_thread):
             roll = trng.random()
             query = _random_box(trng, domain)
-            if roll < 0.70:
+            if mvcc and roll < 0.10:
+                # A long-lived snapshot held across writer commits: pin,
+                # yield so writers publish past us, then re-run the same
+                # query — one snapshot must answer it identically.
+                with engine.open_snapshot() as snap:
+                    first = snap.search_ids(query)
+                    time.sleep(0.001)
+                    if snap.search_ids(query) != first:
+                        raise ConcurrencyError(
+                            f"snapshot at epoch {snap.epoch} changed its answer "
+                            "under write churn"
+                        )
+                searches += 2
+            elif roll < 0.70:
                 hits = engine.search(query)
                 ids = [rid for rid, _ in hits]
                 if len(ids) != len(set(ids)):
@@ -263,6 +291,35 @@ def run_stress(
         manager.pool.verify_accounting(expect_unpinned=True)
         result.buffer = manager.pool.stats.snapshot()
         manager.detach()
+    if mvcc:
+        assert manager is not None and manager.versions is not None
+        stats = engine.latch_stats
+        if stats.read_acquires or stats.read_waits or engine.pessimistic_reads:
+            raise ConcurrencyError(
+                "MVCC read path touched latches: "
+                f"read_acquires={stats.read_acquires} "
+                f"read_waits={stats.read_waits} "
+                f"pessimistic_reads={engine.pessimistic_reads}"
+            )
+        cache = manager.versions
+        cache.verify_accounting()
+        if cache.pinned_epochs:
+            raise ConcurrencyError(f"leaked snapshot pins: {cache.pinned_epochs}")
+        # GC liveness: with every snapshot closed, one full sweep must
+        # leave exactly one version per reachable page — anything more
+        # would be monotonic version-memory growth.
+        engine.run_version_gc()
+        cache.verify_accounting()
+        if cache.version_count != cache.chains:
+            raise ConcurrencyError(
+                f"version GC left {cache.version_count} versions across "
+                f"{cache.chains} chains (superseded versions not reclaimed)"
+            )
+        expected = tree.node_count() if len(tree) else 0
+        if cache.chains != expected:
+            raise ConcurrencyError(
+                f"{cache.chains} version chains for {expected} reachable nodes"
+            )
     result.live_records = len(registry)
     result.contention = engine.contention_snapshot()
     return result

@@ -203,6 +203,33 @@ _EVENT_SPECS: tuple[EventSpec, ...] = (
         doc="Recovery replayed the WAL tail onto the page store (commits "
             "counts applied transactions; skipped = pre-checkpoint LSNs).",
     ),
+    # -- MVCC snapshot events (concurrency/mvcc.py, storage/buffer.py) ---
+    _e(
+        "snapshot_open",
+        required=("epoch", "root_page"),
+        doc="A latch-free read snapshot pinned a committed epoch (the WAL "
+            "commit LSN when a log is attached; root_page 0 = empty tree).",
+    ),
+    _e(
+        "snapshot_close",
+        required=("epoch",),
+        doc="A snapshot released its epoch pin; its versions become "
+            "eligible for GC once no other pin can reach them.",
+    ),
+    _e(
+        "version_gc",
+        required=("reclaimed_versions", "reclaimed_bytes"),
+        optional=("mode", "horizon"),
+        doc="Version GC reclaimed superseded copy-on-write page versions "
+            "below the snapshot horizon (mode 'trim' = per-chain cut, "
+            "'mark_sweep' = full reachability pass).",
+    ),
+    _e(
+        "read_retry_exhausted",
+        required=("attempts",),
+        doc="An optimistic (seqlock) reader spent its bounded retry "
+            "budget under write churn and fell back to latched reading.",
+    ),
     # -- concurrency events (concurrency/) ------------------------------
     _e(
         "latch_acquire",

@@ -31,10 +31,12 @@ resident-dirty" invariant trivially crash-safe (see PR 2).
 
 from __future__ import annotations
 
+import itertools
 import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass
+from typing import Any, Callable, Mapping
 
 from ..exceptions import StorageError
 from ..obs.lockgraph import TrackedCondition
@@ -42,7 +44,15 @@ from ..obs.tracer import NULL_TRACER, Tracer
 from .disk import SimulatedDisk
 from .page import Page, PageId
 
-__all__ = ["BufferStats", "BufferPool"]
+__all__ = [
+    "BufferStats",
+    "BufferPool",
+    "CommitPoint",
+    "PageVersion",
+    "PinnedEpoch",
+    "VersionStats",
+    "PageVersionCache",
+]
 
 
 @dataclass
@@ -386,3 +396,455 @@ class BufferPool:
             if frame.pin_count == 0:
                 return page_id
         return None
+
+
+# ---------------------------------------------------------------------------
+# Copy-on-write page versioning (MVCC snapshot reads)
+# ---------------------------------------------------------------------------
+class PageVersion:
+    """One immutable page version in a copy-on-write chain.
+
+    ``epoch`` is the commit epoch (the WAL commit LSN when a log is
+    attached) that published this version; ``prev`` links to the version
+    it superseded.  ``data`` never changes after publication, so readers
+    may hold a version across arbitrary writer activity.  ``image`` is a
+    lazily-attached decode cache (the deserialized node); setting it is a
+    benign race — every decoder produces an equivalent immutable value.
+    """
+
+    __slots__ = ("epoch", "data", "prev", "image")
+
+    def __init__(self, epoch: int, data: bytes, prev: "PageVersion | None") -> None:
+        self.epoch = epoch
+        self.data = data
+        self.prev = prev
+        self.image: Any = None
+
+
+class CommitPoint:
+    """An immutable (epoch, root page) pair: one published commit."""
+
+    __slots__ = ("epoch", "root_page")
+
+    def __init__(self, epoch: int, root_page: PageId) -> None:
+        self.epoch = epoch
+        self.root_page = root_page
+
+
+@dataclass(frozen=True)
+class PinnedEpoch:
+    """A reader's pin on one commit (returned by :meth:`PageVersionCache.pin`)."""
+
+    token: int
+    epoch: int
+    root_page: PageId
+
+
+@dataclass
+class VersionStats:
+    """Counters for the version cache's publish / reclaim paths."""
+
+    versions_published: int = 0
+    versions_reclaimed: int = 0
+    #: Bytes of page images currently resident across all version chains.
+    version_bytes: int = 0
+    peak_version_bytes: int = 0
+    gc_runs: int = 0
+    snapshots_opened: int = 0
+    snapshots_closed: int = 0
+    #: Times a pin raced a concurrent reclamation and re-pinned (see the
+    #: announced-floor protocol in :class:`PageVersionCache`).
+    pin_retries: int = 0
+
+    def snapshot(self) -> dict:
+        return {
+            "versions_published": self.versions_published,
+            "versions_reclaimed": self.versions_reclaimed,
+            "version_bytes": self.version_bytes,
+            "peak_version_bytes": self.peak_version_bytes,
+            "gc_runs": self.gc_runs,
+            "snapshots_opened": self.snapshots_opened,
+            "snapshots_closed": self.snapshots_closed,
+            "pin_retries": self.pin_retries,
+        }
+
+
+class PageVersionCache:
+    """Copy-on-write page versions with epoch-pinned, latch-free readers.
+
+    Writers never mutate a published page in place: each commit publishes
+    fresh page images as new :class:`PageVersion` heads and then swings
+    ``latest`` to the commit's :class:`CommitPoint`.  A reader pins the
+    latest commit epoch and traverses the chains entirely latch-free —
+    every structure a reader touches is either immutable (versions,
+    commit points) or mutated only through single-bytecode dict/attribute
+    operations that the GIL makes atomic.
+
+    Thread-safety contract
+    ----------------------
+    * :meth:`publish`, :meth:`trim`, :meth:`mark_sweep` — **single
+      mutator**: callers must hold the engine's exclusive write latch (or
+      otherwise serialize).  They take no locks of their own.
+    * :meth:`pin`, :meth:`unpin`, :meth:`read`, :attr:`latest` — any
+      thread, latch-free.  The read path acquires nothing and can never
+      emit a ``latch_wait`` event.
+
+    Pin / GC coordination (the announced-floor protocol)
+    ----------------------------------------------------
+    A reclaimer first *announces* its intended floor (the latest epoch)
+    by an atomic attribute write, then scans the pin table and reclaims
+    only below ``min(pinned epochs, latest)``.  A reader pins by writing
+    its epoch into the pin table and *then* checking the announced floor:
+    if the floor has moved past its epoch, a reclaimer may have scanned
+    the table before the pin landed, so the reader retries against the
+    (necessarily newer) latest commit.  Once the check passes, any later
+    reclaimer's scan happens after the pin is visible and therefore
+    bounds its horizon by it — pinned versions are never reclaimed.
+    """
+
+    def __init__(
+        self,
+        decode: "Callable[[bytes], Any] | None" = None,
+        tracer: Tracer | None = None,
+    ) -> None:
+        #: Decodes a page image into a node image exposing ``branches``
+        #: (with ``child_page`` / ``spanning``) and ``records`` — used by
+        #: :meth:`mark_sweep` to walk reachability and collect live
+        #: record ids.  ``None`` disables mark-sweep (trim still works).
+        self.decode = decode
+        self.tracer: Tracer = tracer if tracer is not None else NULL_TRACER
+        self.stats = VersionStats()
+        #: Chain heads: page id -> newest published version.
+        self._heads: dict[PageId, PageVersion] = {}
+        #: Chains that currently hold more than one version (trim targets).
+        self._multi: set[PageId] = set()
+        #: The newest published commit; readers pin this.
+        self._latest: "CommitPoint | None" = None
+        #: Root page per published epoch, for mark-sweep anchors.
+        self._roots: dict[int, PageId] = {}
+        #: Live reader pins: token -> pinned epoch (GIL-atomic dict ops).
+        self._pins: dict[int, int] = {}
+        #: Highest floor any reclaimer has announced (see class docstring).
+        self._announced_floor = 0
+        #: ``itertools.count`` hands out tokens without a lock (C-level).
+        self._tokens = itertools.count(1)
+        #: Record payloads (payloads live outside index pages).  A record
+        #: id is never reused and its payload never changes, so readers
+        #: may consult this map for any record their snapshot can see.
+        self._payloads: dict[int, Any] = {}
+        #: Committed (epoch, note) pairs, appended *before* the commit
+        #: point is swung: a reader that sees ``latest.epoch == E`` also
+        #: sees every note with epoch <= E.  Notes are opt-in (oracle
+        #: tests and benches); ``None`` notes are not recorded.
+        self.commit_log: list[tuple[int, Any]] = []
+
+    # -- introspection --------------------------------------------------
+    @property
+    def latest(self) -> "CommitPoint | None":
+        """The newest published commit (atomic attribute read)."""
+        return self._latest
+
+    @property
+    def chains(self) -> int:
+        return len(self._heads)
+
+    @property
+    def version_count(self) -> int:
+        count = 0
+        for head in list(self._heads.values()):
+            version: "PageVersion | None" = head
+            while version is not None:
+                count += 1
+                version = version.prev
+        return count
+
+    @property
+    def pinned_epochs(self) -> list[int]:
+        """Currently pinned epochs (a snapshot copy; mutator-safe)."""
+        while True:
+            try:
+                return sorted(self._pins.values())
+            except RuntimeError:  # pin table resized mid-iteration
+                continue
+
+    # -- publish (single mutator) ---------------------------------------
+    def publish(
+        self,
+        epoch: int,
+        images: Mapping[PageId, bytes],
+        root_page: PageId,
+        payloads: "Mapping[int, Any] | None" = None,
+        note: Any = None,
+    ) -> None:
+        """Publish one commit's copy-on-write page versions.
+
+        Must run under the writer's exclusive latch, *after* the commit's
+        WAL append (so ``epoch`` is the commit LSN when a log is
+        attached) and before the latch is released — the new commit
+        becomes visible to snapshots the moment ``latest`` is swung,
+        which is the last step here.
+        """
+        latest = self._latest
+        if latest is not None and epoch <= latest.epoch:
+            raise StorageError(
+                f"commit epoch {epoch} is not newer than published epoch "
+                f"{latest.epoch}"
+            )
+        for page_id, data in images.items():
+            prev = self._heads.get(page_id)
+            version = PageVersion(epoch, bytes(data), prev)
+            self._heads[page_id] = version
+            if prev is not None:
+                self._multi.add(page_id)
+            self.stats.versions_published += 1
+            self.stats.version_bytes += len(version.data)
+        if self.stats.version_bytes > self.stats.peak_version_bytes:
+            self.stats.peak_version_bytes = self.stats.version_bytes
+        if payloads:
+            self._payloads.update(payloads)
+        self._roots[epoch] = root_page
+        if note is not None:
+            self.commit_log.append((epoch, note))
+        # The publication point: after this assignment the commit is
+        # visible to every subsequently-opened snapshot.
+        self._latest = CommitPoint(epoch, root_page)
+
+    # -- reader pinning (latch-free) ------------------------------------
+    def pin(self) -> PinnedEpoch:
+        """Pin the latest commit; see the announced-floor protocol above."""
+        token = next(self._tokens)
+        while True:
+            commit = self._latest
+            if commit is None:
+                raise StorageError("no commit published yet (cache is empty)")
+            self._pins[token] = commit.epoch
+            if self._announced_floor <= commit.epoch:
+                self.stats.snapshots_opened += 1
+                return PinnedEpoch(token, commit.epoch, commit.root_page)
+            # A reclaimer announced a floor past our epoch after we read
+            # ``latest`` — it may have scanned the pin table before our
+            # pin landed.  Drop the pin and retry against the newer
+            # commit (``latest`` is always >= the announced floor).
+            del self._pins[token]
+            self.stats.pin_retries += 1
+
+    def unpin(self, pin: PinnedEpoch) -> None:
+        """Release a reader's pin (idempotent)."""
+        if self._pins.pop(pin.token, None) is not None:
+            self.stats.snapshots_closed += 1
+
+    def read(self, page_id: PageId, epoch: int) -> "PageVersion | None":
+        """The newest version of ``page_id`` visible at ``epoch``.
+
+        Latch-free: one atomic dict read, then a walk over immutable
+        links.  ``None`` when the page has no version at or below the
+        epoch (e.g. it was first allocated by a later commit).
+        """
+        version = self._heads.get(page_id)
+        while version is not None and version.epoch > epoch:
+            version = version.prev
+        return version
+
+    # -- reclamation (single mutator) -----------------------------------
+    def _begin_gc(self) -> int:
+        """Announce reclamation intent, then compute the safe horizon."""
+        latest = self._latest
+        if latest is None:
+            return 0
+        # Announce FIRST (atomic attribute write): readers that pin after
+        # this observe the floor and retry; readers that pinned before
+        # are seen by the scan below.
+        if latest.epoch > self._announced_floor:
+            self._announced_floor = latest.epoch
+        while True:
+            try:
+                pinned = min(self._pins.values(), default=latest.epoch)
+            except RuntimeError:  # a reader resized the table mid-scan
+                continue
+            return min(pinned, latest.epoch)
+
+    def trim(self) -> tuple[int, int]:
+        """Cut superseded versions below the horizon from multi-version
+        chains; returns ``(versions_reclaimed, bytes_reclaimed)``.
+
+        Cheap incremental GC: visits only chains that actually hold more
+        than one version.  A version is reclaimable when a newer version
+        of the same page exists at or below the horizon — no live or
+        future snapshot can ever reach it.  Unreferenced chains (pages
+        whose node was condemned) are :meth:`mark_sweep`'s job.
+        """
+        horizon = self._begin_gc()
+        reclaimed = 0
+        freed = 0
+        for page_id in list(self._multi):
+            head = self._heads.get(page_id)
+            if head is None:
+                self._multi.discard(page_id)
+                continue
+            # Find the newest version at or below the horizon; everything
+            # older is invisible to every possible snapshot.
+            keeper: PageVersion = head
+            while keeper.epoch > horizon and keeper.prev is not None:
+                keeper = keeper.prev
+            dropped = keeper.prev
+            keeper.prev = None  # atomic; readers never walk past keeper
+            while dropped is not None:
+                reclaimed += 1
+                freed += len(dropped.data)
+                dropped = dropped.prev
+            if head.prev is None:
+                self._multi.discard(page_id)
+        self._finish_gc("trim", horizon, reclaimed, freed)
+        return reclaimed, freed
+
+    def mark_sweep(self) -> tuple[int, int]:
+        """Full reachability GC: keep exactly the versions some live or
+        future snapshot can reach; returns ``(versions, bytes)`` freed.
+
+        Anchors are the latest commit plus every pinned commit.  For each
+        anchor the reachable (page, version) pairs are marked by walking
+        child-page references out of the decoded images; everything
+        unmarked — superseded versions *and* whole chains of condemned
+        pages — is swept.  Payloads of records no longer reachable from
+        any anchor are dropped with them.  Requires a ``decode`` hook.
+        """
+        if self.decode is None:
+            raise StorageError("mark_sweep needs a decode hook")
+        latest = self._latest
+        if latest is None:
+            return 0, 0
+        horizon = self._begin_gc()
+        anchors: dict[int, PageId] = {latest.epoch: latest.root_page}
+        for epoch in self.pinned_epochs:
+            root = self._roots.get(epoch)
+            if root is None:
+                raise StorageError(f"pinned epoch {epoch} has no recorded root")
+            anchors[epoch] = root
+        marked: set[int] = set()
+        live_records: set[int] = set()
+        for epoch, root in anchors.items():
+            if not root:
+                continue  # root page 0: the empty-tree sentinel
+            # Page ids are stable across republishes, so the same parent
+            # version can resolve to *different* child versions at
+            # different epochs — each anchor walks its tree in full.
+            visited: set[PageId] = set()
+            stack = [root]
+            while stack:
+                page_id = stack.pop()
+                if page_id in visited:
+                    continue
+                visited.add(page_id)
+                version = self.read(page_id, epoch)
+                if version is None:
+                    raise StorageError(
+                        f"page {page_id} unreachable at anchored epoch {epoch}"
+                    )
+                marked.add(id(version))
+                image = version.image
+                if image is None:
+                    image = self.decode(version.data)
+                    version.image = image
+                for record in image.records:
+                    live_records.add(record.record_id)
+                for branch in image.branches:
+                    for record in branch.spanning:
+                        live_records.add(record.record_id)
+                    stack.append(branch.child_page)
+        reclaimed = 0
+        freed = 0
+        for page_id in list(self._heads):
+            head = self._heads[page_id]
+            kept: list[PageVersion] = []
+            version: "PageVersion | None" = head
+            while version is not None:
+                if id(version) in marked:
+                    kept.append(version)
+                else:
+                    reclaimed += 1
+                    freed += len(version.data)
+                version = version.prev
+            if not kept:
+                del self._heads[page_id]
+                self._multi.discard(page_id)
+                continue
+            if len(kept) < self._chain_length(head) or kept[0] is not head:
+                # Relink the surviving versions newest-first.  The new
+                # head is swung atomically; readers mid-walk on the old
+                # chain stay safe because old links are never redirected
+                # to different versions, only dropped.
+                for newer, older in zip(kept, kept[1:]):
+                    newer.prev = older
+                kept[-1].prev = None
+                self._heads[page_id] = kept[0]
+            if len(kept) > 1:
+                self._multi.add(page_id)
+            else:
+                self._multi.discard(page_id)
+        # Roots of epochs below the horizon can never anchor a snapshot
+        # again (pins are >= horizon, future pins are >= latest).
+        for epoch in [e for e in self._roots if e < horizon]:
+            del self._roots[epoch]
+        dead_payloads = [rid for rid in self._payloads if rid not in live_records]
+        for rid in dead_payloads:
+            del self._payloads[rid]
+        self._finish_gc("mark_sweep", horizon, reclaimed, freed)
+        return reclaimed, freed
+
+    @staticmethod
+    def _chain_length(head: PageVersion) -> int:
+        length = 0
+        version: "PageVersion | None" = head
+        while version is not None:
+            length += 1
+            version = version.prev
+        return length
+
+    def _finish_gc(self, mode: str, horizon: int, reclaimed: int, freed: int) -> None:
+        self.stats.gc_runs += 1
+        self.stats.versions_reclaimed += reclaimed
+        self.stats.version_bytes -= freed
+        if self.tracer.enabled:
+            self.tracer.event(
+                "version_gc",
+                reclaimed_versions=reclaimed,
+                reclaimed_bytes=freed,
+                mode=mode,
+                horizon=horizon,
+            )
+
+    # -- payloads --------------------------------------------------------
+    def payload(self, record_id: int) -> Any:
+        """The payload stored for ``record_id`` (``None`` when absent)."""
+        return self._payloads.get(record_id)
+
+    # -- invariants ------------------------------------------------------
+    def verify_accounting(self) -> None:
+        """Raise :class:`StorageError` on any internal inconsistency."""
+        actual = 0
+        count = 0
+        for head in self._heads.values():
+            version: "PageVersion | None" = head
+            prior = None
+            while version is not None:
+                actual += len(version.data)
+                count += 1
+                if prior is not None and version.epoch >= prior:
+                    raise StorageError(
+                        f"version chain epochs out of order ({version.epoch} "
+                        f"after {prior})"
+                    )
+                prior = version.epoch
+                version = version.prev
+        if actual != self.stats.version_bytes:
+            raise StorageError(
+                f"version_bytes {self.stats.version_bytes} != "
+                f"sum of resident versions {actual}"
+            )
+        published = self.stats.versions_published
+        reclaimed = self.stats.versions_reclaimed
+        if count != published - reclaimed:
+            raise StorageError(
+                f"{count} resident versions != {published} published - "
+                f"{reclaimed} reclaimed"
+            )

@@ -21,10 +21,11 @@ assumes.
 
 from __future__ import annotations
 
+import itertools
 import threading
 import time
 from dataclasses import asdict, dataclass, field
-from typing import Any, Callable, Type
+from typing import Any, Callable, Iterable, Iterator, Type
 
 from ..core.config import IndexConfig
 from ..core.entry import BranchEntry, DataEntry
@@ -34,7 +35,7 @@ from ..core.rtree import RTree
 from ..core.srtree import SRTree
 from ..exceptions import PageCorruptionError, StorageError, TransientDiskError
 from ..obs.tracer import Tracer
-from .buffer import BufferPool
+from .buffer import BufferPool, PageVersionCache
 from .disk import SimulatedDisk
 from .serializer import NodeImage, deserialize_node, serialize_node
 from .wal import WalReplayResult, WriteAheadLog, replay_wal, wal_directory_for
@@ -349,6 +350,16 @@ class StorageManager:
         #: Per-thread capture of nodes accessed inside a logged write.
         self._capture_local = threading.local()
         self._payloads: dict[int, Any] = {}
+        #: Copy-on-write page versions for MVCC snapshot reads; ``None``
+        #: until :meth:`enable_mvcc`.
+        self.versions: PageVersionCache | None = None
+        #: Commit-epoch source when no WAL is attached (with a WAL, the
+        #: commit LSN *is* the epoch).
+        self._epoch_counter: Iterator[int] | None = None
+        #: Commits between full mark-sweep GC passes (cheap per-commit
+        #: chain trims run on every other commit).
+        self.gc_interval = 64
+        self._commits_since_sweep = 0
         #: Number of checkpoints completed; stamped into page headers.
         self.generation = 0
         for node in tree.iter_nodes():
@@ -430,13 +441,75 @@ class StorageManager:
         self.disk.sync()
         self.wal.truncate(wal_lsn)
 
+    # ------------------------------------------------------------------
+    # MVCC page versioning
+    # ------------------------------------------------------------------
+    def enable_mvcc(
+        self, base_epoch: "int | None" = None, *, gc_interval: int = 64
+    ) -> PageVersionCache:
+        """Turn on copy-on-write page versioning for snapshot reads.
+
+        Publishes the current tree as the *base commit* so snapshots can
+        open immediately.  ``base_epoch`` defaults to the WAL's last LSN
+        (commit LSNs double as snapshot epochs from then on) or 0 without
+        a WAL (an internal counter takes over).  After recovery, pass the
+        replay's ``last_commit_lsn`` so the base epoch *is* the committed
+        epoch recovery landed on.  Idempotent.
+        """
+        if self.versions is not None:
+            return self.versions
+        if base_epoch is None:
+            base_epoch = self.wal.last_lsn if self.wal is not None else 0
+        self.gc_interval = gc_interval
+        self._commits_since_sweep = 0
+        self._epoch_counter = itertools.count(base_epoch + 1)
+        cache = PageVersionCache(decode=deserialize_node, tracer=self.pool.tracer)
+        root = self.tree.root
+        if root.data_entries or root.branches:
+            nodes = list(self.tree.iter_nodes())
+            for node in nodes:
+                self._ensure_page(node)
+            images = {
+                self._page_of[node.node_id]: serialize_node(
+                    node,
+                    self.disk.page_size(self._page_of[node.node_id]),
+                    self._page_of,
+                    self.generation,
+                )
+                for node in nodes
+            }
+            cache.publish(
+                base_epoch,
+                images,
+                self._page_of[root.node_id],
+                payloads=self._harvest_payloads(nodes),
+            )
+        else:
+            cache.publish(base_epoch, {}, 0)
+        self.versions = cache
+        return cache
+
+    @staticmethod
+    def _harvest_payloads(nodes: Iterable[Node]) -> dict[int, Any]:
+        """Record payloads carried by ``nodes`` (payloads live outside
+        index pages, so the version cache keeps its own sidecar map)."""
+        payloads: dict[int, Any] = {}
+        for node in nodes:
+            if node.is_leaf:
+                for e in node.data_entries:
+                    payloads[e.record_id] = e.payload
+            else:
+                for _, r in node.iter_spanning():
+                    payloads[r.record_id] = r.payload
+        return payloads
+
     def begin_logged_write(self) -> "_LoggedWrite | None":
         """Start capturing the nodes one mutation touches.
 
         Called by :meth:`ConcurrentEngine._write` (or any single-writer
         caller) *before* running the mutation; the returned handle is
         handed back to :meth:`end_logged_write`.  ``None`` (and a no-op)
-        when no WAL is attached.
+        when neither a WAL nor MVCC page versioning is attached.
 
         Dirty-node detection combines two signals: nodes the mutation
         *accesses* (per-thread via the storage hook, so concurrent
@@ -445,7 +518,7 @@ class StorageManager:
         snapshotted here (every content mutation calls ``Node.touch``,
         including paths like ``_insert_one`` that bypass the access hook).
         """
-        if self.wal is None:
+        if self.wal is None and self.versions is None:
             return None
         capture: dict[int, Node] = {}
         self._capture_local.nodes = capture
@@ -456,15 +529,24 @@ class StorageManager:
         """Drop the current thread's capture (the mutation raised)."""
         self._capture_local.nodes = None
 
-    def end_logged_write(self, handle: "_LoggedWrite | None") -> "int | None":
+    def end_logged_write(
+        self, handle: "_LoggedWrite | None", note: Any = None
+    ) -> "int | None":
         """Append the captured mutation to the WAL; returns its commit LSN.
 
         Must run while the mutation's exclusive latch is still held, so
         the serialized images are consistent.  The LSN is *not* yet
         durable: acknowledge the commit only after
         :meth:`wait_durable` returns for it.
+
+        With MVCC enabled the same page images are also published as
+        copy-on-write versions (epoch = commit LSN, or an internal
+        counter without a WAL), making the commit visible to snapshots
+        before the latch is released.  ``note`` is an optional value
+        recorded in the version cache's commit log alongside the epoch
+        (oracle tests use it to replay exactly the committed operations).
         """
-        if self.wal is None or handle is None:
+        if handle is None or (self.wal is None and self.versions is None):
             return None
         self._capture_local.nodes = None
         root = self.tree.root
@@ -496,13 +578,27 @@ class StorageManager:
                 if child.node_id not in nodes and child.node_id not in self._page_of:
                     nodes[child.node_id] = child
                     stack.append(child)
-        # An empty node cannot be serialized; the only one legitimately
-        # reachable is the root of an emptied tree (captured detached
-        # nodes were condemned by a merge and their pages are garbage).
+        # Emptied nodes: detached ones were condemned by a merge (their
+        # pages are garbage) and the root of an emptied tree is the
+        # ``root_page = 0`` sentinel — but an *attached* empty leaf is
+        # live structure (skeleton trees keep their pre-partitioned
+        # leaves) and must republish, or the page's stale records would
+        # survive into WAL replay and MVCC snapshots.  Such leaves carry
+        # an ``assigned_region``, which is what makes them serializable.
+        def attached(node: Node) -> bool:
+            while node.parent is not None:
+                node = node.parent
+            return node is root
+
         live = [
             node
             for node in nodes.values()
-            if node.data_entries or node.branches
+            if (node.data_entries or node.branches)
+            or (
+                node is not root
+                and node.assigned_region is not None
+                and attached(node)
+            )
         ]
         for node in live:
             self._ensure_page(node)
@@ -518,7 +614,29 @@ class StorageManager:
         root_page = self._page_of[root.node_id] if (
             root.data_entries or root.branches
         ) else 0
-        return self.wal.log_commit(images, allocs, root_page=root_page)
+        lsn: "int | None" = None
+        if self.wal is not None:
+            lsn = self.wal.log_commit(images, allocs, root_page=root_page)
+        if self.versions is not None:
+            if lsn is not None:
+                epoch = lsn
+            else:
+                assert self._epoch_counter is not None
+                epoch = next(self._epoch_counter)
+            self.versions.publish(
+                epoch,
+                images,
+                root_page,
+                payloads=self._harvest_payloads(live),
+                note=note,
+            )
+            self._commits_since_sweep += 1
+            if self._commits_since_sweep >= self.gc_interval:
+                self._commits_since_sweep = 0
+                self.versions.mark_sweep()
+            else:
+                self.versions.trim()
+        return lsn
 
     def wait_durable(self, lsn: "int | None") -> None:
         """Block until the logged commit ``lsn`` is on stable storage.
@@ -658,5 +776,10 @@ class StorageManager:
             "checkpoint_generation": self.generation,
             **(
                 {"wal": self.wal.stats.snapshot()} if self.wal is not None else {}
+            ),
+            **(
+                {"versions": self.versions.stats.snapshot()}
+                if self.versions is not None
+                else {}
             ),
         }

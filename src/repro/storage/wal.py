@@ -240,6 +240,10 @@ class WalReplayResult:
     #: LSN of the last record consumed by the scan.
     stop_lsn: int = 0
     torn_tail: bool = False
+    #: LSN of the last *applied* COMMIT — the committed epoch recovery
+    #: landed on (0 when no commit was replayed).  MVCC re-attachment
+    #: uses this as the base snapshot epoch.
+    last_commit_lsn: int = 0
 
 
 class WriteAheadLog:
@@ -748,6 +752,7 @@ def replay_wal(
                 _apply_record(store, page_record)
             result.records_applied += len(pending) + 1
             result.commits_applied += 1
+            result.last_commit_lsn = record.lsn
             (root_page,) = _COMMIT_PAYLOAD.unpack(record.payload)
             result.root_page = root_page
             pending.clear()

@@ -288,8 +288,11 @@ def test_racecheck_clean_on_real_workloads():
     assert graph["acquisitions"] > 0
     # The workloads really ran.
     names = [w["workload"] for w in report["workloads"]]
-    assert names == ["stress/SR-Tree", "wal-group-commit"]
-    assert report["workloads"][1]["commits_acked"] == 24  # records total
+    assert names == ["stress/SR-Tree", "stress-mvcc/SR-Tree", "wal-group-commit"]
+    # MVCC snapshot reads recorded no read-side latch acquisitions.
+    assert report["workloads"][1]["snapshot_reads"] > 0
+    assert report["workloads"][1]["read_latch_acquires"] == 0
+    assert report["workloads"][2]["commits_acked"] == 24  # records total
 
 
 def test_racecheck_emits_trace_events_when_tracer_enabled():
