@@ -14,7 +14,8 @@ truth for that discipline.  Three consumers read it:
 
 The canonical hierarchy, outermost (acquired first) to innermost::
 
-    index latch -> node latch -> buffer-pool mutex -> WAL mutex -> disk
+    router topology latch -> index latch -> node latch
+        -> buffer-pool mutex -> WAL mutex -> disk
 
 Acquiring a level while holding a level *below* it (a larger rank)
 **ascends** the hierarchy and is the classic lock-order inversion: two
@@ -30,7 +31,13 @@ reads), and the cache's single-mutator methods (``publish`` / ``trim`` /
 ``mark_sweep``) take no locks of their own — they run under the
 engine's exclusive ``index`` latch, which :data:`HELD_BY_CONVENTION`
 records so the static walker checks anything they might acquire against
-rank 0.
+the ``index`` rank.
+
+The shard router (PR 10) adds one level *above* everything: its
+topology latch is held (shared) for the duration of every routed
+operation, and the workers it dispatches to acquire their own engine
+and storage locks in fresh threads or processes — so ``router`` is
+rank 0 and nothing a worker does can ascend back into it.
 """
 
 from __future__ import annotations
@@ -80,8 +87,23 @@ class LockLevel:
 
 LOCK_HIERARCHY: tuple[LockLevel, ...] = (
     LockLevel(
-        name="index",
+        name="router",
         rank=0,
+        description=(
+            "Shard-router topology latch: every routed operation holds "
+            "it shared; rebalances (split_shard) hold it exclusively to "
+            "swap the partitioner, client table and rid ownership "
+            "atomically.  Outermost by construction — a routed op "
+            "acquires engine/storage locks only *inside* the worker it "
+            "was dispatched to, never the reverse."
+        ),
+        where="sharding/router.py (`ShardRouter._topology_latch`)",
+        attrs=("_topology_latch",),
+        exclusive=False,  # shared on the serving paths; exclusive only to rebalance
+    ),
+    LockLevel(
+        name="index",
+        rank=1,
         description=(
             "Engine-wide reader-writer latch: writers exclusive, "
             "pessimistic readers shared, optimistic readers version-"
@@ -96,7 +118,7 @@ LOCK_HIERARCHY: tuple[LockLevel, ...] = (
     ),
     LockLevel(
         name="node",
-        rank=1,
+        rank=2,
         description=(
             "Per-node read latches, crab-coupled down the tree by "
             "pessimistic readers.  Read-mode only, so nested node-node "
@@ -109,7 +131,7 @@ LOCK_HIERARCHY: tuple[LockLevel, ...] = (
     ),
     LockLevel(
         name="buffer",
-        rank=2,
+        rank=3,
         description=(
             "Buffer-pool mutex (one lock + condition variable guarding "
             "frames, LRU order, pin accounting).  Disk reads happen "
@@ -122,7 +144,7 @@ LOCK_HIERARCHY: tuple[LockLevel, ...] = (
     ),
     LockLevel(
         name="wal",
-        rank=3,
+        rank=4,
         description=(
             "Write-ahead-log commit mutex (group-commit condition "
             "variable).  Appends serialize under it; the group-commit "
@@ -133,7 +155,7 @@ LOCK_HIERARCHY: tuple[LockLevel, ...] = (
     ),
     LockLevel(
         name="disk",
-        rank=4,
+        rank=5,
         description=(
             "Blocking I/O pseudo-level: page reads/writes, fsync, "
             "simulated latency sleeps.  Always last — never under an "
@@ -232,7 +254,7 @@ HELD_BY_CONVENTION: Mapping[tuple[str, str], tuple[str, ...]] = {
     ("storage/wal.py", "_maybe_roll_locked"): ("wal",),
     ("storage/wal.py", "_encode_page_locked"): ("wal",),
     # PageVersionCache single-mutator contract: publish and both GC
-    # passes run under the engine's exclusive index latch (rank 0), so
+    # passes run under the engine's exclusive index latch, so
     # any lock they ever grow must descend from the top of the
     # hierarchy.  The latch-free read side (pin/unpin/read) is
     # deliberately absent: it holds nothing.

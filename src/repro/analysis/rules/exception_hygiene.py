@@ -11,11 +11,17 @@ Two checks:
   ``AttributeError`` *inside* ``__setattr__``-family methods (the
   immutability protocol).
 
-* **no-swallow** — in ``storage/`` paths an ``except Exception`` /
-  ``except BaseException`` / bare ``except`` handler must re-raise
-  somewhere in its body.  Durability code that silently eats a failure
-  turns a detectable crash into silent data loss, which is precisely what
-  PR 2's fault-injection suite exists to prevent.
+* **no-swallow** — in ``storage/``, ``workloads/`` and ``sharding/``
+  paths an ``except Exception`` / ``except BaseException`` / bare
+  ``except`` handler must re-raise somewhere in its body.  Durability
+  code that silently eats a failure turns a detectable crash into silent
+  data loss; a traffic driver that eats one corrupts its own error
+  accounting (the bug this rule's scope extension caught); an RPC worker
+  that eats one hides a failed shard op from its router.  The audited
+  exceptions — places whose *job* is converting exceptions into data,
+  like the traffic driver's error recorder or the shard worker's
+  reply serializer — live in :data:`NO_SWALLOW_ALLOWLIST`, keyed by
+  (file, enclosing function) so the exemption cannot silently widen.
 
 The allowed-name set is derived from :mod:`repro.exceptions` itself at
 lint time, so adding an exception class there automatically legalises it.
@@ -54,6 +60,25 @@ _SETATTR_METHODS = frozenset(
 )
 
 _BROAD_TYPES = frozenset({"Exception", "BaseException"})
+
+#: Package prefixes where the no-swallow check applies.
+NO_SWALLOW_SCOPES = ("storage/", "workloads/", "sharding/")
+
+#: Audited broad-except survivors: (package path, enclosing function).
+#: Every entry is a place whose contract is to turn exceptions into
+#: data rather than propagate them; anything not listed here must
+#: re-raise or catch something specific.
+NO_SWALLOW_ALLOWLIST = frozenset(
+    {
+        # The traffic driver's worker loop converts per-op failures into
+        # the separate error series + op_error events (run_traffic's
+        # documented error-accounting contract).
+        ("workloads/traffic.py", "worker"),
+        # The shard worker's dispatch boundary serializes failures into
+        # error Replies; raise_reply_error re-raises them client-side.
+        ("sharding/worker.py", "handle"),
+    }
+)
 
 
 def _exception_name(node: ast.expr) -> str | None:
@@ -106,7 +131,7 @@ class ExceptionHygieneRule(Rule):
 
     def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
         yield from self._check_raises(ctx)
-        if ctx.in_scope("storage/"):
+        if ctx.in_scope(*NO_SWALLOW_SCOPES):
             yield from self._check_swallows(ctx)
 
     # -- raise-hierarchy check -----------------------------------------
@@ -141,19 +166,21 @@ class ExceptionHygieneRule(Rule):
 
     # -- no-swallow check ----------------------------------------------
     def _check_swallows(self, ctx: FileContext) -> Iterator[Diagnostic]:
-        for node in ast.walk(ctx.tree):
-            if not isinstance(node, ast.ExceptHandler):
-                continue
+        for node, function in _walk_handlers(ctx.tree):
             if not _is_broad(node.type):
                 continue
             if any(isinstance(n, ast.Raise) for n in ast.walk(node)):
+                continue
+            if function and (ctx.package_path, function) in NO_SWALLOW_ALLOWLIST:
                 continue
             caught = "Exception" if node.type is not None else "bare except"
             yield self.diagnostic(
                 ctx,
                 node,
-                f"storage code swallows {caught} without re-raising; "
-                "handle the specific error or re-raise",
+                f"swallows {caught} without re-raising; handle the "
+                "specific error, re-raise, or (for a boundary whose "
+                "contract is converting exceptions to data) add an "
+                "audited NO_SWALLOW_ALLOWLIST entry",
             )
 
 
@@ -164,6 +191,24 @@ def _is_broad(type_node: ast.expr | None) -> bool:
         return any(_is_broad(elt) for elt in type_node.elts)
     name = _exception_name(type_node)
     return name in _BROAD_TYPES
+
+
+def _walk_handlers(
+    tree: ast.Module,
+) -> Iterator[tuple[ast.ExceptHandler, str | None]]:
+    """Yield (except-handler, enclosing-function-name) pairs."""
+
+    def visit(
+        node: ast.AST, function: str | None
+    ) -> Iterator[tuple[ast.ExceptHandler, str | None]]:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            function = node.name
+        if isinstance(node, ast.ExceptHandler):
+            yield node, function
+        for child in ast.iter_child_nodes(node):
+            yield from visit(child, function)
+
+    yield from visit(tree, None)
 
 
 def _walk_raises(

@@ -28,7 +28,7 @@ from ._heldlocks import iter_lock_events
 __all__ = ["IoUnderLockRule"]
 
 #: Package-relative directories where the rule applies.
-SCOPES = ("concurrency/", "storage/", "rules/")
+SCOPES = ("concurrency/", "storage/", "sharding/", "rules/")
 
 
 @register

@@ -31,7 +31,7 @@ from ..engine import FileContext, Rule, register
 __all__ = ["LatchReleaseRule"]
 
 #: Package-relative directories where the rule applies.
-SCOPES = ("concurrency/", "storage/", "rules/")
+SCOPES = ("concurrency/", "storage/", "sharding/", "rules/")
 
 _PAIRS = {
     "acquire_read": "release_read",

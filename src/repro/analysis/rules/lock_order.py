@@ -32,7 +32,7 @@ from ._heldlocks import iter_lock_events
 __all__ = ["LockOrderRule"]
 
 #: Package-relative directories where the rule applies.
-SCOPES = ("concurrency/", "storage/", "rules/")
+SCOPES = ("concurrency/", "storage/", "sharding/", "rules/")
 
 
 @register

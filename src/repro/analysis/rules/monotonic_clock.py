@@ -23,7 +23,7 @@ from ..engine import FileContext, Rule, register
 __all__ = ["MonotonicClockRule"]
 
 #: Package-relative directories where the rule applies.
-SCOPES = ("concurrency/", "storage/", "workloads/")
+SCOPES = ("concurrency/", "storage/", "workloads/", "sharding/")
 
 
 @register

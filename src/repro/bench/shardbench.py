@@ -1,0 +1,247 @@
+"""Sharded-serving scale-out benchmark (``repro bench-shard``).
+
+Measures aggregate read throughput of the scatter-gather serving tier
+(:mod:`repro.sharding`) at 1, 2 and 4 process shards against a
+single-process :class:`~repro.concurrency.ConcurrentIndex` baseline
+serving the identical dataset and query stream from the same number of
+client threads.
+
+The setup mirrors how scale-out actually pays for itself on storage-
+bound serving: every configuration gets the same *per-process* buffer
+pool over the same :class:`~repro.storage.disk.LatencyDisk` (each miss
+sleeps ``read_delay``), so N shards hold N× the aggregate cache over
+1/N-sized trees — the baseline thrashes its pool while the shard fleet
+serves mostly from memory, with curve-range pruning keeping most
+queries on a single shard.  On a single-core host the residual misses
+also overlap across worker *processes* instead of queueing behind one
+GIL.
+
+Every configuration's result set is compared against a sequential
+reference tree query-by-query; ``divergences`` in the report must be 0
+(the oracle guarantee, re-checked in the bench's own setting).  The
+report is ``BENCH_shard.json`` (v2 schema) with per-(op, shard) router
+latency series and the admission/shed counters.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Sequence
+
+from ..concurrency.engine import ConcurrentIndex
+from ..core.geometry import Rect
+from ..core.rtree import RTree
+from ..obs.report import build_report, write_report
+from ..sharding import build_router
+from ..storage.disk import LatencyDisk
+from ..storage.pager import StorageManager
+from ..workloads.generators import DOMAIN, dataset_R1
+from .batchbench import uniform_queries
+
+__all__ = ["run_shard_bench", "format_shard_report"]
+
+_BOUNDS = Rect(
+    tuple(lo for lo, _ in DOMAIN), tuple(hi for _, hi in DOMAIN)
+)
+
+
+def _drive(target, queries: Sequence[Rect], threads: int) -> float:
+    """Aggregate wall seconds for ``threads`` clients splitting ``queries``."""
+    slices = [list(queries[t::threads]) for t in range(threads)]
+    barrier = threading.Barrier(threads + 1)
+
+    def client(mine: list[Rect]) -> None:
+        barrier.wait()
+        for q in mine:
+            target.search(q)
+        barrier.wait()
+
+    workers = [
+        threading.Thread(target=client, args=(s,), daemon=True) for s in slices
+    ]
+    for w in workers:
+        w.start()
+    barrier.wait()
+    start = time.perf_counter()
+    barrier.wait()
+    wall = time.perf_counter() - start
+    for w in workers:
+        w.join()
+    return wall
+
+
+def run_shard_bench(
+    records: int = 8_000,
+    queries: int = 300,
+    shard_counts: Sequence[int] = (1, 2, 4),
+    threads: int = 8,
+    buffer_bytes: int = 128 * 1024,
+    read_delay: float = 0.005,
+    area_fraction: float = 0.0005,
+    seed: int = 1991,
+    timeout_s: float = 60.0,
+    report_dir: str | None = None,
+) -> dict:
+    """Run the scale-out benchmark; returns the report document.
+
+    Every configuration loads with the disk delay at zero, then runs one
+    untimed warm-up pass over the query set (first-touch misses are paid
+    for free on both sides); only then is the delay raised to
+    ``read_delay`` and the query phase timed — steady-state serving, not
+    cold-start.  A fleet whose per-shard working set fits its pool
+    serves the timed phase miss-free, while the baseline's misses are
+    capacity misses that no warm-up can remove.  Headline metric:
+    ``speedup`` per shard count — aggregate read throughput relative to
+    the single-process baseline at the same client-thread count.
+    Acceptance bar (ISSUE 10): >= 2.0 at 4 shards with 0 divergences.
+    """
+    dataset = dataset_R1(records, seed=seed)
+    query_set = uniform_queries(queries, area_fraction, seed + 7, DOMAIN)
+
+    # Sequential reference: the ground truth every configuration must match.
+    reference = RTree()
+    for i, rect in enumerate(dataset):
+        reference.insert(rect, i)
+    expected = [
+        sorted(reference.search(q), key=lambda item: item[0]) for q in query_set
+    ]
+
+    wall_start = time.perf_counter()
+
+    # ---- single-process baseline --------------------------------------
+    base_tree = RTree()
+    disk = LatencyDisk(read_delay=0.0, write_delay=0.0)
+    manager = StorageManager(base_tree, buffer_bytes=buffer_bytes, disk=disk)
+    engine = ConcurrentIndex(base_tree)
+    divergences = 0
+    try:
+        for i, rect in enumerate(dataset):
+            engine.insert(rect, i)
+        _drive(engine, query_set, threads)  # warm-up: first-touch misses
+        disk.read_delay = read_delay
+        manager.pool.stats.hits = 0
+        manager.pool.stats.misses = 0
+        base_wall = _drive(engine, query_set, threads)
+        base_misses = manager.pool.stats.misses
+        base_hits = manager.pool.stats.hits
+        disk.read_delay = 0.0
+        for q, want in zip(query_set, expected):
+            got = sorted(engine.search(q), key=lambda item: item[0])
+            if got != want:
+                divergences += 1
+    finally:
+        engine.detach()
+        manager.detach()
+    base_throughput = queries / base_wall if base_wall else 0.0
+    baseline = {
+        "wall_seconds": base_wall,
+        "throughput_qps": base_throughput,
+        "buffer_hits": base_hits,
+        "buffer_misses": base_misses,
+        "divergences": divergences,
+    }
+
+    # ---- sharded configurations ---------------------------------------
+    per_shards: dict[str, dict] = {}
+    latencies: dict[str, dict] = {}
+    for count in shard_counts:
+        router = build_router(
+            count,
+            bounds=_BOUNDS,
+            transport="process",
+            buffer_bytes=buffer_bytes,
+            read_delay=0.0,
+            timeout_s=timeout_s,
+        )
+        try:
+            for i, rect in enumerate(dataset):
+                router.insert(rect, i)
+            _drive(router, query_set, threads)  # warm-up: first-touch misses
+            router.configure_workers(read_delay=read_delay)
+            wall = _drive(router, query_set, threads)
+            router.configure_workers(read_delay=0.0)
+            shard_divergences = 0
+            for q, want in zip(query_set, expected):
+                if router.search(q) != want:
+                    shard_divergences += 1
+            divergences += shard_divergences
+            stats = router.stats()
+            per_shards[str(count)] = {
+                "wall_seconds": wall,
+                "throughput_qps": queries / wall if wall else 0.0,
+                "speedup": (queries / wall) / base_throughput
+                if wall and base_throughput
+                else 0.0,
+                "divergences": shard_divergences,
+                "records_per_shard": {
+                    str(sid): n for sid, n in stats["records_per_shard"].items()
+                },
+                "admission": stats["admission"],
+                "worker_stats": {
+                    str(sid): s for sid, s in router.shard_stats().items()
+                },
+            }
+            latencies.update(router.latency_snapshot(prefix=f"shards-{count}/"))
+        finally:
+            router.close()
+
+    wall_seconds = time.perf_counter() - wall_start
+    doc = build_report(
+        "shard",
+        config={
+            "records": records,
+            "queries": queries,
+            "shard_counts": list(shard_counts),
+            "threads": threads,
+            "buffer_bytes": buffer_bytes,
+            "read_delay": read_delay,
+            "area_fraction": area_fraction,
+            "seed": seed,
+            "dataset": "R1",
+            "transport": "process",
+        },
+        wall_seconds=wall_seconds,
+        metrics={
+            "baseline": baseline,
+            "per_shards": per_shards,
+            "divergences": divergences,
+            "max_speedup": max(
+                (m["speedup"] for m in per_shards.values()), default=0.0
+            ),
+        },
+        latencies=latencies,
+    )
+    if report_dir:
+        write_report(doc, report_dir)
+    return doc
+
+
+def format_shard_report(doc: dict) -> str:
+    """Fixed-width summary of a ``BENCH_shard.json`` document."""
+    cfg = doc["config"]
+    metrics = doc["metrics"]
+    base = metrics["baseline"]
+    lines = [
+        f"shard bench  (n={cfg['records']}, q={cfg['queries']}, "
+        f"threads={cfg['threads']}, buffer={cfg['buffer_bytes']}B/proc, "
+        f"delay={cfg['read_delay'] * 1e6:.0f}us, transport={cfg['transport']})",
+        f"{'config':<14}{'qps':>10}{'speedup':>9}{'diverge':>9}"
+        f"{'hits':>9}{'misses':>9}",
+        f"{'baseline':<14}{base['throughput_qps']:>10.0f}{1.0:>9.2f}"
+        f"{base['divergences']:>9}{base['buffer_hits']:>9}"
+        f"{base['buffer_misses']:>9}",
+    ]
+    for count, m in metrics["per_shards"].items():
+        hits = sum(
+            s.get("buffer_hits", 0) for s in m["worker_stats"].values()
+        )
+        misses = sum(
+            s.get("buffer_misses", 0) for s in m["worker_stats"].values()
+        )
+        lines.append(
+            f"{count + ' shard(s)':<14}{m['throughput_qps']:>10.0f}"
+            f"{m['speedup']:>9.2f}{m['divergences']:>9}{hits:>9}{misses:>9}"
+        )
+    lines.append(f"divergences: {metrics['divergences']}")
+    return "\n".join(lines)

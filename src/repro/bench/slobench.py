@@ -157,6 +157,7 @@ def run_slo_bench(
 
     latencies: dict[str, dict] = {}
     per_index: dict[str, dict] = {}
+    errors_by_index: dict[str, dict] = {}
     wall_start = time.perf_counter()
     for kind in index_types:
         tree = _build_for_search(kind, dataset, config)
@@ -170,6 +171,20 @@ def run_slo_bench(
             engine.detach()
             manager.detach()
         latencies.update(result.latencies.snapshot(prefix=f"{kind}/"))
+        # Failed ops live in their own <kind>/error/<class>/<tenant>
+        # series — never mixed into the success histograms above.
+        error_snapshot = {
+            name: summary
+            for name, summary in result.error_latencies.snapshot(
+                prefix=f"{kind}/error/"
+            ).items()
+            if summary["count"]
+        }
+        latencies.update(error_snapshot)
+        errors_by_index[kind] = {
+            "count": result.errors,
+            "series": {name: s["count"] for name, s in error_snapshot.items()},
+        }
 
         # Fresh tree for the traced pass so the main run's inserts do
         # not shift the decomposition workload between index types.
@@ -220,6 +235,7 @@ def run_slo_bench(
             "max_accounted_fraction": max(fractions) if fractions else 0.0,
             "recorder_overhead_fraction": overhead,
             "total_errors": sum(m["errors"] for m in per_index.values()),
+            "errors": errors_by_index,
         },
         latencies=latencies,
     )
@@ -249,7 +265,7 @@ def format_slo_report(doc: dict) -> str:
         series = {
             name: lat
             for name, lat in doc.get("latencies", {}).items()
-            if name.startswith(f"{kind}/")
+            if name.startswith(f"{kind}/") and not name.startswith(f"{kind}/error/")
         }
         p99 = max((lat["quantiles"]["p99"] for lat in series.values()), default=0)
         p999 = max((lat["quantiles"]["p999"] for lat in series.values()), default=0)

@@ -23,6 +23,11 @@ Commands:
 * ``bench-wal`` — measure write-ahead-log group-commit batching under
   concurrent writers, acknowledged-commit durability under a crash
   sweep, and recovery time vs. WAL length, emitting ``BENCH_wal.json``;
+* ``bench-shard`` — measure scatter-gather read throughput of the
+  sharded serving tier at 1/2/4 process shards against a single-process
+  baseline (result sets oracle-checked), emitting ``BENCH_shard.json``;
+* ``serve``     — run the sharded serving tier behind a line-delimited
+  JSON TCP front-end until interrupted;
 * ``slo``       — evaluate tail-latency objectives (a JSON spec of
   quantile bounds over latency series) against a bench report; exit 1
   when any objective fails;
@@ -559,6 +564,56 @@ def _cmd_bench_wal(args) -> int:
     return 0
 
 
+def _cmd_bench_shard(args) -> int:
+    """Run the sharded scatter-gather scale-out benchmark."""
+    from .bench.shardbench import format_shard_report, run_shard_bench
+    from .obs.report import write_report
+
+    doc = run_shard_bench(
+        records=args.records,
+        queries=args.queries,
+        shard_counts=tuple(args.shards),
+        threads=args.threads,
+        buffer_bytes=args.buffer_bytes,
+        read_delay=args.read_delay,
+        area_fraction=args.area_fraction,
+        seed=args.seed,
+        timeout_s=args.timeout,
+    )
+    print(format_shard_report(doc))
+    report_dir = _report_dir(args)
+    if report_dir:
+        path = write_report(doc, report_dir)
+        print(f"report written to {path}")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    """Serve the sharded tier over line-delimited JSON TCP until ^C."""
+    import asyncio
+
+    from .sharding import build_router, serve
+    from .workloads.generators import DOMAIN
+
+    bounds = Rect(
+        tuple(lo for lo, _ in DOMAIN), tuple(hi for _, hi in DOMAIN)
+    )
+    router = build_router(
+        args.shards,
+        bounds=bounds,
+        transport=args.transport,
+        buffer_bytes=args.buffer_bytes,
+        read_delay=args.read_delay,
+    )
+    try:
+        asyncio.run(serve(router, host=args.host, port=args.port))
+    except KeyboardInterrupt:
+        print("interrupted; shutting down shards")
+    finally:
+        router.close()
+    return 0
+
+
 def _cmd_slo(args) -> int:
     """Evaluate SLO objectives against a bench report; exit 1 on failure."""
     from .obs.slo import (
@@ -842,6 +897,66 @@ def _parser() -> argparse.ArgumentParser:
     bw.add_argument("--report-dir", default=None)
     bw.add_argument("--no-report", action="store_true")
     bw.set_defaults(func=_cmd_bench_wal)
+
+    bsh = sub.add_parser(
+        "bench-shard",
+        help="measure sharded scatter-gather read scaling vs a single process",
+    )
+    bsh.add_argument("--records", type=int, default=8_000)
+    bsh.add_argument("--queries", type=int, default=300)
+    bsh.add_argument(
+        "--shards",
+        type=int,
+        nargs="+",
+        default=[1, 2, 4],
+        help="shard counts to sweep",
+    )
+    bsh.add_argument("--threads", type=int, default=8, help="client threads")
+    bsh.add_argument(
+        "--buffer-bytes",
+        type=int,
+        default=128 * 1024,
+        help="buffer-pool bytes per process (baseline and each shard)",
+    )
+    bsh.add_argument(
+        "--read-delay",
+        type=float,
+        default=0.005,
+        help="simulated seconds of I/O stall per page fault",
+    )
+    bsh.add_argument(
+        "--area-fraction",
+        type=float,
+        default=0.0005,
+        help="query area as a fraction of the domain area",
+    )
+    bsh.add_argument("--seed", type=int, default=1991)
+    bsh.add_argument(
+        "--timeout", type=float, default=60.0, help="per-shard gather deadline"
+    )
+    bsh.add_argument("--report-dir", default=None)
+    bsh.add_argument("--no-report", action="store_true")
+    bsh.set_defaults(func=_cmd_bench_shard)
+
+    srv = sub.add_parser(
+        "serve", help="run the sharded serving tier over JSON TCP until ^C"
+    )
+    srv.add_argument("--shards", type=int, default=4)
+    srv.add_argument(
+        "--transport",
+        default="process",
+        choices=("local", "thread", "process"),
+    )
+    srv.add_argument("--buffer-bytes", type=int, default=128 * 1024)
+    srv.add_argument(
+        "--read-delay",
+        type=float,
+        default=0.0,
+        help="simulated seconds of I/O stall per page fault",
+    )
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument("--port", type=int, default=0, help="0 picks a free port")
+    srv.set_defaults(func=_cmd_serve)
 
     slo = sub.add_parser(
         "slo", help="evaluate tail-latency objectives against a bench report"

@@ -6,7 +6,9 @@ Three parts, all in one report:
   thread, BA in another).  The recorder *must* flag it — a detector that
   cannot see a planted inversion proves nothing about a clean run.
 * **workloads** — the PR 5 stress harness (readers + writers + buffer
-  pool) and the WAL group-commit stress, both executed with a
+  pool), the MVCC snapshot variant, the WAL group-commit stress, and
+  the sharded serving tier (local-transport scatter-gather with a
+  mid-run rebalance), all executed with a
   :class:`~repro.obs.lockgraph.LockOrderRecorder` installed.  The run
   passes when the recorded acquisition graph has no hierarchy ascents
   and no cycles.
@@ -32,6 +34,7 @@ from .stress import run_stress, run_wal_commit_stress
 __all__ = [
     "run_inversion_selftest",
     "run_overhead_probe",
+    "run_shard_stress",
     "run_racecheck",
 ]
 
@@ -93,6 +96,103 @@ def run_overhead_probe(iterations: int = 20000) -> dict:
         "recording_seconds": installed,
         "overhead_ratio": installed / baseline if baseline > 0 else 0.0,
     }
+
+
+def run_shard_stress(
+    seed: int = 0,
+    *,
+    shards: int = 2,
+    readers: int = 3,
+    writers: int = 2,
+    ops_per_thread: int = 40,
+    buffer_bytes: int = 1 << 14,
+) -> dict:
+    """Scatter-gather serving tier under the recorder.
+
+    Uses the *local* transport so every shard operation runs on the
+    calling thread: the router's topology latch (rank 0) is held across
+    the descent into the worker's index/node/buffer latches, which is
+    exactly the edge chain the hierarchy check must see.  Reader threads
+    fan out searches and stabs while writer threads insert/delete by
+    curve key, and a mid-run ``split_shard`` takes the topology latch
+    exclusively against the live traffic.
+    """
+    import random
+
+    from ..core.geometry import Rect
+    from ..sharding import build_router
+    from ..workloads.generators import DOMAIN
+
+    bounds = Rect(tuple(lo for lo, _ in DOMAIN), tuple(hi for _, hi in DOMAIN))
+    span = tuple(hi - lo for lo, hi in DOMAIN)
+    router = build_router(
+        shards, bounds=bounds, transport="local", buffer_bytes=buffer_bytes
+    )
+    counts = {"searches": 0, "inserts": 0, "deletes": 0}
+    gate = threading.Lock()
+    failures: list[BaseException] = []
+
+    def rand_rect(rng: random.Random) -> Rect:
+        lows = tuple(lo + rng.random() * sp * 0.95 for (lo, _), sp in zip(DOMAIN, span))
+        return Rect(lows, tuple(lo + sp * 0.02 for lo, sp in zip(lows, span)))
+
+    def reader(tid: int) -> None:
+        rng = random.Random(f"{seed}/shard-reader/{tid}")
+        done = 0
+        try:
+            for _ in range(ops_per_thread):
+                if rng.random() < 0.5:
+                    router.search(rand_rect(rng))
+                else:
+                    router.stab(*rand_rect(rng).lows)
+                done += 1
+        except BaseException as exc:  # reported via ``failures`` below
+            failures.append(exc)
+        with gate:
+            counts["searches"] += done
+
+    def writer(tid: int) -> None:
+        rng = random.Random(f"{seed}/shard-writer/{tid}")
+        mine: list[int] = []
+        inserted = deleted = 0
+        try:
+            for _ in range(ops_per_thread):
+                if mine and rng.random() < 0.3:
+                    router.delete(mine.pop(rng.randrange(len(mine))))
+                    deleted += 1
+                else:
+                    mine.append(router.insert(rand_rect(rng), tid))
+                    inserted += 1
+        except BaseException as exc:
+            failures.append(exc)
+        with gate:
+            counts["inserts"] += inserted
+            counts["deletes"] += deleted
+
+    try:
+        rng = random.Random(f"{seed}/shard-load")
+        for _ in range(64):
+            router.insert(rand_rect(rng), "seed")
+        threads = [
+            threading.Thread(target=reader, args=(t,), name=f"shard-reader-{t}")
+            for t in range(readers)
+        ] + [
+            threading.Thread(target=writer, args=(t,), name=f"shard-writer-{t}")
+            for t in range(writers)
+        ]
+        for t in threads:
+            t.start()
+        hot = max(router.stats()["records_per_shard"].items(), key=lambda kv: kv[1])[0]
+        router.split_shard(hot)
+        for t in threads:
+            t.join()
+        counts["rebalances"] = router.rebalances
+        counts["shards"] = len(router.shard_ids)
+    finally:
+        router.close()
+    if failures:
+        raise failures[0]
+    return counts
 
 
 def run_racecheck(
@@ -166,6 +266,14 @@ def run_racecheck(
                 "commits_per_fsync": wal["commits_per_fsync"],
             }
         )
+        # Sharded serving: the router's topology latch is the new rank-0
+        # level; local-transport traffic descends router -> index ->
+        # node -> buffer on one thread, and a mid-run split holds it
+        # exclusively — all of which must leave the graph clean.
+        shard = run_shard_stress(
+            seed, readers=readers, writers=writers, ops_per_thread=ops_per_thread
+        )
+        workloads.append({"workload": "stress-shard", **shard})
     if tracer is not None:
         recorder.emit_events(tracer)
     graph = recorder.report()

@@ -46,14 +46,21 @@ __all__ = [
     "batch_insert",
     "batch_insert_with_stats",
     "hilbert_index",
+    "curve_key",
+    "curve_keyspace",
+    "CURVE_ORDER",
     "batch_order",
     "cluster_batch",
     "BatchSearchStats",
     "BatchInsertStats",
 ]
 
-#: Bits per dimension for the space-filling-curve keys.
-_CURVE_ORDER = 16
+#: Bits per dimension for the space-filling-curve keys.  The sharded
+#: serving tier partitions the key space ``[0, curve_keyspace(dims))``
+#: produced at this order, so it is part of the public surface.
+CURVE_ORDER = 16
+
+_CURVE_ORDER = CURVE_ORDER
 
 #: A node more than this many times over capacity is split with one
 #: Sort-Tile-Recursive pass instead of repeated quadratic splits (which
@@ -96,8 +103,25 @@ def _morton_index(coords: Sequence[int], order: int) -> int:
     return key
 
 
-def _curve_key(rect: Rect, bounds: Rect, order: int) -> int:
-    """Space-filling-curve key of a rectangle's center within ``bounds``."""
+def curve_keyspace(dims: int, order: int = CURVE_ORDER) -> int:
+    """Size of the curve-key space for ``dims`` dimensions at ``order``.
+
+    :func:`curve_key` maps every rectangle into ``[0, curve_keyspace)``;
+    contiguous sub-ranges of that interval are what the sharded serving
+    tier partitions across workers.
+    """
+    return 1 << (order * dims)
+
+
+def curve_key(rect: Rect, bounds: Rect, order: int = CURVE_ORDER) -> int:
+    """Space-filling-curve key of a rectangle's center within ``bounds``.
+
+    Hilbert in two dimensions, Z-order (Morton) otherwise — the same
+    ordering :func:`batch_order` clusters batches by, exposed so the
+    sharding partitioner routes records with the locality the batch
+    engine already exploits.  Centers outside ``bounds`` clamp to its
+    edge cells, so every rectangle gets a key in ``[0, curve_keyspace)``.
+    """
     scale = (1 << order) - 1
     cell: list[int] = []
     center = rect.center
@@ -118,7 +142,7 @@ def batch_order(rects: Sequence[Rect], bounds: Rect | None = None) -> list[int]:
         return list(range(len(rects)))
     if bounds is None:
         bounds = union_all(rects)
-    keys = [_curve_key(r, bounds, _CURVE_ORDER) for r in rects]
+    keys = [curve_key(r, bounds, _CURVE_ORDER) for r in rects]
     return sorted(range(len(rects)), key=lambda i: keys[i])
 
 

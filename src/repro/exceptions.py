@@ -24,6 +24,9 @@ __all__ = [
     "TornWalAppend",
     "WorkloadError",
     "ConcurrencyError",
+    "ShardError",
+    "ShardTimeoutError",
+    "ShardOverloadError",
 ]
 
 
@@ -123,3 +126,39 @@ class WorkloadError(ReproError):
 
 class ConcurrencyError(ReproError):
     """A latch protocol violation (unbalanced release, timed-out wait)."""
+
+
+class ShardError(ReproError):
+    """A sharded-serving operation failed (routing, wire, or worker side).
+
+    When a shard worker's operation raises an exception that is not part
+    of this hierarchy, the wire layer re-raises it client-side as a
+    ``ShardError`` carrying the original type name and message.
+    """
+
+
+class ShardTimeoutError(ShardError):
+    """A scatter-gather waited past its deadline on at least one shard.
+
+    Raised *instead of* returning partial results: a gather that
+    silently dropped a timed-out shard's matches would be
+    indistinguishable from an empty shard.  Carries the shard ids that
+    missed the deadline.
+    """
+
+    def __init__(self, message: str, shard_ids: tuple[int, ...] = ()):
+        super().__init__(message)
+        self.shard_ids = shard_ids
+
+
+class ShardOverloadError(ShardError):
+    """Admission control shed an operation after exhausting its retries.
+
+    The shard's bounded in-flight queue stayed full through every
+    backoff attempt; the caller should treat this as load-shedding
+    (retry later), not as a data error.
+    """
+
+    def __init__(self, message: str, shard_id: int = -1):
+        super().__init__(message)
+        self.shard_id = shard_id

@@ -267,6 +267,44 @@ _EVENT_SPECS: tuple[EventSpec, ...] = (
         doc="The open-loop traffic driver started one scheduled operation "
             "(lag_ns = actual start minus scheduled start).",
     ),
+    _e(
+        "op_error",
+        required=("tenant", "query_class", "error_type"),
+        doc="A driven operation failed; its latency goes to the error "
+            "series, never the success histograms (error_type is the "
+            "exception class name).",
+    ),
+    # -- sharded serving events (sharding/) ------------------------------
+    _e(
+        "shard_dispatch",
+        required=("op", "shards"),
+        optional=("pruned",),
+        doc="The router scattered one operation to `shards` workers "
+            "(pruned = shards skipped because their key range cannot "
+            "intersect the query).",
+    ),
+    _e(
+        "shard_gather",
+        required=("op", "shards"),
+        optional=("results", "timeouts"),
+        doc="The router gathered a scattered operation's replies; any "
+            "timeout raises ShardTimeoutError rather than returning a "
+            "partial result set.",
+    ),
+    _e(
+        "shard_rebalance",
+        required=("shard", "new_shard", "moved"),
+        optional=("split_key",),
+        doc="A hot shard's curve range was split at split_key and `moved` "
+            "records migrated to the new shard.",
+    ),
+    _e(
+        "shard_shed",
+        required=("shard",),
+        optional=("retries",),
+        doc="Admission control shed an operation: the shard's bounded "
+            "in-flight queue stayed full through every backoff retry.",
+    ),
 )
 
 _SPAN_SPECS: tuple[SpanSpec, ...] = (

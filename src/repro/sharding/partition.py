@@ -1,0 +1,133 @@
+"""Curve-range key-space partitioner for the sharded serving tier.
+
+Every record is mapped to a space-filling-curve key of its rectangle's
+center (:func:`repro.core.batch.curve_key` — Hilbert in 2-D, Z-order
+otherwise), and the key space ``[0, curve_keyspace(dims))`` is cut into
+contiguous half-open ranges, one per shard.  Contiguity is what makes
+rebalancing cheap: splitting a hot shard is splitting one interval at a
+chosen key, and the records that move are exactly those whose keys fall
+in the new half — no global reshuffle.
+
+The partitioner is pure bookkeeping: it never touches records.  The
+router owns the record-id -> shard map; this class answers only
+"which shard does this key belong to" and mutates under the router's
+exclusive topology latch during :meth:`split`.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+
+from ..core.batch import CURVE_ORDER, curve_key, curve_keyspace
+from ..core.geometry import Rect
+from ..exceptions import ConfigError, NotFoundError
+
+__all__ = ["ShardRange", "CurveRangePartitioner"]
+
+
+@dataclass(frozen=True)
+class ShardRange:
+    """One shard's half-open slice ``[lo, hi)`` of the curve-key space."""
+
+    lo: int
+    hi: int
+    shard_id: int
+
+    def __contains__(self, key: int) -> bool:
+        return self.lo <= key < self.hi
+
+
+class CurveRangePartitioner:
+    """Contiguous curve-key ranges -> shard ids, with interval splitting.
+
+    The initial layout cuts the key space into ``shards`` equal ranges
+    for shard ids ``0..shards-1``.  :meth:`split` carves the upper part
+    of one shard's range off to a new shard id; ranges stay contiguous
+    and totally ordered by ``lo``, so :meth:`shard_for_key` is a binary
+    search however many splits have happened.
+    """
+
+    def __init__(
+        self, shards: int, *, bounds: Rect, order: int = CURVE_ORDER
+    ) -> None:
+        if shards < 1:
+            raise ConfigError(f"shards must be positive, got {shards}")
+        self.bounds = bounds
+        self.order = order
+        self.keyspace = curve_keyspace(bounds.dims, order)
+        if shards > self.keyspace:
+            raise ConfigError(
+                f"{shards} shards exceed the {self.keyspace}-key curve space"
+            )
+        step = self.keyspace // shards
+        self._ranges: list[ShardRange] = [
+            ShardRange(
+                i * step,
+                (i + 1) * step if i + 1 < shards else self.keyspace,
+                i,
+            )
+            for i in range(shards)
+        ]
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def key(self, rect: Rect) -> int:
+        """The curve key this partitioner routes ``rect`` by."""
+        return curve_key(rect, self.bounds, self.order)
+
+    def shard_for_key(self, key: int) -> int:
+        """Owning shard id for a curve key (clamped into the key space)."""
+        key = min(max(key, 0), self.keyspace - 1)
+        index = bisect_right(self._ranges, key, key=lambda r: r.lo) - 1
+        return self._ranges[index].shard_id
+
+    def shard_for_rect(self, rect: Rect) -> int:
+        return self.shard_for_key(self.key(rect))
+
+    def range_of(self, shard_id: int) -> ShardRange:
+        """The (single, contiguous) range owned by ``shard_id``."""
+        for r in self._ranges:
+            if r.shard_id == shard_id:
+                return r
+        raise NotFoundError(f"no shard {shard_id} in this partitioning")
+
+    @property
+    def shard_ids(self) -> tuple[int, ...]:
+        """Shard ids in key-range order (lowest range first)."""
+        return tuple(r.shard_id for r in self._ranges)
+
+    @property
+    def ranges(self) -> tuple[ShardRange, ...]:
+        return tuple(self._ranges)
+
+    def __len__(self) -> int:
+        return len(self._ranges)
+
+    # ------------------------------------------------------------------
+    # Rebalance
+    # ------------------------------------------------------------------
+    def split(self, shard_id: int, split_key: int, new_shard_id: int) -> None:
+        """Give ``[split_key, hi)`` of ``shard_id``'s range to a new shard.
+
+        The caller (the router, under its exclusive topology latch) is
+        responsible for having already migrated the records whose keys
+        land in the new range.
+        """
+        if any(r.shard_id == new_shard_id for r in self._ranges):
+            raise ConfigError(f"shard id {new_shard_id} already exists")
+        for index, r in enumerate(self._ranges):
+            if r.shard_id != shard_id:
+                continue
+            if not r.lo < split_key < r.hi:
+                raise ConfigError(
+                    f"split key {split_key} outside the open interval "
+                    f"({r.lo}, {r.hi}) of shard {shard_id}"
+                )
+            self._ranges[index : index + 1] = [
+                ShardRange(r.lo, split_key, shard_id),
+                ShardRange(split_key, r.hi, new_shard_id),
+            ]
+            return
+        raise NotFoundError(f"no shard {shard_id} in this partitioning")

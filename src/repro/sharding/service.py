@@ -1,0 +1,160 @@
+"""Asyncio front-end for the shard router: in-process and over TCP.
+
+:class:`ShardedService` wraps a :class:`~repro.sharding.router.ShardRouter`
+in ``async`` methods (the blocking scatter-gather runs on the event
+loop's default executor, so one slow shard never stalls the loop), and
+:func:`serve` exposes it as a line-delimited JSON TCP protocol::
+
+    -> {"op": "insert", "lows": [0, 0], "highs": [1, 1], "payload": "a"}
+    <- {"ok": true, "value": 0}
+    -> {"op": "search", "lows": [0, 0], "highs": [2, 2]}
+    <- {"ok": true, "value": [[0, "a"]]}
+    -> {"op": "stats"}
+    <- {"ok": true, "value": {"shards": 4, ...}}
+
+Failures come back as ``{"ok": false, "error_type": ..., "error": ...}``
+on the same connection; only malformed frames close it.  The protocol is
+for the ``repro serve`` CLI and integration smoke tests — it is not a
+security boundary and binds to localhost by default.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any
+
+from ..core.geometry import Rect
+from ..exceptions import ConfigError, ReproError
+from .router import ShardRouter
+
+__all__ = ["ShardedService", "serve"]
+
+
+class ShardedService:
+    """Async facade over a router; one instance per server."""
+
+    def __init__(self, router: ShardRouter) -> None:
+        self.router = router
+
+    async def _offload(self, fn: Any, /, *args: Any) -> Any:
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(None, fn, *args)
+
+    async def insert(
+        self, lows: list[float], highs: list[float], payload: Any = None
+    ) -> int:
+        return await self._offload(
+            self.router.insert, Rect(tuple(lows), tuple(highs)), payload
+        )
+
+    async def delete(self, record_id: int) -> int:
+        return await self._offload(self.router.delete, record_id)
+
+    async def search(self, lows: list[float], highs: list[float]) -> list:
+        return await self._offload(self.router.search, Rect(tuple(lows), tuple(highs)))
+
+    async def stab(self, coords: list[float]) -> list:
+        return await self._offload(lambda: self.router.stab(*coords))
+
+    async def search_within(self, lows: list[float], highs: list[float]) -> list:
+        return await self._offload(
+            self.router.search_within, Rect(tuple(lows), tuple(highs))
+        )
+
+    async def search_containing(self, lows: list[float], highs: list[float]) -> list:
+        return await self._offload(
+            self.router.search_containing, Rect(tuple(lows), tuple(highs))
+        )
+
+    async def split_shard(self, shard_id: int) -> int | None:
+        return await self._offload(self.router.split_shard, shard_id)
+
+    async def stats(self) -> dict:
+        return await self._offload(self.router.stats)
+
+    async def handle_frame(self, frame: dict) -> dict:
+        """Execute one decoded JSON request; never raises for repro errors."""
+        try:
+            op = frame.get("op")
+            if op == "insert":
+                value: Any = await self.insert(
+                    frame["lows"], frame["highs"], frame.get("payload")
+                )
+            elif op == "delete":
+                value = await self.delete(frame["record_id"])
+            elif op in ("search", "search_within", "search_containing"):
+                method = getattr(self, op)
+                value = await method(frame["lows"], frame["highs"])
+            elif op == "stab":
+                value = await self.stab(frame["coords"])
+            elif op == "split":
+                value = await self.split_shard(frame["shard_id"])
+            elif op == "stats":
+                value = await self.stats()
+            elif op == "ping":
+                value = "pong"
+            else:
+                raise ConfigError(f"unknown op {op!r}")
+        except (ReproError, KeyError, TypeError, ValueError) as exc:
+            # The RPC boundary: protocol and engine errors become error
+            # frames on the wire instead of dropping the connection.
+            return {
+                "ok": False,
+                "error_type": type(exc).__name__,
+                "error": str(exc),
+            }
+        return {"ok": True, "value": value}
+
+
+async def _handle_connection(
+    service: ShardedService,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+) -> None:
+    try:
+        while True:
+            line = await reader.readline()
+            if not line:
+                break
+            try:
+                frame = json.loads(line)
+            except json.JSONDecodeError:
+                break  # not speaking our protocol; hang up
+            if not isinstance(frame, dict):
+                break
+            reply = await service.handle_frame(frame)
+            writer.write(json.dumps(reply).encode() + b"\n")
+            await writer.drain()
+    finally:
+        writer.close()
+
+
+async def serve(
+    router: ShardRouter,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    ready: "asyncio.Event | None" = None,
+) -> None:
+    """Serve ``router`` over newline-delimited JSON until cancelled.
+
+    With ``port=0`` the OS picks a free port; the bound address is
+    printed (and ``ready`` set, for tests) once listening.
+    """
+    service = ShardedService(router)
+
+    async def on_connect(
+        reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        await _handle_connection(service, reader, writer)
+
+    server = await asyncio.start_server(on_connect, host, port)
+    sockets = server.sockets or []
+    for sock in sockets:
+        addr = sock.getsockname()
+        print(f"serving {len(router.shard_ids)} shard(s) on {addr[0]}:{addr[1]}")
+    if ready is not None:
+        ready.set()
+    async with server:
+        await server.serve_forever()

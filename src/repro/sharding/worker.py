@@ -1,0 +1,336 @@
+"""One shard: a private tree + buffer pool behind the wire protocol.
+
+A :class:`ShardWorker` owns everything a single-process serving engine
+owns — an :class:`~repro.core.rtree.RTree`, a
+:class:`~repro.storage.pager.StorageManager` buffer pool over a
+(latency-modelled) disk, and optionally a write-ahead log — and speaks
+only :class:`~repro.sharding.wire.Request`/:class:`~repro.sharding.wire.Reply`.
+Record ids are assigned globally by the router; the worker keeps the
+global<->local translation maps plus each record's rectangle, which is
+what lets it answer the rebalance ops (``suggest_split`` /
+``extract`` / ``ingest``) by curve key without asking anyone.
+
+:func:`worker_main` is the subprocess entry point: a blocking
+request/reply loop over one :class:`multiprocessing.connection.Connection`.
+The in-process transports in :mod:`repro.sharding.transport` drive
+:meth:`ShardWorker.handle` directly.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from ..concurrency.engine import ConcurrentIndex
+from ..core.batch import CURVE_ORDER, curve_key
+from ..core.geometry import Rect, union_all
+from ..core.rtree import RTree
+from ..exceptions import ConfigError
+from ..storage.disk import LatencyDisk
+from ..storage.pager import StorageManager
+from . import wire
+from .wire import Reply, Request
+
+__all__ = ["ShardSpec", "ShardWorker", "worker_main"]
+
+#: One migrated record on the wire: (rid, lows, highs, payload).
+MovedRecord = tuple[int, tuple[float, ...], tuple[float, ...], Any]
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """Everything needed to build one shard worker (pickles to a subprocess).
+
+    ``bounds_lows``/``bounds_highs`` are the partitioner's domain bounds
+    — every worker must quantize curve keys against the *same* bounds as
+    the router, or a record's key would change on migration.
+    """
+
+    shard_id: int
+    bounds_lows: tuple[float, ...]
+    bounds_highs: tuple[float, ...]
+    order: int = CURVE_ORDER
+    #: Buffer-pool bytes; 0 disables the storage layer entirely.
+    buffer_bytes: int = 64 * 1024
+    read_delay: float = 0.0
+    write_delay: float = 0.0
+    #: Request-handling threads in the subprocess loop: concurrent reads
+    #: share the worker engine's index latch and overlap their disk
+    #: stalls, exactly like the single-process baseline's client threads
+    #: (so a 1-shard fleet is not capped below the client concurrency).
+    worker_threads: int = 8
+
+    def bounds(self) -> Rect:
+        return Rect(self.bounds_lows, self.bounds_highs)
+
+
+class ShardWorker:
+    """Request handler for one shard (transport-agnostic)."""
+
+    def __init__(self, spec: ShardSpec) -> None:
+        self.spec = spec
+        self._bounds = spec.bounds()
+        self.tree = RTree()
+        self.storage: StorageManager | None = None
+        if spec.buffer_bytes:
+            self.storage = StorageManager(
+                self.tree,
+                buffer_bytes=spec.buffer_bytes,
+                disk=LatencyDisk(
+                    read_delay=spec.read_delay, write_delay=spec.write_delay
+                ),
+            )
+        #: The worker serves requests through the concurrency engine, so
+        #: a multi-threaded transport loop gets real reader-reader
+        #: overlap (shared index latch, concurrent buffer-miss stalls).
+        self.engine = ConcurrentIndex(self.tree)
+        #: global rid -> local tree record id, and the reverse.
+        self._to_local: dict[int, int] = {}
+        self._to_global: dict[int, int] = {}
+        #: global rid -> (rect, payload): curve keys for rebalancing and
+        #: payload round-tripping for extract/ingest.
+        self._records: dict[int, tuple[Rect, Any]] = {}
+        #: Artificial per-request delay (seconds); the timeout tests'
+        #: fault hook, set over the wire via ``configure``.
+        self._delay_s = 0.0
+        self._ops = {
+            wire.OP_INSERT: self._op_insert,
+            wire.OP_DELETE: self._op_delete,
+            wire.OP_SEARCH: self._op_search,
+            wire.OP_STAB: self._op_stab,
+            wire.OP_WITHIN: self._op_within,
+            wire.OP_CONTAINING: self._op_containing,
+            wire.OP_BATCH_SEARCH: self._op_batch_search,
+            wire.OP_EXTRACT: self._op_extract,
+            wire.OP_INGEST: self._op_ingest,
+            wire.OP_SUGGEST_SPLIT: self._op_suggest_split,
+            wire.OP_BOUNDS: self._op_bounds,
+            wire.OP_COUNT: self._op_count,
+            wire.OP_STATS: self._op_stats,
+            wire.OP_CONFIGURE: self._op_configure,
+            wire.OP_PING: self._op_ping,
+        }
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def handle(self, request: Request) -> Reply:
+        """Execute one request; failures become error replies.
+
+        This is the RPC boundary: any exception must cross the wire as a
+        ``(error_type, error)`` pair and be re-raised client-side by
+        :func:`~repro.sharding.wire.raise_reply_error` — a worker that
+        died on a bad request would take its whole shard down instead.
+        """
+        if self._delay_s:
+            time.sleep(self._delay_s)
+        try:
+            handler = self._ops.get(request.op)
+            if handler is None:
+                raise ConfigError(f"unknown shard op {request.op!r}")
+            return Reply(request.seq, True, handler(*request.args))
+        except Exception as exc:  # serialized into the Reply, re-raised client-side
+            return Reply(request.seq, False, None, type(exc).__name__, str(exc))
+
+    def close(self) -> None:
+        self.engine.detach()
+        if self.storage is not None:
+            self.storage.detach()
+            self.storage = None
+
+    # ------------------------------------------------------------------
+    # Serving ops
+    # ------------------------------------------------------------------
+    def _op_insert(
+        self,
+        rid: int,
+        lows: Sequence[float],
+        highs: Sequence[float],
+        payload: Any,
+    ) -> int:
+        rect = Rect(tuple(lows), tuple(highs))
+        local = self.engine.insert(rect, payload)
+        self._to_local[rid] = local
+        self._to_global[local] = rid
+        self._records[rid] = (rect, payload)
+        return 1
+
+    def _op_delete(self, rid: int) -> int:
+        local = self._to_local.pop(rid, None)
+        if local is None:
+            return 0
+        del self._to_global[local]
+        rect, _ = self._records.pop(rid)
+        return self.engine.delete(local, hint=rect)
+
+    def _globalize(self, hits: list[tuple[int, Any]]) -> list[tuple[int, Any]]:
+        to_global = self._to_global
+        # ``get``, not ``[]``: under a multi-threaded transport a delete
+        # can land between the engine's read and this translation; the
+        # vanished record linearizes after that delete and is dropped.
+        out = []
+        for local, payload in hits:
+            rid = to_global.get(local)
+            if rid is not None:
+                out.append((rid, payload))
+        return out
+
+    def _op_search(
+        self, lows: Sequence[float], highs: Sequence[float]
+    ) -> list[tuple[int, Any]]:
+        return self._globalize(self.engine.search(Rect(tuple(lows), tuple(highs))))
+
+    def _op_stab(self, coords: Sequence[float]) -> list[tuple[int, Any]]:
+        return self._globalize(self.engine.stab(*coords))
+
+    def _op_within(
+        self, lows: Sequence[float], highs: Sequence[float]
+    ) -> list[tuple[int, Any]]:
+        return self._globalize(
+            self.engine.search_within(Rect(tuple(lows), tuple(highs)))
+        )
+
+    def _op_containing(
+        self, lows: Sequence[float], highs: Sequence[float]
+    ) -> list[tuple[int, Any]]:
+        return self._globalize(
+            self.engine.search_containing(Rect(tuple(lows), tuple(highs)))
+        )
+
+    def _op_batch_search(
+        self, rects: Sequence[tuple[Sequence[float], Sequence[float]]]
+    ) -> list[list[tuple[int, Any]]]:
+        queries = [Rect(tuple(lo), tuple(hi)) for lo, hi in rects]
+        return [self._globalize(hits) for hits in self.engine.batch_search(queries)]
+
+    # ------------------------------------------------------------------
+    # Rebalance ops
+    # ------------------------------------------------------------------
+    def _key(self, rect: Rect) -> int:
+        return curve_key(rect, self._bounds, self.spec.order)
+
+    def _op_suggest_split(self) -> int | None:
+        """Median resident curve key, or ``None`` when a split can't help.
+
+        ``None`` means fewer than two records, or every record below the
+        median shares one key (splitting there would move everything or
+        nothing).
+        """
+        keys = sorted(self._key(rect) for rect, _ in self._records.values())
+        if len(keys) < 2:
+            return None
+        median = keys[len(keys) // 2]
+        if median > keys[0]:
+            return median
+        # All keys at or below the median collide; the first larger key
+        # (if any) still yields a non-empty, non-total split.
+        for k in keys:
+            if k > median:
+                return k
+        return None
+
+    def _op_extract(self, split_key: int) -> list[MovedRecord]:
+        """Remove and return every record with curve key >= ``split_key``."""
+        moved: list[MovedRecord] = []
+        for rid in [
+            rid
+            for rid, (rect, _) in self._records.items()
+            if self._key(rect) >= split_key
+        ]:
+            rect, payload = self._records[rid]
+            self._op_delete(rid)
+            moved.append((rid, rect.lows, rect.highs, payload))
+        return moved
+
+    def _op_ingest(self, items: Sequence[MovedRecord]) -> int:
+        for rid, lows, highs, payload in items:
+            self._op_insert(rid, lows, highs, payload)
+        return len(items)
+
+    # ------------------------------------------------------------------
+    # Introspection ops
+    # ------------------------------------------------------------------
+    def _op_bounds(self) -> tuple[tuple[float, ...], tuple[float, ...]] | None:
+        if not self._records:
+            return None
+        box = union_all([rect for rect, _ in self._records.values()])
+        return (box.lows, box.highs)
+
+    def _op_count(self) -> int:
+        return len(self._records)
+
+    def _op_stats(self) -> dict[str, Any]:
+        stats: dict[str, Any] = {
+            "shard_id": self.spec.shard_id,
+            "records": len(self._records),
+            "tree_height": self.tree.height,
+        }
+        if self.storage is not None:
+            stats["buffer_hits"] = self.storage.pool.stats.hits
+            stats["buffer_misses"] = self.storage.pool.stats.misses
+        return stats
+
+    def _op_configure(
+        self, delay_s: float, read_delay: float | None = None
+    ) -> None:
+        """Runtime fault/latency knobs: a per-request handling delay (the
+        timeout tests' hook) and, when a storage layer is attached, the
+        simulated disk's read latency (the bench raises it after the
+        zero-delay load phase so both sides measure warm-pool steady
+        state)."""
+        if delay_s < 0:
+            raise ConfigError("delay_s must be non-negative")
+        self._delay_s = delay_s
+        if read_delay is not None:
+            if read_delay < 0:
+                raise ConfigError("read_delay must be non-negative")
+            if self.storage is not None:
+                disk = self.storage.disk
+                if isinstance(disk, LatencyDisk):
+                    disk.read_delay = read_delay
+
+    def _op_ping(self) -> str:
+        return "pong"
+
+
+def worker_main(conn: Any, spec: ShardSpec) -> None:
+    """Subprocess entry point: serve one pipe until shutdown or EOF.
+
+    Requests are handled on a small thread pool (``spec.worker_threads``)
+    so concurrent reads overlap their buffer-miss stalls under the
+    engine's shared index latch — the pipe stays ordered-by-completion,
+    and the client matches replies to requests by sequence number.
+    """
+    worker = ShardWorker(spec)
+    send_gate = threading.Lock()
+
+    def run(request: Request) -> None:
+        reply = worker.handle(request)
+        with send_gate:
+            try:
+                conn.send(reply)
+            except (EOFError, OSError):
+                pass  # client hung up mid-flight; nobody to reply to
+
+    pool = ThreadPoolExecutor(
+        max_workers=max(1, spec.worker_threads), thread_name_prefix="shard-op"
+    )
+    try:
+        while True:
+            try:
+                request = conn.recv()
+            except (EOFError, OSError):
+                break  # router side closed; nothing left to reply to
+            if request.op == wire.OP_SHUTDOWN:
+                pool.shutdown(wait=True)  # drain in-flight work first
+                with send_gate:
+                    conn.send(Reply(request.seq, True, None))
+                break
+            pool.submit(run, request)
+    finally:
+        pool.shutdown(wait=True)
+        worker.close()
+        conn.close()

@@ -179,9 +179,15 @@ class ScheduledOp:
 class TrafficResult:
     """Merged outcome of one driven run."""
 
+    #: Successful operations only — failed ops are in ``error_latencies``.
     latencies: LatencySeries
     ops_done: int
     errors: int
+    #: Per-(class, tenant) latency of *failed* operations, kept out of
+    #: the success histograms so a fast-failing engine cannot fake good
+    #: tails (the p99 of 500 instant ``ShardOverloadError``s is not a
+    #: serving p99).
+    error_latencies: LatencySeries
     #: Operations whose actual start lagged their scheduled start (the
     #: open-loop backlog signal; their recorded latency includes the lag).
     behind_schedule: int
@@ -335,12 +341,19 @@ def run_traffic(
     carrying tenant/class labels, an ``op_dispatch`` event with the
     dispatch lag, and a driver-measured ``cpu_ns`` on the span end —
     the inputs :func:`repro.obs.latency.span_breakdown` joins.
+
+    An operation that raises is an **error**, not a latency sample: it
+    is counted in ``errors``, recorded into the separate
+    ``error_latencies`` series under the same (class, tenant) key, and
+    emitted as an ``op_error`` trace event carrying the exception type.
+    Success histograms only ever see operations that succeeded.
     """
     if threads < 1:
         raise WorkloadError("threads must be positive")
     tracer = tracer if tracer is not None else NULL_TRACER
     slices = [list(range(t, len(schedule), threads)) for t in range(threads)]
     series = [LatencySeries(sub_bucket_bits) for _ in range(threads)]
+    error_series = [LatencySeries(sub_bucket_bits) for _ in range(threads)]
     behind = [0] * threads
     errors = [0] * threads
     done = [0] * threads
@@ -350,9 +363,13 @@ def run_traffic(
     def worker(worker_id: int, indices: list[int]) -> None:
         nonlocal base_ns
         mine = series[worker_id]
+        mine_err = error_series[worker_id]
         recorders = {
             (op.query_class, op.tenant): mine.recorder(op.query_class, op.tenant)
             for op in (schedule[i] for i in indices)
+        }
+        error_recorders = {
+            key: mine_err.recorder(*key) for key in recorders
         }
         start_barrier.wait()
         if worker_id == 0:
@@ -367,6 +384,7 @@ def run_traffic(
                 time.sleep((target - now) / 1e9)
             else:
                 behind[worker_id] += 1
+            error_type: str | None = None
             if tracer.enabled:
                 lag = max(0, time.perf_counter_ns() - target)
                 with tracer.span(
@@ -381,17 +399,30 @@ def run_traffic(
                     cpu_start = time.thread_time_ns()
                     try:
                         _execute(engine, op)
-                    except Exception:
-                        errors[worker_id] += 1
+                    except Exception as exc:
+                        error_type = type(exc).__name__
                     span.set(cpu_ns=time.thread_time_ns() - cpu_start)
+                if error_type is not None:
+                    tracer.event(
+                        "op_error",
+                        tenant=op.tenant,
+                        query_class=op.query_class,
+                        error_type=error_type,
+                    )
             else:
                 try:
                     _execute(engine, op)
-                except Exception:
-                    errors[worker_id] += 1
-            recorders[(op.query_class, op.tenant)].record(
-                time.perf_counter_ns() - target
-            )
+                except Exception as exc:
+                    error_type = type(exc).__name__
+            elapsed = time.perf_counter_ns() - target
+            if error_type is not None:
+                # A failed op is an error sample, not a serving latency:
+                # recording it in the success series would let a
+                # fast-failing engine fake good tails.
+                errors[worker_id] += 1
+                error_recorders[(op.query_class, op.tenant)].record(elapsed)
+            else:
+                recorders[(op.query_class, op.tenant)].record(elapsed)
             done[worker_id] += 1
 
     wall_start = time.perf_counter()
@@ -408,6 +439,9 @@ def run_traffic(
     merged = LatencySeries(sub_bucket_bits)
     for s in series:
         merged.merge(s)
+    merged_errors = LatencySeries(sub_bucket_bits)
+    for s in error_series:
+        merged_errors.merge(s)
     per_tenant: dict[str, int] = {}
     per_class: dict[str, int] = {}
     for op in schedule:
@@ -417,6 +451,7 @@ def run_traffic(
         latencies=merged,
         ops_done=sum(done),
         errors=sum(errors),
+        error_latencies=merged_errors,
         behind_schedule=sum(behind),
         wall_seconds=wall,
         per_tenant_ops=per_tenant,

@@ -288,11 +288,20 @@ def test_racecheck_clean_on_real_workloads():
     assert graph["acquisitions"] > 0
     # The workloads really ran.
     names = [w["workload"] for w in report["workloads"]]
-    assert names == ["stress/SR-Tree", "stress-mvcc/SR-Tree", "wal-group-commit"]
+    assert names == [
+        "stress/SR-Tree",
+        "stress-mvcc/SR-Tree",
+        "wal-group-commit",
+        "stress-shard",
+    ]
     # MVCC snapshot reads recorded no read-side latch acquisitions.
     assert report["workloads"][1]["snapshot_reads"] > 0
     assert report["workloads"][1]["read_latch_acquires"] == 0
     assert report["workloads"][2]["commits_acked"] == 24  # records total
+    # The sharded tier's traffic and its mid-run rebalance were recorded.
+    shard = report["workloads"][3]
+    assert shard["searches"] > 0 and shard["inserts"] > 0
+    assert shard["rebalances"] == 1 and shard["shards"] == 3
 
 
 def test_racecheck_emits_trace_events_when_tracer_enabled():

@@ -1,0 +1,472 @@
+"""Unit battery for the sharded serving tier.
+
+Covers the pieces the differential oracle exercises only in aggregate:
+curve-range partitioning and splits, admission control (shed, backoff,
+overload), the wire protocol's error rebuilding, per-transport timeout
+semantics (including stale-reply discard on a pipe), scatter pruning,
+gather-timeout poisoning (``ShardTimeoutError``, never partial results),
+rebalance edge cases, and the asyncio/JSON service facade.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.core.batch import CURVE_ORDER, curve_key, curve_keyspace
+from repro.core.geometry import Rect
+from repro.exceptions import (
+    ConfigError,
+    NotFoundError,
+    ShardError,
+    ShardOverloadError,
+    ShardTimeoutError,
+)
+from repro.obs.sinks import RingBufferSink
+from repro.obs.tracer import Tracer
+from repro.sharding import (
+    AdmissionController,
+    CurveRangePartitioner,
+    LocalShardClient,
+    ProcessShardClient,
+    ShardedService,
+    ShardRouter,
+    ShardSpec,
+    ShardWorker,
+    ThreadShardClient,
+    build_router,
+)
+from repro.sharding import wire
+from repro.sharding.wire import Reply, Request, raise_reply_error
+
+BOUNDS = Rect((0.0, 0.0), (100.0, 100.0))
+
+
+def _spec(shard_id: int = 0, **kw) -> ShardSpec:
+    kw.setdefault("buffer_bytes", 0)
+    return ShardSpec(
+        shard_id=shard_id,
+        bounds_lows=BOUNDS.lows,
+        bounds_highs=BOUNDS.highs,
+        **kw,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Partitioner
+# ---------------------------------------------------------------------------
+class TestPartitioner:
+    def test_ranges_tile_the_keyspace(self):
+        part = CurveRangePartitioner(4, bounds=BOUNDS)
+        ranges = part.ranges
+        assert ranges[0].lo == 0
+        assert ranges[-1].hi == curve_keyspace(2, CURVE_ORDER)
+        for prev, nxt in zip(ranges, ranges[1:]):
+            assert prev.hi == nxt.lo  # contiguous, no gaps or overlap
+
+    def test_every_key_maps_to_exactly_one_shard(self):
+        part = CurveRangePartitioner(3, bounds=BOUNDS)
+        for x in range(0, 100, 7):
+            r = Rect((float(x), float(x % 50)), (float(x) + 1, float(x % 50) + 1))
+            key = part.key(r)
+            sid = part.shard_for_key(key)
+            assert key in part.range_of(sid)
+            assert part.shard_for_rect(r) == sid
+
+    def test_out_of_bounds_keys_clamp(self):
+        part = CurveRangePartitioner(2, bounds=BOUNDS)
+        assert part.shard_for_key(-5) == part.ranges[0].shard_id
+        assert part.shard_for_key(2**63) == part.ranges[-1].shard_id
+
+    def test_split_replaces_one_range_with_two(self):
+        part = CurveRangePartitioner(2, bounds=BOUNDS)
+        target = part.ranges[0]
+        mid = (target.lo + target.hi) // 2
+        part.split(target.shard_id, mid, new_shard_id=9)
+        assert len(part) == 3
+        assert part.shard_for_key(mid - 1) == target.shard_id
+        assert part.shard_for_key(mid) == 9
+        assert part.range_of(9).hi == target.hi
+
+    def test_split_validates(self):
+        part = CurveRangePartitioner(2, bounds=BOUNDS)
+        r = part.ranges[0]
+        with pytest.raises(NotFoundError):
+            part.split(99, 1, new_shard_id=5)
+        with pytest.raises(ConfigError):
+            part.split(r.shard_id, r.lo, new_shard_id=5)  # degenerate left
+        with pytest.raises(ConfigError):
+            part.split(r.shard_id, r.hi, new_shard_id=5)  # degenerate right
+        with pytest.raises(ConfigError):
+            part.split(r.shard_id, (r.lo + r.hi) // 2, new_shard_id=r.shard_id)
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ConfigError):
+            CurveRangePartitioner(0, bounds=BOUNDS)
+
+
+# ---------------------------------------------------------------------------
+# Admission control
+# ---------------------------------------------------------------------------
+class TestAdmission:
+    def test_sheds_at_capacity_and_releases(self):
+        adm = AdmissionController(max_in_flight=2, max_retries=0, backoff_s=0.0)
+        assert adm.try_acquire(1) and adm.try_acquire(1)
+        assert not adm.try_acquire(1)  # full -> shed
+        adm.release(1)
+        assert adm.try_acquire(1)
+        snap = adm.snapshot()
+        assert snap["shed"] == 1
+        assert snap["per_shard"][1]["admitted"] == 3
+
+    def test_acquire_overload_after_retry_budget(self):
+        adm = AdmissionController(max_in_flight=1, max_retries=2, backoff_s=0.0)
+        assert adm.acquire(7) == 0
+        with pytest.raises(ShardOverloadError) as exc_info:
+            adm.acquire(7)
+        assert exc_info.value.shard_id == 7
+        adm.release(7)
+        assert adm.acquire(7) == 0  # slot freed, immediate admit
+
+    def test_release_never_goes_negative(self):
+        adm = AdmissionController(max_in_flight=1)
+        adm.release(3)
+        assert adm.in_flight(3) == 0
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ConfigError):
+            AdmissionController(max_in_flight=0)
+        with pytest.raises(ConfigError):
+            AdmissionController(max_retries=-1)
+
+
+# ---------------------------------------------------------------------------
+# Wire protocol
+# ---------------------------------------------------------------------------
+class TestWire:
+    def test_hierarchy_errors_rebuild_as_themselves(self):
+        reply = Reply(1, False, None, "ConfigError", "bad knob")
+        with pytest.raises(ConfigError, match="bad knob"):
+            raise_reply_error(reply, shard_id=0)
+
+    def test_unknown_errors_wrap_in_shard_error(self):
+        reply = Reply(1, False, None, "KeyError", "'x'")
+        with pytest.raises(ShardError, match="shard 3: KeyError"):
+            raise_reply_error(reply, shard_id=3)
+
+    def test_worker_serializes_failures_into_replies(self):
+        worker = ShardWorker(_spec())
+        reply = worker.handle(Request("no-such-op", (), 1))
+        assert not reply.ok
+        assert reply.error_type == "ConfigError"
+        reply = worker.handle(Request(wire.OP_CONFIGURE, (-1.0,), 2))
+        assert not reply.ok and reply.error_type == "ConfigError"
+
+
+# ---------------------------------------------------------------------------
+# Worker rebalance ops
+# ---------------------------------------------------------------------------
+class TestWorkerRebalance:
+    def _loaded(self, n: int = 10) -> ShardWorker:
+        worker = ShardWorker(_spec())
+        for i in range(n):
+            x = 10.0 * i % 90.0
+            worker.handle(
+                Request(wire.OP_INSERT, (i, (x, x), (x + 1, x + 1), None), i)
+            )
+        return worker
+
+    def test_suggest_split_needs_two_records(self):
+        worker = ShardWorker(_spec())
+        assert worker.handle(Request(wire.OP_SUGGEST_SPLIT, (), 1)).value is None
+        worker.handle(Request(wire.OP_INSERT, (0, (1, 1), (2, 2), None), 2))
+        assert worker.handle(Request(wire.OP_SUGGEST_SPLIT, (), 3)).value is None
+
+    def test_suggest_split_identical_keys_returns_none(self):
+        worker = ShardWorker(_spec())
+        for i in range(4):
+            worker.handle(Request(wire.OP_INSERT, (i, (5, 5), (6, 6), None), i))
+        assert worker.handle(Request(wire.OP_SUGGEST_SPLIT, (), 9)).value is None
+
+    def test_extract_ingest_roundtrip(self):
+        worker = self._loaded(10)
+        split_key = worker.handle(Request(wire.OP_SUGGEST_SPLIT, (), 100)).value
+        assert split_key is not None
+        moved = worker.handle(Request(wire.OP_EXTRACT, (split_key,), 101)).value
+        assert moved  # something crossed
+        remaining = worker.handle(Request(wire.OP_COUNT, (), 102)).value
+        assert remaining + len(moved) == 10
+        # Every extracted record's key is at/above the split; every
+        # survivor's below.
+        for _rid, lows, highs, _payload in moved:
+            key = curve_key(Rect(tuple(lows), tuple(highs)), BOUNDS, CURVE_ORDER)
+            assert key >= split_key
+        other = ShardWorker(_spec(1))
+        assert other.handle(Request(wire.OP_INGEST, (moved,), 1)).value == len(moved)
+        assert other.handle(Request(wire.OP_COUNT, (), 2)).value == len(moved)
+        # rids stay global across the move.
+        rid = moved[0][0]
+        hits = other.handle(
+            Request(wire.OP_SEARCH, ((0.0, 0.0), (100.0, 100.0)), 3)
+        ).value
+        assert rid in {got_rid for got_rid, _ in hits}
+
+
+# ---------------------------------------------------------------------------
+# Transports: timeouts and stale replies
+# ---------------------------------------------------------------------------
+class TestTransportTimeouts:
+    def test_thread_client_times_out_typed(self):
+        client = ThreadShardClient(_spec())
+        try:
+            client.call(wire.OP_CONFIGURE, (0.3,))
+            with pytest.raises(ShardTimeoutError) as exc_info:
+                client.call(wire.OP_PING, (), timeout=0.05)
+            assert exc_info.value.shard_ids == (client.shard_id,)
+        finally:
+            client.close()
+
+    def test_process_client_discards_stale_reply_after_timeout(self):
+        client = ProcessShardClient(_spec())
+        try:
+            assert client.call(wire.OP_PING, (), timeout=10.0) == "pong"
+            client.call(wire.OP_CONFIGURE, (0.4,), timeout=10.0)
+            with pytest.raises(ShardTimeoutError):
+                client.call(wire.OP_PING, (), timeout=0.05)
+            client.call(wire.OP_CONFIGURE, (0.0,), timeout=10.0)
+            # The next call must see its own reply, not the stale pong.
+            assert client.call(wire.OP_COUNT, (), timeout=10.0) == 0
+        finally:
+            client.close()
+
+    def test_local_client_runs_inline(self):
+        client = LocalShardClient(_spec())
+        try:
+            assert client.call(wire.OP_PING) == "pong"
+        finally:
+            client.close()
+
+
+# ---------------------------------------------------------------------------
+# Router behavior
+# ---------------------------------------------------------------------------
+class TestRouter:
+    def _router(self, **kw):
+        kw.setdefault("transport", "local")
+        kw.setdefault("buffer_bytes", 0)
+        return build_router(4, bounds=BOUNDS, **kw)
+
+    def test_gather_timeout_is_typed_never_partial(self):
+        router = build_router(
+            2, bounds=BOUNDS, transport="thread", buffer_bytes=0, timeout_s=0.05
+        )
+        try:
+            # Spread records so both shards hold data.
+            for x in (1.0, 30.0, 60.0, 95.0):
+                router.insert(Rect((x, x), (x + 1.0, x + 1.0)))
+            router.timeout_s = 10.0
+            slow = router.shard_ids[0]
+            router._clients[slow].call(wire.OP_CONFIGURE, (0.5,))
+            router.timeout_s = 0.05
+            with pytest.raises(ShardTimeoutError) as exc_info:
+                router.search(BOUNDS)
+            assert slow in exc_info.value.shard_ids
+        finally:
+            router.timeout_s = 10.0
+            router._clients[slow].call(wire.OP_CONFIGURE, (0.0,))
+            router.close()
+
+    def test_scatter_prunes_by_bounds(self):
+        sink = RingBufferSink(capacity=256)
+        router = self._router(tracer=Tracer(sink))
+        try:
+            router.insert(Rect((1.0, 1.0), (2.0, 2.0)), "low")
+            router.insert(Rect((90.0, 90.0), (91.0, 91.0)), "high")
+            hits = router.search(Rect((0.0, 0.0), (5.0, 5.0)))
+            assert [p for _, p in hits] == ["low"]
+            dispatches = [
+                e for e in sink.events if e.etype == "shard_dispatch"
+            ]
+            last = dispatches[-1].fields
+            assert last["shards"] == 1  # 1 of 4 shards consulted
+            assert last["pruned"] == 3
+        finally:
+            router.close()
+
+    def test_stab_and_containing_prune_sharper(self):
+        router = self._router()
+        try:
+            router.insert(Rect((10.0, 10.0), (20.0, 20.0)), "a")
+            assert router.stab(15.0, 15.0) == [(1, "a")]
+            assert router.stab(50.0, 50.0) == []
+            assert router.search_containing(Rect((12.0, 12.0), (13.0, 13.0))) == [
+                (1, "a")
+            ]
+            assert router.search_within(Rect((0.0, 0.0), (50.0, 50.0))) == [(1, "a")]
+        finally:
+            router.close()
+
+    def test_batch_search_scatters_per_shard_plans(self):
+        router = self._router()
+        try:
+            router.insert(Rect((1.0, 1.0), (2.0, 2.0)), "low")
+            router.insert(Rect((90.0, 90.0), (91.0, 91.0)), "high")
+            out = router.batch_search(
+                [
+                    Rect((0.0, 0.0), (5.0, 5.0)),
+                    Rect((85.0, 85.0), (95.0, 95.0)),
+                    Rect((40.0, 40.0), (45.0, 45.0)),
+                ]
+            )
+            assert [p for _, p in out[0]] == ["low"]
+            assert [p for _, p in out[1]] == ["high"]
+            assert out[2] == []
+        finally:
+            router.close()
+
+    def test_admission_overload_surfaces(self):
+        router = self._router(
+            admission=AdmissionController(
+                max_in_flight=1, max_retries=0, backoff_s=0.0
+            )
+        )
+        try:
+            sid = router.shard_ids[0]
+            router.admission.acquire(sid)  # wedge the only slot
+            router._partitioner  # noqa: B018 — touch to keep mypy quiet
+            with pytest.raises(ShardOverloadError):
+                router._shard_call(sid, wire.OP_PING, ())
+        finally:
+            router.close()
+
+    def test_split_requires_spawn_hook(self):
+        part = CurveRangePartitioner(1, bounds=BOUNDS)
+        client = LocalShardClient(_spec(part.shard_ids[0]))
+        router = ShardRouter({part.shard_ids[0]: client}, part)
+        try:
+            with pytest.raises(ConfigError):
+                router.split_shard(part.shard_ids[0])
+        finally:
+            router.close()
+
+    def test_split_unsplittable_returns_none(self):
+        router = self._router()
+        try:
+            assert router.split_shard(router.shard_ids[0]) is None
+        finally:
+            router.close()
+
+    def test_delete_unknown_rid_returns_zero(self):
+        router = self._router()
+        try:
+            assert router.delete(12345) == 0
+        finally:
+            router.close()
+
+    def test_mismatched_clients_rejected(self):
+        part = CurveRangePartitioner(2, bounds=BOUNDS)
+        client = LocalShardClient(_spec(0))
+        with pytest.raises(ConfigError):
+            ShardRouter({0: client}, part)
+        client.close()
+
+    def test_unknown_transport_rejected(self):
+        with pytest.raises(ConfigError):
+            build_router(2, bounds=BOUNDS, transport="carrier-pigeon")
+
+    def test_stats_and_latency_snapshot(self):
+        router = self._router()
+        try:
+            router.insert(Rect((1.0, 1.0), (2.0, 2.0)))
+            router.search(BOUNDS)
+            stats = router.stats()
+            assert stats["records"] == 1
+            assert stats["shards"] == 4
+            assert stats["admission"]["admitted"] >= 2
+            snap = router.latency_snapshot(prefix="shard/")
+            assert any(name.startswith("shard/insert/") for name in snap)
+            assert all(s["count"] >= 1 for s in snap.values())
+        finally:
+            router.close()
+
+
+# ---------------------------------------------------------------------------
+# Service facade
+# ---------------------------------------------------------------------------
+class TestService:
+    def test_frames_round_trip(self):
+        router = build_router(2, bounds=BOUNDS, transport="local", buffer_bytes=0)
+        service = ShardedService(router)
+
+        async def drive():
+            ins = await service.handle_frame(
+                {"op": "insert", "lows": [1, 1], "highs": [2, 2], "payload": "a"}
+            )
+            assert ins == {"ok": True, "value": 1}
+            hit = await service.handle_frame(
+                {"op": "search", "lows": [0, 0], "highs": [5, 5]}
+            )
+            assert hit == {"ok": True, "value": [(1, "a")]}
+            stats = await service.handle_frame({"op": "stats"})
+            assert stats["ok"] and stats["value"]["records"] == 1
+            bad = await service.handle_frame({"op": "warp"})
+            assert not bad["ok"] and bad["error_type"] == "ConfigError"
+            missing = await service.handle_frame({"op": "search", "lows": [0, 0]})
+            assert not missing["ok"] and missing["error_type"] == "KeyError"
+
+        try:
+            asyncio.run(drive())
+        finally:
+            router.close()
+
+    def test_tcp_server_serves_json_lines(self):
+        router = build_router(2, bounds=BOUNDS, transport="local", buffer_bytes=0)
+
+        async def drive():
+            import json
+
+            from repro.sharding import serve
+
+            ready = asyncio.Event()
+            bound: dict = {}
+
+            orig_start = asyncio.start_server
+
+            async def capture(*args, **kw):
+                server = await orig_start(*args, **kw)
+                bound["port"] = server.sockets[0].getsockname()[1]
+                return server
+
+            asyncio.start_server = capture
+            try:
+                task = asyncio.create_task(serve(router, port=0, ready=ready))
+                await asyncio.wait_for(ready.wait(), timeout=10)
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", bound["port"]
+                )
+                writer.write(
+                    json.dumps(
+                        {"op": "insert", "lows": [1, 1], "highs": [2, 2]}
+                    ).encode()
+                    + b"\n"
+                )
+                await writer.drain()
+                reply = json.loads(await reader.readline())
+                assert reply == {"ok": True, "value": 1}
+                writer.write(json.dumps({"op": "ping"}).encode() + b"\n")
+                await writer.drain()
+                assert json.loads(await reader.readline())["value"] == "pong"
+                writer.close()
+                task.cancel()
+                try:
+                    await task
+                except asyncio.CancelledError:
+                    pass
+            finally:
+                asyncio.start_server = orig_start
+
+        try:
+            asyncio.run(drive())
+        finally:
+            router.close()

@@ -180,6 +180,74 @@ class TestRun:
         # service-time-only recorder would report ~2ms.
         assert worst > 50_000_000
 
+    def test_errors_recorded_separately_from_success_tails(self):
+        """Regression: failed ops used to be recorded into the *success*
+        histograms, so an engine failing fast could fake good tails and
+        the error count was the only trace.  Deterministic fault
+        injection: every 5th read raises; the success series must hold
+        exactly the successful ops and the failures must land in the
+        error series under the same (class, tenant) keys."""
+
+        class FlakyEngine:
+            def __init__(self):
+                self.calls = 0
+
+            def _maybe_fail(self):
+                self.calls += 1
+                if self.calls % 5 == 0:
+                    raise WorkloadError("injected fault")
+
+            def stab(self, *coords):
+                self._maybe_fail()
+                return []
+
+            def search(self, rect):
+                self._maybe_fail()
+                return []
+
+            def insert(self, rect, payload=None):
+                self._maybe_fail()
+                return 0
+
+        schedule = generate_schedule(TrafficConfig(ops=200, rate=50_000.0, seed=13))
+        sink = RingBufferSink()
+        result = run_traffic(
+            FlakyEngine(), schedule, threads=1, tracer=Tracer(sink)
+        )
+        assert result.errors == len(schedule) // 5
+        assert result.ops_done == len(schedule)
+        # Exact partition: successes in latencies, failures in
+        # error_latencies, nothing double-counted.
+        assert result.latencies.total_count() == len(schedule) - result.errors
+        assert result.error_latencies.total_count() == result.errors
+        # Error labels are a subset of the scheduled (class, tenant) pairs.
+        scheduled = {(op.query_class, op.tenant) for op in schedule}
+        assert set(result.error_latencies.labels()) <= scheduled
+        # Every failure produced an op_error event naming the exception.
+        op_errors = [e for e in sink.events if e.etype == "op_error"]
+        assert len(op_errors) == result.errors
+        assert {e.fields["error_type"] for e in op_errors} == {"WorkloadError"}
+        assert all(e.fields["tenant"] for e in op_errors)
+
+    def test_untraced_errors_also_split(self):
+        """The tracer-off path must split errors identically."""
+
+        class AlwaysFails:
+            def stab(self, *coords):
+                raise WorkloadError("down")
+
+            def search(self, rect):
+                raise WorkloadError("down")
+
+            def insert(self, rect, payload=None):
+                raise WorkloadError("down")
+
+        schedule = generate_schedule(TrafficConfig(ops=60, rate=50_000.0, seed=3))
+        result = run_traffic(AlwaysFails(), schedule, threads=2)
+        assert result.errors == len(schedule)
+        assert result.latencies.total_count() == 0
+        assert result.error_latencies.total_count() == len(schedule)
+
     def test_traced_run_yields_breakdown(self):
         schedule = generate_schedule(TrafficConfig(ops=80, rate=30_000.0, seed=9))
         sink = RingBufferSink()
